@@ -1,0 +1,1 @@
+bench/bench_util.ml: Array Crn_prng Crn_stats Printf String

@@ -1,0 +1,1 @@
+bench/exp_baselines.ml: Array Bench_util Crn_channel Crn_core Crn_prng Crn_rendezvous Crn_stats Float List Option

@@ -1,0 +1,1 @@
+bench/exp_broadcast.ml: Array Bench_util Crn_channel Crn_core Crn_prng Crn_stats List Printf

@@ -1,0 +1,1 @@
+bench/exp_cogcomp.ml: Array Bench_util Crn_channel Crn_core Crn_prng Crn_stats Format List Printf

@@ -1,0 +1,1 @@
+bench/exp_extensions.ml: Array Bench_util Crn_channel Crn_core Crn_prng Crn_radio Crn_rendezvous Crn_stats Float Int64 List Option Printf

@@ -1,0 +1,1 @@
+bench/exp_games.ml: Array Bench_util Crn_core Crn_games Crn_prng Crn_stats Float List

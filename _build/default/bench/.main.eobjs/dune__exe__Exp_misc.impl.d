@@ -1,0 +1,1 @@
+bench/exp_misc.ml: Array Bench_util Crn_channel Crn_core Crn_prng Crn_radio Crn_stats List Option

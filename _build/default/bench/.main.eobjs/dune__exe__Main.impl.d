@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_util Exp_baselines Exp_broadcast Exp_cogcomp Exp_extensions Exp_games Exp_misc List Micro Printf String Sys Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Crn_channel Crn_core Crn_games Crn_prng Crn_radio Crn_rendezvous Crn_stats Float Hashtbl Instance List Measure Printf Staged Test Time Toolkit

@@ -1,0 +1,34 @@
+(* Shared helpers for the experiment harness. *)
+
+module Rng = Crn_prng.Rng
+module Summary = Crn_stats.Summary
+module Table = Crn_stats.Table
+module Series = Crn_stats.Series
+
+(* Global quick-mode flag, set by main from the command line: trims trial
+   counts and sweep ranges so the full harness finishes in seconds. *)
+let quick = ref false
+
+let trials ~full = if !quick then max 3 (full / 3) else full
+
+let header id title =
+  let line = Printf.sprintf "[%s] %s" id title in
+  print_newline ();
+  print_endline (String.make (String.length line) '=');
+  print_endline line;
+  print_endline (String.make (String.length line) '=')
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n" s) fmt
+
+(* Median over [trials] runs of [f seed]; each run must return a slot
+   count. *)
+let median_of ~trials ~base_seed f =
+  let samples = Array.init trials (fun i -> float_of_int (f (base_seed + i))) in
+  Summary.median samples
+
+let mean_of ~trials ~base_seed f =
+  let samples = Array.init trials (fun i -> float_of_int (f (base_seed + i))) in
+  Summary.mean samples
+
+let fmt_f x = Printf.sprintf "%.1f" x
+let fmt_f2 x = Printf.sprintf "%.2f" x

@@ -1,0 +1,161 @@
+(* Experiments E4, E7, E10: COGCAST/COGCOMP against the paper's baselines and
+   the §6 global-label counterexample. *)
+
+open Bench_util
+module Rng = Crn_prng.Rng
+module Topology = Crn_channel.Topology
+module Assignment = Crn_channel.Assignment
+module Cogcast = Crn_core.Cogcast
+module Cogcomp = Crn_core.Cogcomp
+module Aggregate = Crn_core.Aggregate
+module Complexity = Crn_core.Complexity
+module Broadcast_baseline = Crn_rendezvous.Broadcast_baseline
+module Aggregation_baseline = Crn_rendezvous.Aggregation_baseline
+module Seq_scan = Crn_rendezvous.Seq_scan
+module Table = Crn_stats.Table
+
+(* E4: local broadcast, epidemic vs rendezvous (§1: factor Theta(c) for
+   n >= c). *)
+let e4 () =
+  header "E4" "Broadcast: COGCAST vs rendezvous baseline (n = 512, k = 2; §1 claims factor ~c)";
+  let n = 512 and k = 2 in
+  let cs = if !quick then [ 8; 32 ] else [ 8; 16; 32; 64 ] in
+  let t =
+    Table.create [ "c"; "COGCAST median"; "rendezvous median"; "speedup"; "claimed ~c" ]
+  in
+  List.iter
+    (fun c ->
+      let spec = { Topology.n; c; k } in
+      let trials = trials ~full:5 in
+      let cog =
+        median_of ~trials ~base_seed:(7000 + c) (fun seed ->
+            let rng = Rng.create seed in
+            let assignment = Topology.shared_core rng spec in
+            let r = Cogcast.run_static ~source:0 ~assignment ~k ~rng () in
+            Option.value ~default:r.Cogcast.slots_run r.Cogcast.completed_at)
+      in
+      let base =
+        median_of ~trials ~base_seed:(8000 + c) (fun seed ->
+            let rng = Rng.create seed in
+            let assignment = Topology.shared_core rng spec in
+            let r = Broadcast_baseline.run_static ~source:0 ~assignment ~k ~rng () in
+            Option.value ~default:r.Broadcast_baseline.slots_run
+              r.Broadcast_baseline.completed_at)
+      in
+      Table.add_row t
+        [ string_of_int c; fmt_f cog; fmt_f base; fmt_f2 (base /. cog); string_of_int c ])
+    cs;
+  Table.print t;
+  note "claim: the measured speedup grows linearly with c (who wins: COGCAST, everywhere)"
+
+(* E7: aggregation, COGCOMP vs rendezvous baseline (§1: O((c/k)lg n + n) vs
+   O(c^2 n / k)). *)
+let e7 () =
+  header "E7" "Aggregation: COGCOMP vs rendezvous baselines (c = 8, k = 2; §1)";
+  let c = 8 and k = 2 in
+  let ns = if !quick then [ 32; 256 ] else [ 32; 64; 128; 256; 512; 1024 ] in
+  let t =
+    Table.create
+      [
+        "n";
+        "COGCOMP total";
+        "  (phase4)";
+        "baseline+ACK";
+        "baseline honest";
+        "speedup vs honest";
+      ]
+  in
+  List.iter
+    (fun n ->
+      let spec = { Topology.n; c; k } in
+      let trials = trials ~full:5 in
+      let p4 = ref 0.0 in
+      let run_baseline ~ack seed =
+        let rng = Rng.create seed in
+        let assignment = Topology.shared_core rng spec in
+        let values = Array.init n (fun i -> i) in
+        let r =
+          Aggregation_baseline.run_static ~ack ~monoid:Aggregate.sum ~values
+            ~source:0 ~assignment ~k ~rng ()
+        in
+        r.Aggregation_baseline.slots_run
+      in
+      let cog =
+        median_of ~trials ~base_seed:(9000 + n) (fun seed ->
+            let rng = Rng.create seed in
+            let assignment = Topology.shared_core rng spec in
+            let values = Array.init n (fun i -> i) in
+            let r = Cogcomp.run ~monoid:Aggregate.sum ~values ~source:0 ~assignment ~k ~rng () in
+            p4 := float_of_int r.Cogcomp.phase4_slots;
+            r.Cogcomp.total_slots)
+      in
+      let base_ack = median_of ~trials ~base_seed:(9500 + n) (run_baseline ~ack:true) in
+      let base_honest = median_of ~trials ~base_seed:(9700 + n) (run_baseline ~ack:false) in
+      Table.add_row t
+        [
+          string_of_int n;
+          fmt_f cog;
+          fmt_f !p4;
+          fmt_f base_ack;
+          fmt_f base_honest;
+          fmt_f2 (base_honest /. cog);
+        ])
+    ns;
+  Table.print t;
+  note "honest baseline (no ACK): the source coupon-collects n-1 distinct values ~ n ln n;";
+  note "the +ACK variant is a gift to the baseline (free acknowledgements). COGCOMP's";
+  note "total is Theta((c/k) lg n) + Theta(n) and overtakes both as n grows; its crossover";
+  note "vs +ACK sits where the factor-12 phase-1 budget is amortized (n in the hundreds).";
+  note "paper's coarse bound for the baseline: c^2 n / k = %s at the largest n here"
+    (fmt_f (Complexity.rendezvous_aggregation ~n:(List.nth ns (List.length ns - 1)) ~c ~k))
+
+(* E10: the §6 discussion counterexample — with global labels and c >> n the
+   hop-together scan beats COGCAST by an unbounded factor. *)
+let e10 () =
+  header "E10"
+    "Global labels, c = n^2, k = c-1: hop-together scan vs COGCAST (§6 discussion)";
+  let ns = if !quick then [ 4; 8 ] else [ 4; 6; 8; 12; 16; 24; 32 ] in
+  let t =
+    Table.create
+      [ "n"; "c=n^2"; "scan median"; "COGCAST median"; "scan wins by"; "E[scan] = C/k" ]
+  in
+  List.iter
+    (fun n ->
+      let c = n * n in
+      let k = c - 1 in
+      let spec = { Topology.n; c; k } in
+      let big_c = k + (n * (c - k)) in
+      let trials = trials ~full:5 in
+      let scan =
+        median_of ~trials ~base_seed:(10_000 + n) (fun seed ->
+            let assignment =
+              Assignment.permute_channels
+                (Rng.create (seed + 1))
+                (Topology.shared_core ~global_labels:true (Rng.create seed) spec)
+            in
+            let r =
+              Seq_scan.run ~source:0 ~assignment ~rng:(Rng.create (seed + 2))
+                ~max_slots:(8 * big_c) ()
+            in
+            Option.value ~default:r.Seq_scan.slots_run r.Seq_scan.completed_at)
+      in
+      let cog =
+        median_of ~trials ~base_seed:(11_000 + n) (fun seed ->
+            let rng = Rng.create seed in
+            let assignment = Topology.shared_core rng spec in
+            let r = Cogcast.run_static ~source:0 ~assignment ~k ~rng () in
+            Option.value ~default:r.Cogcast.slots_run r.Cogcast.completed_at)
+      in
+      Table.add_row t
+        [
+          string_of_int n;
+          string_of_int c;
+          fmt_f scan;
+          fmt_f cog;
+          fmt_f2 (cog /. Float.max 1.0 scan);
+          fmt_f2 (float_of_int big_c /. float_of_int k);
+        ])
+    ns;
+  Table.print t;
+  note "claim: scan is O(1) expected here while COGCAST needs Theta((c/(nk)) c lg n) ~ n lg n;";
+  note "       the gap grows with n — and the scan is impossible under local labels (Theorem 15)"

@@ -1,0 +1,426 @@
+(* Experiments E16-E17: extensions beyond the paper's headline results.
+
+   E16 contextualizes COGCAST against the deterministic rendezvous family
+   the paper cites as prior art (§1, §3): pairwise meeting times and
+   schedule-driven broadcast vs the epidemic.
+
+   E17 exercises the §1 robustness claim: COGCAST under transient node
+   faults (random naps and duty cycling). *)
+
+open Bench_util
+module Rng = Crn_prng.Rng
+module Topology = Crn_channel.Topology
+module Assignment = Crn_channel.Assignment
+module Dynamic = Crn_channel.Dynamic
+module Faults = Crn_radio.Faults
+module Cogcast = Crn_core.Cogcast
+module Complexity = Crn_core.Complexity
+module Deterministic = Crn_rendezvous.Deterministic
+module Random_hop = Crn_rendezvous.Random_hop
+module Table = Crn_stats.Table
+
+(* E16: pairwise rendezvous — deterministic schedules vs random hopping on
+   shared-core instances, and broadcast built from each. *)
+let e16 () =
+  header "E16"
+    "Deterministic rendezvous (prior art, §1/§3) vs random hopping and COGCAST";
+  let t =
+    Table.create
+      [ "c"; "k"; "random-hop mean"; "jump-stay worst"; "c^2/k"; "9P^2 cap" ]
+  in
+  let cfgs = if !quick then [ (6, 2); (10, 3) ] else [ (4, 1); (6, 2); (8, 4); (10, 3); (12, 2) ] in
+  List.iter
+    (fun (c, k) ->
+      let spec = { Topology.n = 2; c; k } in
+      let trials = trials ~full:40 in
+      (* Random hopping: mean over fresh instances. *)
+      let rh =
+        mean_of ~trials ~base_seed:(16_000 + c) (fun seed ->
+            let a = Topology.shared_core (Rng.create seed) spec in
+            match
+              Random_hop.pair ~rng:(Rng.create (seed + 1)) ~assignment:a ~u:0 ~v:1
+                ~max_slots:1_000_000
+            with
+            | Some s -> s
+            | None -> 1_000_000)
+      in
+      (* Jump-stay: worst case over instances (deterministic given the
+         instance). *)
+      let js_worst = ref 0 in
+      let cap = ref 0 in
+      for seed = 0 to trials - 1 do
+        let a =
+          Topology.shared_core ~global_labels:true
+            (Rng.create (17_000 + c + seed))
+            spec
+        in
+        let p = Deterministic.smallest_prime_geq (Assignment.num_channels a) in
+        cap := 9 * p * p;
+        match
+          Deterministic.pair_rendezvous a
+            ~u:(Deterministic.jump_stay a ~node:0)
+            ~v:(Deterministic.jump_stay a ~node:1)
+            ~max_slots:!cap
+        with
+        | Some s -> js_worst := max !js_worst s
+        | None -> js_worst := max !js_worst !cap
+      done;
+      Table.add_row t
+        [
+          string_of_int c;
+          string_of_int k;
+          fmt_f rh;
+          string_of_int !js_worst;
+          fmt_f (float_of_int (c * c) /. float_of_int k);
+          string_of_int !cap;
+        ])
+    cfgs;
+  Table.print t;
+  note "random hopping meets in ~c^2/k expected slots (the §1 bound); jump-stay is";
+  note "deterministic and worst-case bounded, but needs global labels — under the";
+  note "paper's local-label model no deterministic schedule can coordinate (§6).";
+  (* Broadcast comparison at one config. *)
+  let spec = { Topology.n = 32; c = 8; k = 3 } in
+  let trials = trials ~full:5 in
+  let epidemic =
+    median_of ~trials ~base_seed:18_000 (fun seed ->
+        let rng = Rng.create seed in
+        let a = Topology.shared_core ~global_labels:true rng spec in
+        let r = Cogcast.run_static ~source:0 ~assignment:a ~k:3 ~rng () in
+        Option.value ~default:r.Cogcast.slots_run r.Cogcast.completed_at)
+  in
+  let js =
+    median_of ~trials ~base_seed:19_000 (fun seed ->
+        let a =
+          Topology.shared_core ~global_labels:true (Rng.create seed) spec
+        in
+        match
+          Deterministic.broadcast ~make_schedule:Deterministic.jump_stay ~source:0
+            ~assignment:a ~rng:(Rng.create (seed + 1)) ~max_slots:1_000_000 ()
+        with
+        | Some s -> s
+        | None -> 1_000_000)
+  in
+  note "broadcast n=32 c=8 k=3: COGCAST median %.0f vs jump-stay-epidemic median %.0f"
+    epidemic js
+
+(* E17: robustness to transient faults (§1 discussion). *)
+let e17 () =
+  header "E17" "COGCAST under transient faults (n = 64, c = 16, k = 4; §1 robustness)";
+  let spec = { Topology.n = 64; c = 16; k = 4 } in
+  let { Topology.n; c; k } = spec in
+  let budget = 8 * Complexity.cogcast_slots ~n ~c ~k () in
+  let t = Table.create [ "fault model"; "down fraction"; "median slots"; "vs fault-free" ] in
+  let run_with faults seed =
+    let a = Topology.shared_plus_random (Rng.create seed) spec in
+    let r =
+      Cogcast.run ~faults ~source:0 ~availability:(Dynamic.static a)
+        ~rng:(Rng.create (seed + 1)) ~max_slots:budget ()
+    in
+    Option.value ~default:r.Cogcast.slots_run r.Cogcast.completed_at
+  in
+  let trials = trials ~full:9 in
+  let base = median_of ~trials ~base_seed:20_000 (run_with Faults.none) in
+  Table.add_row t [ "none"; "0.00"; fmt_f base; "1.00" ];
+  List.iter
+    (fun rate ->
+      let faults = Faults.random_naps ~seed:(Int64.of_float (rate *. 100.0)) ~rate in
+      let m = median_of ~trials ~base_seed:(21_000 + int_of_float (rate *. 100.)) (run_with faults) in
+      Table.add_row t
+        [ "random naps"; fmt_f2 rate; fmt_f m; fmt_f2 (m /. base) ])
+    [ 0.1; 0.3; 0.5; 0.7 ];
+  List.iter
+    (fun (period, nap) ->
+      let faults = Faults.periodic_nap ~period ~nap ~offset_stride:7 in
+      let m = median_of ~trials ~base_seed:(22_000 + nap) (run_with faults) in
+      Table.add_row t
+        [
+          Printf.sprintf "duty cycle %d/%d" nap period;
+          fmt_f2 (float_of_int nap /. float_of_int period);
+          fmt_f m;
+          fmt_f2 (m /. base);
+        ])
+    [ (8, 2); (8, 4) ];
+  Table.print t;
+  note "claim (§1): obliviousness makes COGCAST robust — a node that misses a";
+  note "fraction q of slots slows completion by roughly 1/(1-q)^2 (both endpoints";
+  note "must be awake), never breaking correctness"
+
+module Cogcomp = Crn_core.Cogcomp
+module Aggregate = Crn_core.Aggregate
+
+(* E18: mediator ablation — phase-4 steps with and without the per-channel
+   coordination (the design choice §5 motivates). *)
+let e18 () =
+  header "E18" "Ablation: COGCOMP phase 4 with vs without mediators (c = 8, k = 2)";
+  let c = 8 and k = 2 in
+  let ns = if !quick then [ 32; 128 ] else [ 32; 64; 128; 256; 512 ] in
+  let t =
+    Table.create
+      [ "n"; "mediated steps"; "unmediated steps"; "penalty"; "both correct" ]
+  in
+  List.iter
+    (fun n ->
+      let spec = { Topology.n; c; k } in
+      let trials = trials ~full:5 in
+      let correct = ref true in
+      let steps mediated base_seed =
+        median_of ~trials ~base_seed (fun seed ->
+            let assignment = Topology.shared_core (Rng.create seed) spec in
+            let values = Array.init n (fun i -> i) in
+            let res =
+              Cogcomp.run ~mediated ~monoid:Aggregate.sum ~values ~source:0
+                ~assignment ~k ~rng:(Rng.create (seed + 7)) ()
+            in
+            if res.Cogcomp.root_value <> Some (n * (n - 1) / 2) then correct := false;
+            res.Cogcomp.phase4_steps)
+      in
+      let med = steps true (23_000 + n) in
+      let unmed = steps false (24_000 + n) in
+      Table.add_row t
+        [
+          string_of_int n;
+          fmt_f med;
+          fmt_f unmed;
+          fmt_f2 (unmed /. Float.max 1.0 med);
+          string_of_bool !correct;
+        ])
+    ns;
+  Table.print t;
+  note "claim (§5): without the mediator serializing each channel, ready senders";
+  note "from different clusters contend; correctness is preserved (the receiver";
+  note "filters by cluster) but the drain pays a contention penalty that grows";
+  note "with the number of co-channel clusters"
+
+(* E19: message size — §5 discussion: associative aggregation needs only a
+   constant-size digest per message, vs forwarding whole value lists. *)
+let e19 () =
+  header "E19" "Message size: digest vs raw-forwarding payloads (c = 10, k = 3; §5)";
+  let c = 10 and k = 3 in
+  let ns = if !quick then [ 32; 128 ] else [ 32; 64; 128; 256; 512 ] in
+  let t =
+    Table.create
+      [ "n"; "digest max"; "digest total"; "multiset max"; "multiset total" ]
+  in
+  List.iter
+    (fun n ->
+      let spec = { Topology.n; c; k } in
+      let assignment = Topology.shared_plus_random (Rng.create (25_000 + n)) spec in
+      let digest =
+        Cogcomp.run ~measure:(fun _ -> 1) ~monoid:Aggregate.sum
+          ~values:(Array.init n (fun i -> i))
+          ~source:0 ~assignment ~k ~rng:(Rng.create (26_000 + n)) ()
+      in
+      let raw =
+        Cogcomp.run ~measure:List.length ~monoid:Aggregate.multiset
+          ~values:(Array.init n (fun i -> [ i ]))
+          ~source:0 ~assignment ~k ~rng:(Rng.create (27_000 + n)) ()
+      in
+      Table.add_row t
+        [
+          string_of_int n;
+          string_of_int digest.Cogcomp.max_payload;
+          string_of_int digest.Cogcomp.total_payload;
+          string_of_int raw.Cogcomp.max_payload;
+          string_of_int raw.Cogcomp.total_payload;
+        ])
+    ns;
+  Table.print t;
+  note "claim (§5): with an associative function each message carries O(1) digests";
+  note "(polylog bits), while raw forwarding makes the root's children carry whole";
+  note "subtrees — Theta(n) values in the worst case, Theta(n log n)-ish in total"
+
+module Adversary = Crn_channel.Adversary
+
+(* E20: Theorem 17 — the dynamic adversary stalls predictable algorithms
+   forever; secret randomness escapes. *)
+let e20 () =
+  header "E20" "Theorem 17: dynamic adversary vs predictable algorithms (n = 16, c = 8, k = 3)";
+  let n = 16 and c = 8 and k = 3 in
+  let spec = { Topology.n; c; k } in
+  let horizon = if !quick then 2_000 else 20_000 in
+  let t = Table.create [ "victim"; "slots run"; "informed"; "completed" ] in
+  let report name (r : Cogcast.result) =
+    Table.add_row t
+      [
+        name;
+        string_of_int r.Cogcast.slots_run;
+        Printf.sprintf "%d/%d" r.Cogcast.informed_count n;
+        (match r.Cogcast.completed_at with Some s -> string_of_int s | None -> "never");
+      ]
+  in
+  (* Leaked-seed COGCAST: the adversary replays the victim's own stream. *)
+  let seed = 2025 in
+  let d_leak =
+    Adversary.isolate_source ~spec ~source:0
+      ~predict_source_label:(Cogcast.label_oracle ~seed ~n ~c ~node:0)
+  in
+  report "COGCAST, leaked seed"
+    (Cogcast.run ~source:0 ~availability:d_leak ~rng:(Rng.create seed)
+       ~max_slots:horizon ());
+  (* A deterministic label-0 schedule. *)
+  let d_det =
+    Adversary.isolate_source ~spec ~source:0 ~predict_source_label:(fun ~slot:_ -> 0)
+  in
+  let informed = Array.make n false in
+  informed.(0) <- true;
+  let count = ref 1 in
+  let nodes =
+    Array.init n (fun v ->
+        Crn_radio.Engine.node ~id:v
+          ~decide:(fun ~slot:_ ->
+            if v = 0 then Crn_radio.Action.broadcast ~label:0 ()
+            else Crn_radio.Action.listen ~label:0)
+          ~feedback:(fun ~slot:_ -> function
+            | Crn_radio.Action.Heard _ ->
+                if not informed.(v) then begin
+                  informed.(v) <- true;
+                  incr count
+                end
+            | _ -> ()))
+  in
+  ignore
+    (Crn_radio.Engine.run ~availability:d_det ~rng:(Rng.create 5) ~nodes
+       ~max_slots:horizon ());
+  Table.add_row t
+    [
+      "fixed-label schedule";
+      string_of_int horizon;
+      Printf.sprintf "%d/%d" !count n;
+      "never";
+    ];
+  (* Secret-seed COGCAST against the same adversary (its oracle replays the
+     wrong stream). *)
+  let d_secret =
+    Adversary.isolate_source ~spec ~source:0
+      ~predict_source_label:(Cogcast.label_oracle ~seed ~n ~c ~node:0)
+  in
+  report "COGCAST, secret seed"
+    (Cogcast.run ~source:0 ~availability:d_secret ~rng:(Rng.create 31337)
+       ~max_slots:horizon ());
+  Table.print t;
+  note "claim (Thm 17): with k < c the availability can conspire against any";
+  note "algorithm whose choices it can predict — determinism or leaked seeds mean";
+  note "the source stays isolated forever; fresh secret randomness completes fast"
+
+module Metrics = Crn_radio.Metrics
+module Broadcast_baseline = Crn_rendezvous.Broadcast_baseline
+
+(* E21 (library extension, not a paper claim): the energy side of the
+   time/energy trade — the epidemic finishes much sooner but transmits far
+   more per slot than the source-only baseline. *)
+let e21 () =
+  header "E21" "Telemetry: transmissions & awake-slots, COGCAST vs rendezvous baseline";
+  let k = 2 in
+  let ns = if !quick then [ 64 ] else [ 64; 256; 1024 ] in
+  let c = 16 in
+  let t =
+    Table.create
+      [ "n"; "protocol"; "slots"; "total tx"; "tx/node"; "awake/node" ]
+  in
+  List.iter
+    (fun n ->
+      let spec = { Topology.n; c; k } in
+      let assignment = Topology.shared_core (Rng.create (28_000 + n)) spec in
+      let m = Metrics.create n in
+      let r =
+        Cogcast.run_static ~metrics:m ~source:0 ~assignment ~k
+          ~rng:(Rng.create (28_100 + n)) ()
+      in
+      let slots = Option.value ~default:r.Cogcast.slots_run r.Cogcast.completed_at in
+      Table.add_row t
+        [
+          string_of_int n;
+          "COGCAST";
+          string_of_int slots;
+          string_of_int (Metrics.total_transmissions m);
+          fmt_f2 (float_of_int (Metrics.total_transmissions m) /. float_of_int n);
+          fmt_f2 (float_of_int (Metrics.total_awake m) /. float_of_int n);
+        ];
+      let m2 = Metrics.create n in
+      let r2 =
+        Broadcast_baseline.run_static ~metrics:m2 ~source:0 ~assignment ~k
+          ~rng:(Rng.create (28_200 + n)) ()
+      in
+      let slots2 =
+        Option.value ~default:r2.Broadcast_baseline.slots_run
+          r2.Broadcast_baseline.completed_at
+      in
+      Table.add_row t
+        [
+          string_of_int n;
+          "rendezvous";
+          string_of_int slots2;
+          string_of_int (Metrics.total_transmissions m2);
+          fmt_f2 (float_of_int (Metrics.total_transmissions m2) /. float_of_int n);
+          fmt_f2 (float_of_int (Metrics.total_awake m2) /. float_of_int n);
+        ])
+    ns;
+  Table.print t;
+  note "not a paper claim — telemetry exposed by the library: the epidemic's speed";
+  note "is bought with many concurrent transmitters (every informed node talks each";
+  note "slot), while the baseline transmits from the source only but stays on the";
+  note "air ~c/speedup times longer. awake slots (listening cost) favor COGCAST."
+
+(* E22: footnote 4 end-to-end — COGCAST executed over decay-backoff
+   contention sessions on the raw collision radio; overhead in raw rounds
+   per abstract slot should be O(log² n) with a small constant. *)
+let e22 () =
+  header "E22" "COGCAST on the raw radio via decay sessions (footnote 4, end-to-end)";
+  let c = 8 and k = 2 in
+  let ns = if !quick then [ 16; 64 ] else [ 16; 32; 64; 128; 256 ] in
+  let t =
+    Table.create
+      [ "n"; "abstract slots"; "raw rounds"; "rounds/slot"; "4(lg n + 1)^2"; "failed sessions" ]
+  in
+  List.iter
+    (fun n ->
+      let spec = { Topology.n; c; k } in
+      let trials = trials ~full:5 in
+      let slots = ref 0 and rounds = ref 0 and failed = ref 0 in
+      for i = 0 to trials - 1 do
+        let assignment = Topology.shared_plus_random (Rng.create (29_000 + n + i)) spec in
+        let max_slots = 8 * Complexity.cogcast_slots ~n ~c ~k () in
+        let r, outcome =
+          Cogcast.run_emulated ~source:0
+            ~availability:(Dynamic.static assignment)
+            ~rng:(Rng.create (29_100 + n + i))
+            ~max_slots ()
+        in
+        slots := !slots + r.Cogcast.slots_run;
+        rounds := !rounds + outcome.Crn_radio.Emulation.raw_rounds;
+        failed := !failed + outcome.Crn_radio.Emulation.failed_sessions
+      done;
+      let ft = float_of_int trials in
+      Table.add_row t
+        [
+          string_of_int n;
+          fmt_f (float_of_int !slots /. ft);
+          fmt_f (float_of_int !rounds /. ft);
+          fmt_f2 (float_of_int !rounds /. float_of_int (max 1 !slots));
+          string_of_int (Crn_radio.Backoff.expected_rounds_bound n);
+          string_of_int !failed;
+        ])
+    ns;
+  Table.print t;
+  note "claim (footnote 4): the one-winner model costs O(log^2 n) raw rounds per";
+  note "abstract slot; measured per-slot overhead grows logarithmically and stays";
+  note "far below the worst-case budget, with no failed contention sessions";
+  (* And the full aggregation stack, all four phases on the raw radio. *)
+  let n = 32 in
+  let assignment =
+    Topology.shared_plus_random (Rng.create 29_500) { Topology.n; c; k }
+  in
+  let values = Array.init n (fun i -> i) in
+  let res, raw_rounds =
+    Cogcomp.run_emulated ~monoid:Aggregate.sum ~values ~source:0 ~assignment ~k
+      ~rng:(Rng.create 29_501) ()
+  in
+  note "COGCOMP end-to-end on the raw radio (n=32): complete=%b, sum %s, %d abstract"
+    res.Crn_core.Cogcomp.complete
+    (match res.Crn_core.Cogcomp.root_value with
+    | Some v -> string_of_int v
+    | None -> "-")
+    res.Crn_core.Cogcomp.total_slots;
+  note "slots realized in %d raw rounds (%.2f rounds/slot)" raw_rounds
+    (float_of_int raw_rounds /. float_of_int (max 1 res.Crn_core.Cogcomp.total_slots))

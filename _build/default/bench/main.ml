@@ -1,0 +1,65 @@
+(* Experiment harness: regenerates every quantitative claim of the paper as
+   a table or series (experiments E1-E15 in DESIGN.md / EXPERIMENTS.md),
+   plus Bechamel micro-benchmarks of the simulator kernels.
+
+   Usage:
+     dune exec bench/main.exe                 (full run, all experiments)
+     dune exec bench/main.exe -- --quick      (trimmed sweeps, seconds)
+     dune exec bench/main.exe -- E1 E8        (selected experiments)
+     dune exec bench/main.exe -- --no-micro   (skip Bechamel section)
+*)
+
+let experiments =
+  [
+    ("E1", Exp_broadcast.e1);
+    ("E2", Exp_broadcast.e2);
+    ("E3", Exp_broadcast.e3);
+    ("E4", Exp_baselines.e4);
+    ("E5", Exp_broadcast.e5);
+    ("E6", Exp_cogcomp.e6);
+    ("E7", Exp_baselines.e7);
+    ("E8", Exp_games.e8);
+    ("E9", Exp_games.e9);
+    ("E10", Exp_baselines.e10);
+    ("E11", Exp_broadcast.e11);
+    ("E12", Exp_misc.e12);
+    ("E13", Exp_misc.e13);
+    ("E14", Exp_cogcomp.e14);
+    ("E15", Exp_games.e15);
+    ("E16", Exp_extensions.e16);
+    ("E17", Exp_extensions.e17);
+    ("E18", Exp_extensions.e18);
+    ("E19", Exp_extensions.e19);
+    ("E20", Exp_extensions.e20);
+    ("E21", Exp_extensions.e21);
+    ("E22", Exp_extensions.e22);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let flags, selected = List.partition (fun a -> String.length a > 0 && a.[0] = '-') args in
+  let micro = not (List.mem "--no-micro" flags) in
+  if List.mem "--quick" flags then Bench_util.quick := true;
+  let selected = List.map String.uppercase_ascii selected in
+  let to_run =
+    if selected = [] then experiments
+    else
+      List.filter (fun (id, _) -> List.mem id selected) experiments
+  in
+  if to_run = [] then begin
+    Printf.eprintf "unknown experiment id(s); known: %s\n"
+      (String.concat " " (List.map fst experiments));
+    exit 1
+  end;
+  print_endline "Efficient Communication in Cognitive Radio Networks (PODC'15)";
+  print_endline "reproduction harness — slot counts are the paper's own unit.";
+  if !Bench_util.quick then print_endline "(quick mode: trimmed sweeps and trial counts)";
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (id, run) ->
+      let t = Unix.gettimeofday () in
+      run ();
+      Printf.printf "  [%s done in %.1fs]\n%!" id (Unix.gettimeofday () -. t))
+    to_run;
+  if micro && selected = [] then Micro.run ();
+  Printf.printf "\nall experiments done in %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,176 @@
+(* Bechamel micro-benchmarks: wall-clock throughput of the simulator kernels
+   that every experiment rests on — one Test.make per experiment family. *)
+
+open Bechamel
+open Toolkit
+module Rng = Crn_prng.Rng
+module Topology = Crn_channel.Topology
+module Bitset = Crn_channel.Bitset
+module Cogcast = Crn_core.Cogcast
+module Cogcomp = Crn_core.Cogcomp
+module Aggregate = Crn_core.Aggregate
+module Backoff = Crn_radio.Backoff
+module Hitting_game = Crn_games.Hitting_game
+module Players = Crn_games.Players
+
+let spec = { Topology.n = 64; c = 16; k = 4 }
+
+let bench_rng =
+  Test.make ~name:"rng/draws-1k"
+    (Staged.stage (fun () ->
+         let rng = Rng.create 1 in
+         let acc = ref 0 in
+         for _ = 1 to 1000 do
+           acc := !acc + Rng.int rng 16
+         done;
+         !acc))
+
+let bench_bitset =
+  Test.make ~name:"channel/bitset-overlap-1k"
+    (Staged.stage (fun () ->
+         let a = Bitset.of_array 512 (Array.init 64 (fun i -> i * 3)) in
+         let b = Bitset.of_array 512 (Array.init 64 (fun i -> i * 5)) in
+         let acc = ref 0 in
+         for _ = 1 to 1000 do
+           acc := !acc + Bitset.inter_cardinal a b
+         done;
+         !acc))
+
+let bench_topology =
+  Test.make ~name:"channel/shared-core-gen"
+    (Staged.stage (fun () -> Topology.shared_core (Rng.create 2) spec))
+
+(* E1-E5 kernel: one COGCAST broadcast on a 64-node network. *)
+let bench_cogcast =
+  Test.make ~name:"broadcast/cogcast-n64"
+    (Staged.stage (fun () ->
+         let rng = Rng.create 3 in
+         let assignment = Topology.shared_core rng spec in
+         Cogcast.run_static ~source:0 ~assignment ~k:4 ~rng ()))
+
+(* E6-E7 kernel: one full COGCOMP aggregation. *)
+let bench_cogcomp =
+  Test.make ~name:"aggregation/cogcomp-n64"
+    (Staged.stage (fun () ->
+         let rng = Rng.create 4 in
+         let assignment = Topology.shared_core rng spec in
+         let values = Array.init 64 (fun i -> i) in
+         Cogcomp.run ~monoid:Aggregate.sum ~values ~source:0 ~assignment ~k:4 ~rng ()))
+
+(* E8 kernel: one bipartite hitting game. *)
+let bench_game =
+  Test.make ~name:"games/bipartite-c16k4"
+    (Staged.stage (fun () ->
+         let rng = Rng.create 5 in
+         Hitting_game.play_bipartite ~rng ~c:16 ~k:4
+           ~player:(Players.uniform rng ~c:16) ~max_rounds:100_000))
+
+(* E13 kernel: one decay backoff session. *)
+let bench_backoff =
+  Test.make ~name:"backoff/session-m64"
+    (Staged.stage (fun () ->
+         Backoff.session ~rng:(Rng.create 6) ~contenders:64 ~cap:10_000))
+
+(* E4/E7 kernel: the rendezvous baseline broadcast. *)
+let bench_baseline =
+  Test.make ~name:"baseline/rendezvous-broadcast-n64"
+    (Staged.stage (fun () ->
+         let rng = Rng.create 7 in
+         let assignment = Topology.shared_core rng spec in
+         Crn_rendezvous.Broadcast_baseline.run_static ~source:0 ~assignment ~k:4 ~rng ()))
+
+(* E10 kernel: the hop-together scan. *)
+let bench_scan =
+  Test.make ~name:"baseline/seq-scan-n16"
+    (Staged.stage (fun () ->
+         let a =
+           Topology.shared_core ~global_labels:true (Rng.create 8)
+             { Topology.n = 16; c = 32; k = 31 }
+         in
+         Crn_rendezvous.Seq_scan.run ~source:0 ~assignment:a ~rng:(Rng.create 9)
+           ~max_slots:10_000 ()))
+
+(* E12 kernel: one slot's worth of jamming-reduction availability. *)
+let bench_jamming_reduction =
+  Test.make ~name:"radio/jamming-reduction-slot"
+    (Staged.stage (fun () ->
+         let jammer =
+           Crn_radio.Jammer.random_per_node ~seed:10L ~budget:4 ~num_channels:16
+         in
+         let d =
+           Crn_radio.Jamming_reduction.availability_of_jammer ~num_nodes:16
+             ~num_channels:16 ~jammer ()
+         in
+         Crn_channel.Dynamic.at d 0))
+
+(* E15 kernel: a first-hit sample. *)
+let bench_first_hit =
+  Test.make ~name:"games/first-hit-c32"
+    (Staged.stage (fun () ->
+         let rng = Rng.create 11 in
+         Crn_games.First_hit.sample ~rng ~c:32 ~k:4
+           ~strategy:(Crn_games.First_hit.uniform_strategy rng ~c:32)))
+
+(* E22 kernel: COGCAST over raw-radio emulation. *)
+let bench_emulated =
+  Test.make ~name:"broadcast/cogcast-emulated-n32"
+    (Staged.stage (fun () ->
+         let rng = Rng.create 12 in
+         let assignment = Topology.shared_core rng { Topology.n = 32; c = 8; k = 4 } in
+         Cogcast.run_emulated ~source:0
+           ~availability:(Crn_channel.Dynamic.static assignment) ~rng
+           ~max_slots:2_000 ()))
+
+let tests =
+  [
+    bench_rng;
+    bench_bitset;
+    bench_topology;
+    bench_cogcast;
+    bench_cogcomp;
+    bench_game;
+    bench_backoff;
+    bench_baseline;
+    bench_scan;
+    bench_jamming_reduction;
+    bench_first_hit;
+    bench_emulated;
+  ]
+
+let run () =
+  print_newline ();
+  print_endline "==============================================";
+  print_endline "[MICRO] Bechamel kernel throughput (monotonic clock)";
+  print_endline "==============================================";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let t = Crn_stats.Table.create [ "kernel"; "time/run"; "r^2" ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name raw ->
+          let est = Analyze.one ols (Instance.monotonic_clock) raw in
+          ignore raw;
+          let time_ns =
+            match Analyze.OLS.estimates est with
+            | Some [ v ] -> v
+            | _ -> Float.nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square est with Some r -> r | None -> Float.nan
+          in
+          let pretty =
+            if time_ns > 1e6 then Printf.sprintf "%.2f ms" (time_ns /. 1e6)
+            else if time_ns > 1e3 then Printf.sprintf "%.2f us" (time_ns /. 1e3)
+            else Printf.sprintf "%.0f ns" time_ns
+          in
+          Crn_stats.Table.add_row t [ name; pretty; Printf.sprintf "%.4f" r2 ])
+        results)
+    tests;
+  Crn_stats.Table.print t

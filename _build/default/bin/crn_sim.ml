@@ -1,0 +1,374 @@
+(* crn_sim: command-line front end for the cognitive radio network simulator.
+
+   Subcommands:
+     broadcast  — run COGCAST and report completion statistics
+     aggregate  — run COGCOMP (and optionally the rendezvous baseline)
+     game       — play the §6 hitting games against the closed-form bounds
+     backoff    — measure the decay-backoff realization of the slot model
+     jam        — broadcast under an n-uniform jammer (Theorem 18 reduction)
+
+   Every run is reproducible from --seed. *)
+
+open Cmdliner
+module Rng = Crn_prng.Rng
+module Topology = Crn_channel.Topology
+module Summary = Crn_stats.Summary
+module Cogcast = Crn_core.Cogcast
+module Cogcomp = Crn_core.Cogcomp
+module Aggregate = Crn_core.Aggregate
+module Complexity = Crn_core.Complexity
+
+(* ---- shared arguments ---- *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let trials_arg =
+  Arg.(value & opt int 9 & info [ "trials" ] ~docv:"T" ~doc:"Independent trials.")
+
+let n_arg = Arg.(value & opt int 64 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let c_arg =
+  Arg.(value & opt int 16 & info [ "c"; "channels" ] ~docv:"C" ~doc:"Channels per node.")
+
+let k_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "k"; "overlap" ] ~docv:"K" ~doc:"Guaranteed pairwise channel overlap.")
+
+let topology_conv =
+  let parse s =
+    match
+      List.find_opt (fun kd -> Topology.kind_name kd = s) Topology.all_kinds
+    with
+    | Some kd -> Ok kd
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown topology %S (try: %s)" s
+               (String.concat ", " (List.map Topology.kind_name Topology.all_kinds))))
+  in
+  Arg.conv (parse, fun fmt kd -> Format.pp_print_string fmt (Topology.kind_name kd))
+
+let topology_arg =
+  Arg.(
+    value
+    & opt topology_conv Topology.Shared_plus_random
+    & info [ "topology" ] ~docv:"KIND"
+        ~doc:
+          "Overlap pattern: shared-core, identical, shared+random, \
+           pairwise-private or clustered.")
+
+let check_params n c k =
+  if n < 1 then `Error (false, "n must be at least 1")
+  else if k < 1 || k > c then `Error (false, "need 1 <= k <= c")
+  else `Ok ()
+
+(* ---- broadcast ---- *)
+
+let broadcast_cmd =
+  let run n c k topology seed trials =
+    match check_params n c k with
+    | `Error _ as e -> e
+    | `Ok () ->
+        let spec = { Topology.n; c; k } in
+        let samples =
+          Array.init trials (fun i ->
+              let rng = Rng.create (seed + i) in
+              let assignment = Topology.generate topology rng spec in
+              let r = Cogcast.run_static ~source:0 ~assignment ~k ~rng () in
+              match r.Cogcast.completed_at with
+              | Some s -> float_of_int s
+              | None -> float_of_int r.Cogcast.slots_run)
+        in
+        let s = Summary.of_floats samples in
+        Printf.printf "COGCAST  n=%d c=%d k=%d topology=%s trials=%d\n" n c k
+          (Topology.kind_name topology) trials;
+        Printf.printf "  completion slots: %s\n" (Summary.to_string s);
+        Printf.printf "  Theorem 4 shape (unit constant): %.1f; budget used: %d\n"
+          (Complexity.cogcast ~factor:1.0 ~n ~c ~k ())
+          (Complexity.cogcast_slots ~n ~c ~k ());
+        `Ok ()
+  in
+  let term =
+    Term.(ret (const run $ n_arg $ c_arg $ k_arg $ topology_arg $ seed_arg $ trials_arg))
+  in
+  Cmd.v (Cmd.info "broadcast" ~doc:"Run COGCAST local broadcast (Theorem 4).") term
+
+(* ---- aggregate ---- *)
+
+let aggregate_cmd =
+  let run n c k topology seed trials baseline =
+    match check_params n c k with
+    | `Error _ as e -> e
+    | `Ok () ->
+        let spec = { Topology.n; c; k } in
+        let totals = Array.make trials 0.0 in
+        let ok = ref true in
+        for i = 0 to trials - 1 do
+          let rng = Rng.create (seed + i) in
+          let assignment = Topology.generate topology rng spec in
+          let values = Array.init n (fun v -> v) in
+          let r =
+            Cogcomp.run ~monoid:Aggregate.sum ~values ~source:0 ~assignment ~k ~rng ()
+          in
+          totals.(i) <- float_of_int r.Cogcomp.total_slots;
+          if r.Cogcomp.root_value <> Some (n * (n - 1) / 2) then ok := false
+        done;
+        Printf.printf "COGCOMP  n=%d c=%d k=%d topology=%s trials=%d\n" n c k
+          (Topology.kind_name topology) trials;
+        Printf.printf "  total slots: %s\n" (Summary.to_string (Summary.of_floats totals));
+        Printf.printf "  all runs aggregated the exact sum: %b\n" !ok;
+        if baseline then begin
+          let base = Array.make trials 0.0 in
+          for i = 0 to trials - 1 do
+            let rng = Rng.create (seed + 1000 + i) in
+            let assignment = Topology.generate topology rng spec in
+            let values = Array.init n (fun v -> v) in
+            let r =
+              Crn_rendezvous.Aggregation_baseline.run_static ~ack:false
+                ~monoid:Aggregate.sum ~values ~source:0 ~assignment ~k ~rng ()
+            in
+            base.(i) <- float_of_int r.Crn_rendezvous.Aggregation_baseline.slots_run
+          done;
+          Printf.printf "  rendezvous baseline (honest): %s\n"
+            (Summary.to_string (Summary.of_floats base))
+        end;
+        `Ok ()
+  in
+  let baseline_arg =
+    Arg.(value & flag & info [ "baseline" ] ~doc:"Also run the rendezvous baseline.")
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ n_arg $ c_arg $ k_arg $ topology_arg $ seed_arg $ trials_arg
+       $ baseline_arg))
+  in
+  Cmd.v (Cmd.info "aggregate" ~doc:"Run COGCOMP data aggregation (Theorem 10).") term
+
+(* ---- game ---- *)
+
+let game_cmd =
+  let run c k seed trials complete =
+    if k < 1 || k > c then `Error (false, "need 1 <= k <= c")
+    else begin
+      let rng = Rng.create seed in
+      let game ~rng ~player ~max_rounds =
+        if complete then Crn_games.Hitting_game.play_complete ~rng ~c ~player ~max_rounds
+        else Crn_games.Hitting_game.play_bipartite ~rng ~c ~k ~player ~max_rounds
+      in
+      let median make_player =
+        Crn_games.Hitting_game.median_rounds ~rng ~trials ~make_player ~game
+          ~max_rounds:(c * c * 200)
+      in
+      Printf.printf "%s hitting game  c=%d%s trials=%d\n"
+        (if complete then "c-complete" else "(c,k)-bipartite")
+        c
+        (if complete then "" else Printf.sprintf " k=%d" k)
+        trials;
+      Printf.printf "  uniform player median rounds:             %.1f\n"
+        (median (fun rng -> Crn_games.Players.uniform rng ~c));
+      Printf.printf "  without-replacement player median rounds: %.1f\n"
+        (median (fun rng -> Crn_games.Players.without_replacement rng ~c));
+      Printf.printf "  lower bound (%s): %.1f\n"
+        (if complete then "Lemma 14: c/3" else "Lemma 11: c^2/(8k)")
+        (if complete then Complexity.complete_game_lower_bound ~c
+         else Complexity.bipartite_game_lower_bound ~c ~k ());
+      `Ok ()
+    end
+  in
+  let complete_arg =
+    Arg.(value & flag & info [ "complete" ] ~doc:"Play the c-complete variant.")
+  in
+  let term =
+    Term.(ret (const run $ c_arg $ k_arg $ seed_arg $ trials_arg $ complete_arg))
+  in
+  Cmd.v (Cmd.info "game" ~doc:"Play the §6 bipartite hitting games.") term
+
+(* ---- backoff ---- *)
+
+let backoff_cmd =
+  let run contenders seed trials =
+    if contenders < 1 then `Error (false, "need at least one contender")
+    else begin
+      let rng = Rng.create seed in
+      let samples = Array.make trials 0.0 in
+      let failures = ref 0 in
+      for i = 0 to trials - 1 do
+        match
+          Crn_radio.Backoff.session ~rng ~contenders ~cap:1_000_000
+        with
+        | Some { Crn_radio.Backoff.rounds; _ } -> samples.(i) <- float_of_int rounds
+        | None -> incr failures
+      done;
+      Printf.printf "decay backoff  m=%d contenders, trials=%d\n" contenders trials;
+      Printf.printf "  raw rounds per one-winner slot: %s\n"
+        (Summary.to_string (Summary.of_floats samples));
+      Printf.printf "  O(log^2 m) budget: %d; failures: %d\n"
+        (Crn_radio.Backoff.expected_rounds_bound contenders)
+        !failures;
+      `Ok ()
+    end
+  in
+  let contenders_arg =
+    Arg.(value & opt int 64 & info [ "m"; "contenders" ] ~docv:"M" ~doc:"Contenders in the session.")
+  in
+  let term = Term.(ret (const run $ contenders_arg $ seed_arg $ trials_arg)) in
+  Cmd.v
+    (Cmd.info "backoff" ~doc:"Measure the decay-backoff contention layer (footnote 4).")
+    term
+
+(* ---- jam ---- *)
+
+let jam_cmd =
+  let run n c budget seed trials =
+    if budget < 0 || 2 * budget >= c then
+      `Error (false, "need jamming budget < c/2 (Theorem 18)")
+    else begin
+      let jammer =
+        Crn_radio.Jammer.random_per_node ~seed:(Int64.of_int seed) ~budget
+          ~num_channels:c
+      in
+      let k = Crn_radio.Jamming_reduction.overlap_guarantee ~num_channels:c ~budget in
+      let samples =
+        Array.init trials (fun i ->
+            let availability =
+              Crn_radio.Jamming_reduction.availability_of_jammer
+                ~shuffle_labels:(Rng.create (seed + i)) ~num_nodes:n ~num_channels:c
+                ~jammer ()
+            in
+            let max_slots = 8 * Complexity.cogcast_slots ~n ~c:(c - budget) ~k () in
+            let r =
+              Cogcast.run ~source:0 ~availability ~rng:(Rng.create (seed + 100 + i))
+                ~max_slots ()
+            in
+            match r.Cogcast.completed_at with
+            | Some s -> float_of_int s
+            | None -> float_of_int r.Cogcast.slots_run)
+      in
+      Printf.printf "jammed broadcast  n=%d C=%d budget=%d (worst overlap %d)\n" n c
+        budget k;
+      Printf.printf "  completion slots: %s\n"
+        (Summary.to_string (Summary.of_floats samples));
+      `Ok ()
+    end
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "budget" ] ~docv:"B" ~doc:"Channels jammed per node per slot.")
+  in
+  let term =
+    Term.(ret (const run $ n_arg $ c_arg $ budget_arg $ seed_arg $ trials_arg))
+  in
+  Cmd.v
+    (Cmd.info "jam" ~doc:"Broadcast under an n-uniform jammer (Theorem 18 reduction).")
+    term
+
+(* ---- sweep ---- *)
+
+let sweep_cmd =
+  let run param values n c k topology seed trials csv =
+    let values =
+      List.filter_map int_of_string_opt (String.split_on_char ',' values)
+    in
+    if values = [] then `Error (false, "need --values as a comma-separated int list")
+    else begin
+      let table = Crn_stats.Table.create [ param; "median slots"; "p90 slots" ] in
+      let pts = ref [] in
+      let bad = ref None in
+      List.iter
+        (fun v ->
+          let n, c, k =
+            match param with
+            | "n" -> (v, c, k)
+            | "c" -> (n, v, k)
+            | "k" -> (n, c, v)
+            | _ -> (n, c, k)
+          in
+          if n < 1 || k < 1 || k > c then
+            bad := Some (Printf.sprintf "invalid point %s=%d (n=%d c=%d k=%d)" param v n c k)
+          else begin
+            let spec = { Topology.n; c; k } in
+            let samples =
+              Array.init trials (fun i ->
+                  let rng = Rng.create (seed + i) in
+                  let assignment = Topology.generate topology rng spec in
+                  let r = Cogcast.run_static ~source:0 ~assignment ~k ~rng () in
+                  match r.Cogcast.completed_at with
+                  | Some s -> float_of_int s
+                  | None -> float_of_int r.Cogcast.slots_run)
+            in
+            let s = Summary.of_floats samples in
+            Crn_stats.Table.add_row table
+              [
+                string_of_int v;
+                Printf.sprintf "%.1f" s.Summary.median;
+                Printf.sprintf "%.1f" s.Summary.p90;
+              ];
+            pts := (float_of_int v, s.Summary.median) :: !pts
+          end)
+        values;
+      match !bad with
+      | Some msg -> `Error (false, msg)
+      | None ->
+          if not (List.mem param [ "n"; "c"; "k" ]) then
+            `Error (false, "param must be one of n, c, k")
+          else begin
+            Crn_stats.Table.print
+              ~title:(Printf.sprintf "COGCAST sweep over %s (topology %s)" param
+                        (Topology.kind_name topology))
+              table;
+            (if List.length !pts >= 2 then
+               try
+                 let fit = Crn_stats.Fit.log_log (Array.of_list (List.rev !pts)) in
+                 Printf.printf "  log-log slope vs %s: %.2f (r2=%.3f)\n" param
+                   fit.Crn_stats.Fit.slope fit.Crn_stats.Fit.r2
+               with Invalid_argument _ -> ());
+            (match csv with
+            | Some path ->
+                Crn_stats.Csv.write_table ~path table;
+                Printf.printf "  wrote %s\n" path
+            | None -> ());
+            `Ok ()
+          end
+    end
+  in
+  let param_arg =
+    Arg.(
+      value & opt string "n"
+      & info [ "param" ] ~docv:"P" ~doc:"Swept parameter: n, c or k.")
+  in
+  let values_arg =
+    Arg.(
+      value
+      & opt string "32,64,128,256"
+      & info [ "values" ] ~docv:"V,V,..." ~doc:"Comma-separated values for the swept parameter.")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the table as CSV to $(docv).")
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ param_arg $ values_arg $ n_arg $ c_arg $ k_arg $ topology_arg
+       $ seed_arg $ trials_arg $ csv_arg))
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep n, c or k and report COGCAST completion scaling.")
+    term
+
+let () =
+  let info =
+    Cmd.info "crn_sim" ~version:"1.0.0"
+      ~doc:"Cognitive radio network protocols from Gilbert et al., PODC 2015"
+  in
+  let group =
+    Cmd.group info
+      [ broadcast_cmd; aggregate_cmd; game_cmd; backoff_cmd; jam_cmd; sweep_cmd ]
+  in
+  exit (Cmd.eval group)

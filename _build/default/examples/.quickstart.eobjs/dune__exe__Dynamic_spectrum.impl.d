@@ -1,0 +1,1 @@
+examples/dynamic_spectrum.ml: Array Crn_channel Crn_core Crn_prng Crn_stats Float List Printf

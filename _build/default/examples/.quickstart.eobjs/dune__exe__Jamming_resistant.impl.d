@@ -1,0 +1,1 @@
+examples/jamming_resistant.ml: Crn_core Crn_prng Crn_radio List Printf

@@ -1,0 +1,1 @@
+examples/jamming_resistant.mli:

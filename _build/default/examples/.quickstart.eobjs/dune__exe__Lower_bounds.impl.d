@@ -1,0 +1,1 @@
+examples/lower_bounds.ml: Crn_channel Crn_core Crn_games Crn_prng List Printf

@@ -1,0 +1,1 @@
+examples/lower_bounds.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Crn_core List Printf

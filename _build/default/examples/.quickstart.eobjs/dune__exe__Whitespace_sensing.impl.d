@@ -1,0 +1,1 @@
+examples/whitespace_sensing.ml: Array Crn_channel Crn_core Crn_prng List Printf

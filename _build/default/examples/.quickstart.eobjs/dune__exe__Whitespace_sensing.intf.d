@@ -1,0 +1,1 @@
+examples/whitespace_sensing.mli:

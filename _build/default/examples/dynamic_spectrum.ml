@@ -1,0 +1,59 @@
+(* Dynamic spectrum (§7): primary users come and go, so the channels a
+   secondary device may use change from slot to slot. As long as every pair
+   of devices still overlaps on at least k channels in every slot, COGCAST's
+   Theorem 4 guarantee is unchanged — the algorithm never relies on a static
+   assignment. The same is *impossible* to guarantee deterministically
+   (Theorem 17), which is the paper's argument for randomization.
+
+   The example compares three regimes on the same spec:
+     static      — the classic model,
+     rotating    — channel meanings drift every slot (labels rotate),
+     reshuffled  — a fresh adversarial assignment every slot.
+
+   Run with:  dune exec examples/dynamic_spectrum.exe *)
+
+module Rng = Crn_prng.Rng
+module Topology = Crn_channel.Topology
+module Dynamic = Crn_channel.Dynamic
+module Cogcast = Crn_core.Cogcast
+module Complexity = Crn_core.Complexity
+module Summary = Crn_stats.Summary
+
+let spec = { Topology.n = 48; c = 12; k = 3 }
+
+let completion availability seed =
+  let { Topology.n; c; k } = spec in
+  let max_slots = Complexity.cogcast_slots ~n ~c ~k () in
+  let r = Cogcast.run ~source:0 ~availability ~rng:(Rng.create seed) ~max_slots () in
+  match r.Cogcast.completed_at with
+  | Some s -> float_of_int s
+  | None -> Float.of_int r.Cogcast.slots_run
+
+let () =
+  let { Topology.n; c; k } = spec in
+  Printf.printf "dynamic spectrum: n=%d c=%d k=%d, budget %d slots (Theorem 4)\n\n" n c
+    k
+    (Complexity.cogcast_slots ~n ~c ~k ());
+  let trials = 15 in
+  let regimes =
+    [
+      ( "static",
+        fun i -> Dynamic.static (Topology.shared_core (Rng.create (100 + i)) spec) );
+      ( "rotating labels",
+        fun i ->
+          Dynamic.rotating (Topology.shared_core (Rng.create (200 + i)) spec) );
+      ( "reshuffled/slot",
+        fun i -> Dynamic.reshuffled_shared_core ~seed:(Rng.create (300 + i)) spec );
+    ]
+  in
+  Printf.printf "%-16s %10s %10s %10s\n" "regime" "median" "p90" "max";
+  List.iter
+    (fun (name, make) ->
+      let samples = Array.init trials (fun i -> completion (make i) (400 + i)) in
+      let s = Summary.of_floats samples in
+      Printf.printf "%-16s %10.1f %10.1f %10.1f\n" name s.Summary.median s.Summary.p90
+        s.Summary.max)
+    regimes;
+  Printf.printf
+    "\nall three regimes complete within the same budget: COGCAST is oblivious to\n";
+  Printf.printf "the assignment's history, exactly as §7 argues.\n"

@@ -1,0 +1,60 @@
+(* Jamming-resistant broadcast (Theorem 18): a multi-channel network facing
+   an n-uniform adversary that can jam a different set of channels at every
+   node, every slot. Nodes sense jamming and treat the unjammed channels as
+   their per-slot availability — turning the jammed network into a legal
+   *dynamic* cognitive radio network, on which COGCAST runs unmodified.
+
+   The example pits COGCAST against three adversaries of increasing budget
+   and reports completion times next to the Theorem 4 guarantee computed at
+   the worst-case overlap c - 2k'.
+
+   Run with:  dune exec examples/jamming_resistant.exe *)
+
+module Rng = Crn_prng.Rng
+module Jammer = Crn_radio.Jammer
+module Jamming_reduction = Crn_radio.Jamming_reduction
+module Cogcast = Crn_core.Cogcast
+module Complexity = Crn_core.Complexity
+
+let n = 48
+let big_c = 32
+
+let run_under jammer =
+  let budget = Jammer.budget jammer in
+  let availability =
+    Jamming_reduction.availability_of_jammer ~shuffle_labels:(Rng.create 5)
+      ~num_nodes:n ~num_channels:big_c ~jammer ()
+  in
+  let k = Jamming_reduction.overlap_guarantee ~num_channels:big_c ~budget in
+  let c = big_c - budget in
+  let guarantee = Complexity.cogcast_slots ~n ~c ~k () in
+  let r =
+    Cogcast.run ~source:0 ~availability ~rng:(Rng.create 6)
+      ~max_slots:(8 * guarantee) ()
+  in
+  (r, k, guarantee)
+
+let () =
+  Printf.printf "jamming-resistant broadcast: n=%d nodes, C=%d channels\n\n" n big_c;
+  Printf.printf "%-18s %8s %14s %12s %16s\n" "adversary" "budget" "worst overlap"
+    "slots used" "Thm 4 guarantee";
+  List.iter
+    (fun jammer ->
+      let r, k, guarantee = run_under jammer in
+      let slots =
+        match r.Cogcast.completed_at with
+        | Some s -> string_of_int s
+        | None -> "FAILED"
+      in
+      Printf.printf "%-18s %8d %14d %12s %16d\n" (Jammer.name jammer)
+        (Jammer.budget jammer) k slots guarantee)
+    [
+      Jammer.random_per_node ~seed:11L ~budget:4 ~num_channels:big_c;
+      Jammer.random_per_node ~seed:12L ~budget:10 ~num_channels:big_c;
+      Jammer.sweep ~budget:15 ~num_channels:big_c;
+      Jammer.targeted_low ~budget:15;
+    ];
+  Printf.printf
+    "\nTheorem 18: any budget below C/2 = %d leaves pairwise overlap >= C - 2k' >= 2,\n"
+    (big_c / 2);
+  Printf.printf "so the dynamic-model COGCAST guarantee applies and broadcast completes.\n"

@@ -1,0 +1,1 @@
+lib/channel/adversary.ml: Array Assignment Dynamic Topology

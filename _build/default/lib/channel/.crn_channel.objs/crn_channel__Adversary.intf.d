@@ -1,0 +1,1 @@
+lib/channel/adversary.mli: Dynamic Topology

@@ -1,0 +1,1 @@
+lib/channel/assignment.ml: Array Bitset Crn_prng Format String

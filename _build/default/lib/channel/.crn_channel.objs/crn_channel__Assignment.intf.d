@@ -1,0 +1,1 @@
+lib/channel/assignment.mli: Bitset Crn_prng Format

@@ -1,0 +1,1 @@
+lib/channel/bitset.ml: Array Format List String

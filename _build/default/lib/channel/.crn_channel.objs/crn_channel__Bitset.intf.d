@@ -1,0 +1,1 @@
+lib/channel/bitset.mli: Format

@@ -1,0 +1,1 @@
+lib/channel/dynamic.ml: Array Assignment Crn_prng Hashtbl Int64 Topology

@@ -1,0 +1,1 @@
+lib/channel/dynamic.mli: Assignment Crn_prng Topology

@@ -1,0 +1,1 @@
+lib/channel/topology.ml: Array Assignment Crn_prng

@@ -1,0 +1,1 @@
+lib/channel/topology.mli: Assignment Crn_prng

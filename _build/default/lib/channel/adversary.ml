@@ -1,0 +1,40 @@
+let isolate_source ~spec ~source ~predict_source_label =
+  Topology.validate_spec spec;
+  let { Topology.n; c; k } = spec in
+  if k >= c then invalid_arg "Adversary.isolate_source: requires k < c";
+  if n < 2 then invalid_arg "Adversary.isolate_source: requires n >= 2";
+  if source < 0 || source >= n then
+    invalid_arg "Adversary.isolate_source: source out of range";
+  (* Channel plan: channels 0..c-1 form the set B shared by every non-source
+     node; channels c..c+c-1 are the source's private pool. The source holds
+     B's first k channels plus c-k private ones, arranged so that its
+     predicted label lands on a private channel. *)
+  let num_channels = 2 * c in
+  let non_source_row = Array.init c (fun i -> i) in
+  let view slot =
+    let target = predict_source_label ~slot in
+    if target < 0 || target >= c then
+      invalid_arg "Adversary.isolate_source: predicted label out of range";
+    (* Source row: fill private channels first, then place the k shared
+       channels in label positions other than [target]. *)
+    let row = Array.make c (-1) in
+    row.(target) <- c; (* a private channel *)
+    let next_private = ref (c + 1) in
+    let next_shared = ref 0 in
+    for label = 0 to c - 1 do
+      if label <> target then
+        if !next_shared < k then begin
+          row.(label) <- !next_shared;
+          incr next_shared
+        end
+        else begin
+          row.(label) <- !next_private;
+          incr next_private
+        end
+    done;
+    let rows =
+      Array.init n (fun v -> if v = source then row else Array.copy non_source_row)
+    in
+    Assignment.create ~num_channels ~local_to_global:rows
+  in
+  Dynamic.of_fun ~num_nodes:n ~channels_per_node:c view

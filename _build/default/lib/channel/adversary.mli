@@ -1,0 +1,30 @@
+(** The Theorem 17 adversary: in the *dynamic* model with [k < c], no
+    algorithm can guarantee local broadcast in finite time, because the
+    channel availability "can conspire to prevent communication".
+
+    This module builds that conspiracy constructively. Given an oracle that
+    predicts the label the source will tune to in each slot — available for
+    any deterministic algorithm, and for a randomized one whose seed leaked
+    — {!isolate_source} emits a per-slot assignment in which that label maps
+    to a channel no other node has, while every pair of nodes still overlaps
+    on at least [k] channels. The source then never shares a channel with
+    anyone, and broadcast never starts; see experiment E20.
+
+    Against a randomized algorithm with a *secret* seed the construction is
+    powerless (the prediction is wrong in most slots), which is exactly the
+    paper's case for randomization (§7, footnote 1). The leaked-seed oracle
+    for COGCAST lives next to the protocol it mirrors:
+    {!Crn_core.Cogcast.label_oracle}. *)
+
+val isolate_source :
+  spec:Topology.spec ->
+  source:int ->
+  predict_source_label:(slot:int -> int) ->
+  Dynamic.t
+(** [isolate_source ~spec ~source ~predict_source_label] is a dynamic
+    availability over [n] nodes with [c] channels each and pairwise overlap
+    exactly [k] in every slot, in which the channel behind the source's
+    predicted label is private to the source. Requires [k < c] (with
+    [k = c] the source's whole set is shared and isolation is impossible —
+    which is why Theorem 17 assumes [k < c]) and [n >= 2]. The oracle is
+    queried exactly once per slot, in increasing slot order. *)

@@ -1,0 +1,87 @@
+(* 62 usable bits per word keeps all word values non-negative OCaml ints. *)
+let bits_per_word = 62
+
+type t = { capacity : int; words : int array }
+
+let words_for capacity = (capacity + bits_per_word - 1) / bits_per_word
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
+  { capacity; words = Array.make (max 1 (words_for capacity)) 0 }
+
+let capacity t = t.capacity
+
+let copy t = { capacity = t.capacity; words = Array.copy t.words }
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of range"
+
+let set t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl b)
+
+let clear t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl b)
+
+let mem t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) land (1 lsl b) <> 0
+
+let popcount x =
+  let rec loop x acc = if x = 0 then acc else loop (x land (x - 1)) (acc + 1) in
+  loop x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let check_same a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset: capacity mismatch"
+
+let inter_cardinal a b =
+  check_same a b;
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount (a.words.(i) land b.words.(i))
+  done;
+  !acc
+
+let map2 f a b =
+  check_same a b;
+  { capacity = a.capacity; words = Array.map2 f a.words b.words }
+
+let union a b = map2 ( lor ) a b
+let inter a b = map2 ( land ) a b
+let diff a b = map2 (fun x y -> x land lnot y) a b
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let equal a b = a.capacity = b.capacity && a.words = b.words
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = t.words.(w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+      done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_array capacity members =
+  let t = create capacity in
+  Array.iter (set t) members;
+  t
+
+let to_array t = Array.of_list (elements t)
+
+let pp fmt t =
+  Format.fprintf fmt "{%s}" (String.concat "," (List.map string_of_int (elements t)))

@@ -1,0 +1,51 @@
+(** Fixed-capacity bitsets over channel identifiers [0 .. capacity-1].
+
+    Channel-set algebra (overlap cardinality in particular) is the inner loop
+    of assignment validation and of several topology generators, so sets are
+    packed 62 bits per word. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] is the empty set over [0 .. capacity-1]. *)
+
+val capacity : t -> int
+
+val copy : t -> t
+
+val set : t -> int -> unit
+(** [set t i] adds [i]; out-of-range indices raise [Invalid_argument]. *)
+
+val clear : t -> int -> unit
+
+val mem : t -> int -> bool
+
+val cardinal : t -> int
+
+val inter_cardinal : t -> t -> int
+(** [inter_cardinal a b] is [|a ∩ b|]; the sets must share a capacity. *)
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val is_empty : t -> bool
+
+val equal : t -> t -> bool
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate members in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val elements : t -> int list
+(** Members in increasing order. *)
+
+val of_array : int -> int array -> t
+(** [of_array capacity members]. *)
+
+val to_array : t -> int array
+
+val pp : Format.formatter -> t -> unit

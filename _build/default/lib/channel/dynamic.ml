@@ -1,0 +1,67 @@
+type t = {
+  num_nodes : int;
+  channels_per_node : int;
+  view : int -> Assignment.t;
+}
+
+let static a =
+  {
+    num_nodes = Assignment.num_nodes a;
+    channels_per_node = Assignment.channels_per_node a;
+    view = (fun _ -> a);
+  }
+
+let memoize f =
+  let cache = Hashtbl.create 64 in
+  fun slot ->
+    match Hashtbl.find_opt cache slot with
+    | Some a -> a
+    | None ->
+        let a = f slot in
+        Hashtbl.replace cache slot a;
+        a
+
+let of_fun ~num_nodes ~channels_per_node f =
+  let view =
+    memoize (fun slot ->
+        let a = f slot in
+        if Assignment.num_nodes a <> num_nodes
+           || Assignment.channels_per_node a <> channels_per_node
+        then invalid_arg "Dynamic.of_fun: assignment dimensions changed";
+        a)
+  in
+  { num_nodes; channels_per_node; view }
+
+let reshuffled_shared_core ~seed spec =
+  Topology.validate_spec spec;
+  (* A fixed base seed hashed with the slot index gives an independent,
+     deterministic RNG per slot even if slots are queried out of order. *)
+  let base_seed = Crn_prng.Rng.bits64 seed in
+  let view =
+    memoize (fun slot ->
+        let slot_seed =
+          Crn_prng.Splitmix.mix64 (Int64.logxor base_seed (Int64.of_int slot))
+        in
+        Topology.shared_core (Crn_prng.Rng.of_int64 slot_seed) spec)
+  in
+  { num_nodes = spec.Topology.n; channels_per_node = spec.Topology.c; view }
+
+let rotating a =
+  let n = Assignment.num_nodes a in
+  let c = Assignment.channels_per_node a in
+  let num_channels = Assignment.num_channels a in
+  let view =
+    memoize (fun slot ->
+        let shift = slot mod c in
+        let rows =
+          Array.init n (fun node ->
+              Array.init c (fun label ->
+                  Assignment.global_of_local a ~node ~label:((label + shift) mod c)))
+        in
+        Assignment.create ~num_channels ~local_to_global:rows)
+  in
+  { num_nodes = n; channels_per_node = c; view }
+
+let num_nodes t = t.num_nodes
+let channels_per_node t = t.channels_per_node
+let at t slot = t.view slot

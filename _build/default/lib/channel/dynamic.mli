@@ -1,0 +1,40 @@
+(** Dynamic channel availability (§7): the channel sets visible to nodes may
+    change every slot, as long as every pair of nodes still overlaps on at
+    least [k] channels in every slot. COGCAST's guarantee is unchanged in
+    this model, which experiment E11 verifies.
+
+    A value of type {!t} supplies the assignment in force at each slot. The
+    radio engine queries it once per slot, so generators may be lazily
+    randomized; they must be *deterministic per slot* (querying the same slot
+    twice returns the same assignment) so that traces can be replayed. *)
+
+type t
+
+val static : Assignment.t -> t
+(** The classic §2 static model. *)
+
+val of_fun :
+  num_nodes:int -> channels_per_node:int -> (int -> Assignment.t) -> t
+(** [of_fun ~num_nodes ~channels_per_node f] uses [f slot] as the slot's
+    assignment; results are memoized per slot to guarantee determinism. All
+    produced assignments must agree with the declared dimensions. *)
+
+val reshuffled_shared_core :
+  seed:Crn_prng.Rng.t -> Topology.spec -> t
+(** Per-slot fresh {!Topology.shared_core} instance: the common core stays,
+    private channels and all local labels are re-randomized every slot — an
+    adversarially churning spectrum that still satisfies the overlap
+    invariant. *)
+
+val rotating : Assignment.t -> t
+(** Deterministic churn: at slot [s] every node's labels are cyclically
+    rotated by [s] positions. The channel sets are unchanged (so overlap is
+    preserved); only the label-to-channel binding drifts, defeating any
+    protocol that relies on stable local labels. *)
+
+val num_nodes : t -> int
+
+val channels_per_node : t -> int
+
+val at : t -> int -> Assignment.t
+(** [at t slot] is the assignment in force during [slot]. *)

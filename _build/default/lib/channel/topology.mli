@@ -1,0 +1,59 @@
+(** Generators for channel assignments exercising the overlap patterns the
+    paper's analysis must cope with (§4: "the unknown underlying channel
+    overlapping pattern complicates detailed analysis").
+
+    All generators guarantee a minimum pairwise overlap of [k] by
+    construction and shuffle local labels per node (local label model,
+    §2) unless [~global_labels:true] is given, in which case every node
+    labels its channels in increasing global order. *)
+
+type spec = {
+  n : int;  (** Nodes. *)
+  c : int;  (** Channels available to each node. *)
+  k : int;  (** Guaranteed minimum pairwise overlap. *)
+}
+
+val validate_spec : spec -> unit
+(** Raises [Invalid_argument] unless [1 <= k <= c] and [n >= 1]. *)
+
+val shared_core :
+  ?global_labels:bool -> Crn_prng.Rng.t -> spec -> Assignment.t
+(** The paper's §6 (Theorem 16) construction: [C = k + n(c-k)] channels;
+    [k] common channels held by everyone plus [c-k] private channels per
+    node. Every pair overlaps on *exactly* [k] channels — the congested
+    extreme where finding a shared channel is hardest. *)
+
+val identical : ?global_labels:bool -> Crn_prng.Rng.t -> spec -> Assignment.t
+(** All nodes share one [c]-channel set ([k] is ignored; realized overlap is
+    [c]). The other congested extreme from §4's discussion. *)
+
+val shared_plus_random :
+  ?global_labels:bool -> ?big_c:int -> Crn_prng.Rng.t -> spec -> Assignment.t
+(** [k] common channels plus [c-k] channels drawn uniformly per node from a
+    spectrum of [big_c] channels (default [4*c]); realized overlaps are at
+    least [k] but typically larger and irregular — the "generic" topology. *)
+
+val pairwise_private :
+  ?global_labels:bool -> Crn_prng.Rng.t -> spec -> Assignment.t
+(** The distributed extreme from §4: every unordered pair of nodes shares
+    its own dedicated block of [k] channels that no third node has, so each
+    overlapping channel hosts few nodes. Requires [c >= k*(n-1)]; leftover
+    capacity is filled with per-node private channels. *)
+
+val clustered :
+  ?global_labels:bool -> groups:int -> Crn_prng.Rng.t -> spec -> Assignment.t
+(** [k] globally common channels; nodes are split into [groups] groups, and
+    each group additionally shares a group-private block, the rest being
+    per-node private. Models co-located secondary users seeing the same
+    primary-user occupancy. Requires [c - k >= 1] when [groups > 1]. *)
+
+type kind = Shared_core | Identical | Shared_plus_random | Pairwise_private | Clustered
+
+val all_kinds : kind list
+
+val kind_name : kind -> string
+
+val generate :
+  ?global_labels:bool -> kind -> Crn_prng.Rng.t -> spec -> Assignment.t
+(** Dispatch by {!kind} with default parameters; [Pairwise_private] falls
+    back to {!shared_core} when [c < k*(n-1)] so sweeps never abort. *)

@@ -1,0 +1,1 @@
+lib/core/cogcast.ml: Array Complexity Crn_channel Crn_prng Crn_radio

@@ -1,0 +1,1 @@
+lib/core/cogcast.mli: Crn_channel Crn_prng Crn_radio

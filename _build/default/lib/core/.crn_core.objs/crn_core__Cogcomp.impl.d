@@ -1,0 +1,1 @@
+lib/core/cogcomp.ml: Aggregate Array Cogcast Complexity Crn_channel Crn_prng Crn_radio Disttree Hashtbl List Option Seq

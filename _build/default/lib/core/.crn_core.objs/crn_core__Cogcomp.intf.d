@@ -1,0 +1,1 @@
+lib/core/cogcomp.mli: Aggregate Crn_channel Crn_prng Disttree

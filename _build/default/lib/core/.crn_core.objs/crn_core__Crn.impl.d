@@ -1,0 +1,1 @@
+lib/core/crn.ml: Cogcast Cogcomp Complexity Crn_channel Crn_prng

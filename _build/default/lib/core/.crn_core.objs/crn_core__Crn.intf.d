@@ -1,0 +1,1 @@
+lib/core/crn.mli: Aggregate Cogcast Cogcomp Crn_channel

@@ -1,0 +1,1 @@
+lib/core/disttree.ml: Array Cogcast Format Hashtbl List Option Printf Queue

@@ -1,0 +1,1 @@
+lib/core/disttree.mli: Cogcast Format Stdlib

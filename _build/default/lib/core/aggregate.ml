@@ -1,0 +1,12 @@
+type 'a monoid = { name : string; identity : 'a; combine : 'a -> 'a -> 'a }
+
+let sum = { name = "sum"; identity = 0; combine = ( + ) }
+let max_int = { name = "max"; identity = Stdlib.min_int; combine = Stdlib.max }
+let min_int = { name = "min"; identity = Stdlib.max_int; combine = Stdlib.min }
+let float_sum = { name = "float-sum"; identity = 0.0; combine = ( +. ) }
+let count = { name = "count"; identity = 0; combine = ( + ) }
+
+let multiset =
+  { name = "multiset"; identity = []; combine = (fun a b -> List.merge compare a b) }
+
+let fold m values = Array.fold_left m.combine m.identity values

@@ -1,0 +1,30 @@
+(** Aggregation functions for COGCOMP.
+
+    §5's discussion notes that for *associative* functions each node can
+    fold its subtree locally and forward a constant-size digest. COGCOMP is
+    therefore parameterized by a monoid; correctness of the root value for
+    commutative monoids, and multiset-correctness in general, is checked in
+    the test suite. *)
+
+type 'a monoid = {
+  name : string;
+  identity : 'a;
+  combine : 'a -> 'a -> 'a;  (** Must be associative. *)
+}
+
+val sum : int monoid
+val max_int : int monoid
+val min_int : int monoid
+val float_sum : float monoid
+
+val count : int monoid
+(** Combine with per-node value [1] to count nodes. *)
+
+val multiset : int list monoid
+(** Sorted-merge of value lists — a non-commutative-insensitive "collect
+    everything" monoid, used by tests to verify that exactly the right set
+    of per-node values reaches the root. *)
+
+val fold : 'a monoid -> 'a array -> 'a
+(** Reference (centralized) aggregate of all values, for comparison against
+    COGCOMP's distributed result. *)

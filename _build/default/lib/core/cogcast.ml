@@ -1,0 +1,166 @@
+module Rng = Crn_prng.Rng
+module Dynamic = Crn_channel.Dynamic
+module Action = Crn_radio.Action
+module Engine = Crn_radio.Engine
+
+type msg = Init
+
+type event =
+  | Sent_won
+  | Sent_lost
+  | Got_informed of { parent : int }
+  | Heard_silence
+  | Was_jammed
+
+type slot_log = { label : int; event : event }
+
+type result = {
+  n : int;
+  source : int;
+  completed_at : int option;
+  slots_run : int;
+  informed : bool array;
+  informed_count : int;
+  parent : int option array;
+  informed_at : int option array;
+  informed_label : int option array;
+  logs : slot_log array array option;
+  trace : Crn_radio.Trace.t;
+}
+
+(* Mutable protocol state shared by the engine-backed and emulation-backed
+   runners. *)
+type runtime = {
+  rt_n : int;
+  rt_source : int;
+  informed : bool array;
+  informed_count : int ref;
+  parent : int option array;
+  informed_at : int option array;
+  informed_label : int option array;
+  rt_logs : slot_log array array option;
+  nodes : msg Engine.node array;
+}
+
+let build_protocol ~record ~source ~availability ~rng ~max_slots =
+  let n = Dynamic.num_nodes availability in
+  let c = Dynamic.channels_per_node availability in
+  if source < 0 || source >= n then invalid_arg "Cogcast.run: source out of range";
+  let informed = Array.make n false in
+  informed.(source) <- true;
+  let informed_count = ref 1 in
+  let parent = Array.make n None in
+  let informed_at = Array.make n None in
+  let informed_label = Array.make n None in
+  let logs =
+    if record then
+      Some (Array.init n (fun _ -> Array.make max_slots { label = 0; event = Heard_silence }))
+    else None
+  in
+  let node_rngs = Rng.split_n rng n in
+  (* The label each node chose this slot, so feedback can be logged against
+     it. *)
+  let current_label = Array.make n 0 in
+  let log v ~slot event =
+    match logs with
+    | Some table -> table.(v).(slot) <- { label = current_label.(v); event }
+    | None -> ()
+  in
+  let decide v ~slot:_ =
+    let label = Rng.int node_rngs.(v) c in
+    current_label.(v) <- label;
+    if informed.(v) then Action.broadcast ~label Init
+    else Action.listen ~label
+  in
+  let feedback v ~slot fb =
+    match fb with
+    | Action.Won -> log v ~slot Sent_won
+    | Action.Lost _ -> log v ~slot Sent_lost
+    | Action.Heard { sender; msg = Init } ->
+        (* A listener is uninformed by construction, so this is the first
+           reception: record the tree edge. *)
+        informed.(v) <- true;
+        incr informed_count;
+        parent.(v) <- Some sender;
+        informed_at.(v) <- Some slot;
+        informed_label.(v) <- Some current_label.(v);
+        log v ~slot (Got_informed { parent = sender })
+    | Action.Silence -> log v ~slot Heard_silence
+    | Action.Jammed -> log v ~slot Was_jammed
+  in
+  let nodes = Array.init n (fun v -> Engine.node ~id:v ~decide:(decide v) ~feedback:(feedback v)) in
+  {
+    rt_n = n;
+    rt_source = source;
+    informed;
+    informed_count;
+    parent;
+    informed_at;
+    informed_label;
+    rt_logs = logs;
+    nodes;
+  }
+
+let result_of_runtime rt ~slots_run ~trace =
+  {
+    n = rt.rt_n;
+    source = rt.rt_source;
+    completed_at = (if !(rt.informed_count) = rt.rt_n then Some slots_run else None);
+    slots_run;
+    informed = rt.informed;
+    informed_count = !(rt.informed_count);
+    parent = rt.parent;
+    informed_at = rt.informed_at;
+    informed_label = rt.informed_label;
+    logs = rt.rt_logs;
+    trace;
+  }
+
+let run ?jammer ?faults ?metrics ?(record = false) ?(stop_when_complete = true) ~source
+    ~availability ~rng ~max_slots () =
+  let rt = build_protocol ~record ~source ~availability ~rng ~max_slots in
+  let n = rt.rt_n in
+  let stop =
+    if stop_when_complete then Some (fun ~slot:_ -> !(rt.informed_count) = n) else None
+  in
+  (* A one-node network is complete before the first slot. *)
+  let max_slots = if stop_when_complete && !(rt.informed_count) = n then 0 else max_slots in
+  let outcome =
+    Engine.run ?jammer ?faults ?metrics ?stop ~availability ~rng ~nodes:rt.nodes
+      ~max_slots ()
+  in
+  result_of_runtime rt ~slots_run:outcome.Engine.slots_run ~trace:outcome.Engine.trace
+
+let run_emulated ?session_cap ?(record = false) ?(stop_when_complete = true) ~source
+    ~availability ~rng ~max_slots () =
+  let rt = build_protocol ~record ~source ~availability ~rng ~max_slots in
+  let n = rt.rt_n in
+  let stop =
+    if stop_when_complete then Some (fun ~slot:_ -> !(rt.informed_count) = n) else None
+  in
+  let max_slots = if stop_when_complete && !(rt.informed_count) = n then 0 else max_slots in
+  let outcome =
+    Crn_radio.Emulation.run ?session_cap ?stop ~availability ~rng ~nodes:rt.nodes
+      ~max_slots ()
+  in
+  let result =
+    result_of_runtime rt ~slots_run:outcome.Crn_radio.Emulation.slots_run
+      ~trace:(Crn_radio.Trace.create ())
+  in
+  (result, outcome)
+
+let run_static ?jammer ?faults ?metrics ?record ?stop_when_complete ?budget_factor ~source
+    ~assignment ~k ~rng () =
+  let n = Crn_channel.Assignment.num_nodes assignment in
+  let c = Crn_channel.Assignment.channels_per_node assignment in
+  let max_slots = Complexity.cogcast_slots ?factor:budget_factor ~n ~c ~k () in
+  run ?jammer ?faults ?metrics ?record ?stop_when_complete ~source
+    ~availability:(Dynamic.static assignment) ~rng ~max_slots ()
+
+let label_oracle ~seed ~n ~c ~node =
+  (* Mirrors [run]: the run splits one child generator per node from the
+     top-level rng before the engine consumes it, and each node draws one
+     label per slot. *)
+  let node_rngs = Rng.split_n (Rng.create seed) n in
+  let stream = node_rngs.(node) in
+  fun ~slot:_ -> Rng.int stream c

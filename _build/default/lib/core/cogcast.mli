@@ -1,0 +1,112 @@
+(** COGCAST (§4): epidemic local broadcast.
+
+    In every slot, every node picks a channel uniformly at random from its
+    own channel set; nodes that already know the message broadcast it, the
+    rest listen. Theorem 4: after [Θ((c/k)·max{1, c/n}·lg n)] slots all
+    nodes are informed w.h.p.
+
+    The implementation runs on {!Crn_radio.Engine}, so it works unchanged
+    under dynamic channel assignments (§7) and under jamming (through the
+    Theorem 18 availability reduction or the engine's receiver-side jammer).
+
+    Because a node broadcasts in every slot after being informed, it is
+    informed exactly once; designating the first informer as the parent
+    yields the *distribution tree* that COGCOMP builds on. With
+    [~record:true] the per-slot action log needed by COGCOMP's phases 2–4 is
+    retained. *)
+
+type msg = Init
+
+type event =
+  | Sent_won  (** Broadcast this slot and was the channel's winner. *)
+  | Sent_lost  (** Broadcast and lost the channel to another broadcaster. *)
+  | Got_informed of { parent : int }  (** Heard the message for the first time. *)
+  | Heard_silence  (** Listened and heard nothing. *)
+  | Was_jammed  (** The action was absorbed by a jammer. *)
+
+type slot_log = { label : int; event : event }
+(** What one node did in one slot ([label] is the local channel label it
+    tuned to). *)
+
+type result = {
+  n : int;
+  source : int;
+  completed_at : int option;
+      (** Slot count after which all nodes were informed; [None] if the run
+          hit [max_slots] first. *)
+  slots_run : int;
+  informed : bool array;
+  informed_count : int;
+  parent : int option array;
+      (** [parent.(v)] is the node that first informed [v]; [None] for the
+          source and for uninformed nodes. *)
+  informed_at : int option array;  (** Slot at which each node was informed. *)
+  informed_label : int option array;
+      (** Local label of the channel on which each node was informed. *)
+  logs : slot_log array array option;
+      (** [logs.(v)] is node [v]'s per-slot log (present iff [~record:true]).
+          Entries beyond a stopped run keep their defaults. *)
+  trace : Crn_radio.Trace.t;
+}
+
+val run :
+  ?jammer:Crn_radio.Jammer.t ->
+  ?faults:Crn_radio.Faults.t ->
+  ?metrics:Crn_radio.Metrics.t ->
+  ?record:bool ->
+  ?stop_when_complete:bool ->
+  source:int ->
+  availability:Crn_channel.Dynamic.t ->
+  rng:Crn_prng.Rng.t ->
+  max_slots:int ->
+  unit ->
+  result
+(** [run ~source ~availability ~rng ~max_slots ()] executes COGCAST from
+    [source]. By default the run stops as soon as every node is informed
+    ([stop_when_complete], default [true]); with [record:true] it keeps full
+    logs (memory [n · slots_run]). *)
+
+val run_emulated :
+  ?session_cap:int ->
+  ?record:bool ->
+  ?stop_when_complete:bool ->
+  source:int ->
+  availability:Crn_channel.Dynamic.t ->
+  rng:Crn_prng.Rng.t ->
+  max_slots:int ->
+  unit ->
+  result * Crn_radio.Emulation.outcome
+(** The footnote-4 composition: the same protocol executed on the *raw
+    collision radio*, each abstract slot realized by per-channel decay
+    contention sessions ({!Crn_radio.Emulation}). Returns the usual result
+    (its [trace] is empty — channel accounting lives in the emulation
+    outcome) paired with the emulation outcome carrying the raw-round
+    cost. Experiment E22 measures the overhead ratio. *)
+
+val run_static :
+  ?jammer:Crn_radio.Jammer.t ->
+  ?faults:Crn_radio.Faults.t ->
+  ?metrics:Crn_radio.Metrics.t ->
+  ?record:bool ->
+  ?stop_when_complete:bool ->
+  ?budget_factor:float ->
+  source:int ->
+  assignment:Crn_channel.Assignment.t ->
+  k:int ->
+  rng:Crn_prng.Rng.t ->
+  unit ->
+  result
+(** Convenience wrapper for the static model: derives [max_slots] from
+    {!Complexity.cogcast_slots} using the assignment's dimensions and the
+    caller-declared overlap [k]. *)
+
+val label_oracle :
+  seed:int -> n:int -> c:int -> node:int -> (slot:int -> int)
+(** The "leaked seed" oracle for the Theorem 17 adversary
+    ({!Crn_channel.Adversary}): replays the label stream that a COGCAST run
+    driven by [Rng.create seed] on an [n]-node, [c]-channel network will
+    draw for [node]. The returned closure is stateful and must be queried
+    exactly once per slot in increasing slot order — the same pattern in
+    which the engine queries the availability. Kept in this module so that
+    any change to COGCAST's internal randomness consumption updates the
+    oracle with it (guarded by a test). *)

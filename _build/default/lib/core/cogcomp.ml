@@ -1,0 +1,475 @@
+module Rng = Crn_prng.Rng
+module Assignment = Crn_channel.Assignment
+module Dynamic = Crn_channel.Dynamic
+module Action = Crn_radio.Action
+module Engine = Crn_radio.Engine
+
+type 'a result = {
+  complete : bool;
+  root_value : 'a option;
+  phase1_slots : int;
+  phase2_slots : int;
+  phase3_slots : int;
+  phase4_steps : int;
+  phase4_slots : int;
+  total_slots : int;
+  tree : Disttree.t;
+  mediators : int list;
+  terminated : bool array;
+  max_payload : int;
+  total_payload : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Slot runner: phases 2-4 run either on the abstract one-winner engine
+   or on the raw-radio emulation (footnote 4), behind one interface.    *)
+(* ------------------------------------------------------------------ *)
+
+type slot_runner = {
+  run_slots :
+    'msg.
+    stop:(slot:int -> bool) option ->
+    nodes:'msg Engine.node array ->
+    max_slots:int ->
+    int;
+}
+
+let engine_runner ~availability ~rng =
+  {
+    run_slots =
+      (fun ~stop ~nodes ~max_slots ->
+        (Engine.run ?stop ~availability ~rng ~nodes ~max_slots ()).Engine.slots_run);
+  }
+
+let emulation_runner ~availability ~rng ~raw_rounds =
+  {
+    run_slots =
+      (fun ~stop ~nodes ~max_slots ->
+        let outcome =
+          Crn_radio.Emulation.run ?stop ~availability ~rng ~nodes ~max_slots ()
+        in
+        raw_rounds := !raw_rounds + outcome.Crn_radio.Emulation.raw_rounds;
+        outcome.Crn_radio.Emulation.slots_run);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2: cluster sizes and mediator election.                       *)
+(* ------------------------------------------------------------------ *)
+
+type phase2_msg = { p2_id : int; p2_r : int }
+
+type phase2_info = {
+  cluster_size : int;  (* size of the node's own (r,c)-cluster *)
+  roster : (int * int) list;  (* (id, r) of every node on this channel *)
+  is_mediator : bool;
+  (* For the mediator: every cluster on its channel as (r, member ids),
+     sorted by descending r. Empty for non-mediators. *)
+  med_clusters : (int * int list) list;
+}
+
+let run_phase2 ~(cast : Cogcast.result) ~runner =
+  let n = cast.Cogcast.n in
+  (* participant.(v) = Some (r, label) for informed non-source nodes. *)
+  let participant =
+    Array.init n (fun v ->
+        if v = cast.Cogcast.source then None
+        else
+          match (cast.Cogcast.informed_at.(v), cast.Cogcast.informed_label.(v)) with
+          | Some r, Some label -> Some (r, label)
+          | _ -> None)
+  in
+  let sent_ok = Array.make n false in
+  let rosters = Array.make n [] in
+  Array.iteri
+    (fun v p -> match p with Some (r, _) -> rosters.(v) <- [ (v, r) ] | None -> ())
+    participant;
+  let decide v ~slot:_ =
+    match participant.(v) with
+    | None -> Action.listen ~label:0
+    | Some (r, label) ->
+        if sent_ok.(v) then Action.listen ~label
+        else Action.broadcast ~label { p2_id = v; p2_r = r }
+  in
+  let note v msg = rosters.(v) <- (msg.p2_id, msg.p2_r) :: rosters.(v) in
+  let feedback v ~slot:_ = function
+    | Action.Won -> sent_ok.(v) <- true
+    | Action.Lost { msg; _ } -> note v msg
+    | Action.Heard { msg; _ } -> if participant.(v) <> None then note v msg
+    | Action.Silence | Action.Jammed -> ()
+  in
+  let nodes =
+    Array.init n (fun v -> Engine.node ~id:v ~decide:(decide v) ~feedback:(feedback v))
+  in
+  let slots_run = runner.run_slots ~stop:None ~nodes ~max_slots:n in
+  let info =
+    Array.init n (fun v ->
+        match participant.(v) with
+        | None ->
+            { cluster_size = 0; roster = []; is_mediator = false; med_clusters = [] }
+        | Some (r, _) ->
+            let roster = rosters.(v) in
+            let cluster_size =
+              List.length (List.filter (fun (_, r') -> r' = r) roster)
+            in
+            let r_max = List.fold_left (fun acc (_, r') -> max acc r') (-1) roster in
+            let latest_ids =
+              List.filter_map (fun (id, r') -> if r' = r_max then Some id else None) roster
+            in
+            let mediator_id = List.fold_left min max_int latest_ids in
+            let is_mediator = mediator_id = v in
+            let med_clusters =
+              if not is_mediator then []
+              else begin
+                let by_r : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+                List.iter
+                  (fun (id, r') ->
+                    let cur = Option.value ~default:[] (Hashtbl.find_opt by_r r') in
+                    Hashtbl.replace by_r r' (id :: cur))
+                  roster;
+                Hashtbl.fold (fun r' ids acc -> (r', List.sort compare ids) :: acc) by_r []
+                |> List.sort (fun (a, _) (b, _) -> compare b a)
+              end
+            in
+            { cluster_size; roster; is_mediator; med_clusters })
+  in
+  (info, slots_run)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 3: the rewind — informers learn their clusters' sizes.        *)
+(* ------------------------------------------------------------------ *)
+
+let run_phase3 ~(cast : Cogcast.result) ~(info : phase2_info array) ~runner =
+  let n = cast.Cogcast.n in
+  let logs =
+    match cast.Cogcast.logs with
+    | Some logs -> logs
+    | None -> invalid_arg "Cogcomp: phase 1 must be run with recording on"
+  in
+  let l = cast.Cogcast.slots_run in
+  (* clusters_collected.(v) = (r, label, size) list for clusters v informed. *)
+  let clusters_collected = Array.make n [] in
+  (* The phase-1 slot mirrored by the current phase-3 slot, per node, so the
+     feedback handler knows which cluster a heard size belongs to. *)
+  let decide v ~slot =
+    let mirrored = l - 1 - slot in
+    let entry = logs.(v).(mirrored) in
+    match entry.Cogcast.event with
+    | Cogcast.Got_informed _ ->
+        Action.broadcast ~label:entry.Cogcast.label info.(v).cluster_size
+    | Cogcast.Sent_won | Cogcast.Sent_lost | Cogcast.Heard_silence | Cogcast.Was_jammed
+      ->
+        Action.listen ~label:entry.Cogcast.label
+  in
+  let feedback v ~slot = function
+    | Action.Heard { msg = size; _ } ->
+        let mirrored = l - 1 - slot in
+        let entry = logs.(v).(mirrored) in
+        (* Only the slot's winner interprets the size broadcast: it created
+           the cluster being reported. *)
+        (match entry.Cogcast.event with
+        | Cogcast.Sent_won ->
+            clusters_collected.(v) <-
+              (mirrored, entry.Cogcast.label, size) :: clusters_collected.(v)
+        | Cogcast.Sent_lost | Cogcast.Got_informed _ | Cogcast.Heard_silence
+        | Cogcast.Was_jammed ->
+            ())
+    | Action.Won | Action.Lost _ | Action.Silence | Action.Jammed -> ()
+  in
+  let nodes =
+    Array.init n (fun v -> Engine.node ~id:v ~decide:(decide v) ~feedback:(feedback v))
+  in
+  let slots_run = runner.run_slots ~stop:None ~nodes ~max_slots:l in
+  (* Descending r, as phase 4 consumes them. *)
+  let clusters =
+    Array.map (fun cs -> List.sort (fun (a, _, _) (b, _, _) -> compare b a) cs)
+      clusters_collected
+  in
+  (clusters, slots_run)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 4: mediated leaf-to-root drain.                               *)
+(* ------------------------------------------------------------------ *)
+
+type 'a phase4_msg =
+  | Announce of int  (* cluster slot r' whose members may send now *)
+  | Values of { val_r : int; val_id : int; payload : 'a }
+  | Echo of int  (* identity of the sender whose values were received *)
+
+type role = Collecting | Sending | Mediating | Done
+
+type 'a node_state = {
+  mutable role : role;
+  mutable acc : 'a;
+  (* Receiver side: clusters still to collect, descending r. *)
+  mutable to_collect : (int * int * int) list;  (* (r, label, size) *)
+  mutable remaining : int;  (* members of the current cluster still unheard *)
+  mutable pending_echo : int option;
+  (* Sender side. *)
+  own_r : int;
+  own_label : int;
+  mutable announce_matches : bool;
+  mutable sent_done : bool;
+  (* Mediator side. *)
+  is_mediator : bool;
+  med_label : int;
+  mutable med_clusters : (int * int) list;  (* (r, undelivered count), desc r *)
+}
+
+let run_phase4 (type a) ?measure ~mediated ~(monoid : a Aggregate.monoid)
+    ~(values : a array) ~(cast : Cogcast.result) ~(info : phase2_info array)
+    ~(clusters : (int * int * int) list array) ~runner ~max_steps () =
+  let n = cast.Cogcast.n in
+  let source = cast.Cogcast.source in
+  let states =
+    Array.init n (fun v ->
+        let informed = cast.Cogcast.informed.(v) in
+        let own_r = Option.value ~default:(-1) cast.Cogcast.informed_at.(v) in
+        let own_label = Option.value ~default:0 cast.Cogcast.informed_label.(v) in
+        let to_collect = clusters.(v) in
+        let is_mediator = info.(v).is_mediator in
+        let med_clusters =
+          List.map (fun (r, ids) -> (r, List.length ids)) info.(v).med_clusters
+        in
+        let role =
+          if not informed && v <> source then Done
+          else if to_collect <> [] then Collecting
+          else if v = source then Done
+          else Sending
+        in
+        let remaining =
+          match to_collect with (_, _, size) :: _ -> size | [] -> 0
+        in
+        {
+          role;
+          acc = values.(v);
+          to_collect;
+          remaining;
+          pending_echo = None;
+          own_r;
+          own_label;
+          announce_matches = false;
+          sent_done = false;
+          is_mediator;
+          med_label = own_label;
+          med_clusters;
+        })
+  in
+  let done_count = ref (Array.fold_left (fun acc s -> if s.role = Done then acc + 1 else acc) 0 states) in
+  let retire st =
+    st.role <- Done;
+    incr done_count
+  in
+  (* Mediator duties are live once the node has left the Collecting role;
+     with mediation ablated there are no mediator duties at all. *)
+  let mediator_live st =
+    mediated && st.is_mediator && st.role <> Collecting && st.role <> Done
+  in
+  let finish_sending st =
+    st.sent_done <- true;
+    if mediated && st.is_mediator && st.med_clusters <> [] then st.role <- Mediating
+    else retire st
+  in
+  (* Payload accounting for the §5 message-size discussion. *)
+  let max_payload = ref 0 and total_payload = ref 0 in
+  let account payload =
+    match measure with
+    | None -> ()
+    | Some f ->
+        let size = f payload in
+        max_payload := max !max_payload size;
+        total_payload := !total_payload + size
+  in
+  let advance_collecting v st =
+    match st.to_collect with
+    | [] -> assert false
+    | _ :: rest ->
+        st.to_collect <- rest;
+        (match rest with
+        | (_, _, size) :: _ -> st.remaining <- size
+        | [] -> if v = source then retire st else st.role <- Sending)
+  in
+  let mediator_note_echo st =
+    match st.med_clusters with
+    | [] -> ()
+    | (r, count) :: rest ->
+        let count = count - 1 in
+        if count <= 0 then begin
+          st.med_clusters <- rest;
+          if rest = [] && st.role = Mediating then retire st
+        end
+        else st.med_clusters <- (r, count) :: rest
+  in
+  let decide v ~slot =
+    let st = states.(v) in
+    let pos = slot mod 3 in
+    match pos with
+    | 0 -> (
+        st.announce_matches <- (not mediated) && st.role = Sending;
+        if mediator_live st then
+          match st.med_clusters with
+          | (r, _) :: _ ->
+              if st.role = Sending then st.announce_matches <- r = st.own_r;
+              Action.broadcast ~label:st.med_label (Announce r)
+          | [] -> Action.listen ~label:st.med_label
+        else
+          match st.role with
+          | Collecting -> (
+              match st.to_collect with
+              | (_, label, _) :: _ -> Action.listen ~label
+              | [] -> Action.listen ~label:0)
+          | Sending -> Action.listen ~label:st.own_label
+          | Mediating | Done -> Action.listen ~label:0)
+    | 1 -> (
+        match st.role with
+        | Sending when st.announce_matches ->
+            account st.acc;
+            Action.broadcast ~label:st.own_label
+              (Values { val_r = st.own_r; val_id = v; payload = st.acc })
+        | Sending -> Action.listen ~label:st.own_label
+        | Collecting -> (
+            match st.to_collect with
+            | (_, label, _) :: _ -> Action.listen ~label
+            | [] -> Action.listen ~label:0)
+        | Mediating -> Action.listen ~label:st.med_label
+        | Done -> Action.listen ~label:0)
+    | _ -> (
+        match st.pending_echo with
+        | Some id ->
+            (* Receiver: acknowledge the delivered sender. *)
+            (match st.to_collect with
+            | (_, label, _) :: _ -> Action.broadcast ~label (Echo id)
+            | [] -> assert false)
+        | None -> (
+            match st.role with
+            | Sending -> Action.listen ~label:st.own_label
+            | Mediating -> Action.listen ~label:st.med_label
+            | Collecting -> (
+                match st.to_collect with
+                | (_, label, _) :: _ -> Action.listen ~label
+                | [] -> Action.listen ~label:0)
+            | Done -> Action.listen ~label:0))
+  in
+  let feedback v ~slot fb =
+    let st = states.(v) in
+    let pos = slot mod 3 in
+    match (pos, fb) with
+    | 0, Action.Heard { msg = Announce r; _ } ->
+        if st.role = Sending then st.announce_matches <- r = st.own_r
+    | 1, Action.Heard { msg = Values { val_r; val_id; payload }; _ } ->
+        if st.role = Collecting then begin
+          match st.to_collect with
+          | (r, _, _) :: _ when r = val_r ->
+              st.acc <- monoid.Aggregate.combine st.acc payload;
+              st.pending_echo <- Some val_id
+          | _ -> ()
+        end
+    | 2, (Action.Won | Action.Lost _) when st.pending_echo <> None ->
+        (* Our echo went out (Won is guaranteed: the receiver is the only
+           broadcaster on its channel in slot 3). *)
+        st.pending_echo <- None;
+        st.remaining <- st.remaining - 1;
+        if st.remaining <= 0 then advance_collecting v st
+    | 2, Action.Heard { msg = Echo id; _ } -> (
+        (* Senders learn their delivery; mediators account for the drain.
+           A mediator that is still sending must do both: its own delivery
+           also drains one member of the current cluster. *)
+        match st.role with
+        | Sending ->
+            if mediated && st.is_mediator then mediator_note_echo st;
+            if id = v then finish_sending st
+        | Mediating -> mediator_note_echo st
+        | Collecting | Done -> ())
+    | _ -> ()
+  in
+  let nodes =
+    Array.init n (fun v -> Engine.node ~id:v ~decide:(decide v) ~feedback:(feedback v))
+  in
+  let stop ~slot = slot mod 3 = 2 && !done_count = n in
+  (* Nothing to drain (e.g. a one-node network): phase 4 is empty. *)
+  let max_slots = if !done_count = n then 0 else 3 * max_steps in
+  let slots_run = runner.run_slots ~stop:(Some stop) ~nodes ~max_slots in
+  let root_acc = states.(source).acc in
+  let terminated = Array.map (fun st -> st.role = Done) states in
+  (root_acc, terminated, slots_run, !max_payload, !total_payload)
+
+(* ------------------------------------------------------------------ *)
+(* The full protocol.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_with ~emulated ~raw_rounds ?budget_factor ?max_phase4_steps
+    ?(mediated = true) ?measure ~monoid ~values ~source ~assignment ~k ~rng () =
+  let n = Assignment.num_nodes assignment in
+  if Array.length values <> n then invalid_arg "Cogcomp.run: values length mismatch";
+  let availability = Dynamic.static assignment in
+  let make_runner rng =
+    if emulated then emulation_runner ~availability ~rng ~raw_rounds
+    else engine_runner ~availability ~rng
+  in
+  (* Phase 1: COGCAST with recording; fixed length so that all nodes agree on
+     phase boundaries. *)
+  let cast =
+    if emulated then begin
+      let c = Assignment.channels_per_node assignment in
+      let max_slots = Complexity.cogcast_slots ?factor:budget_factor ~n ~c ~k () in
+      let cast, outcome =
+        Cogcast.run_emulated ~record:true ~stop_when_complete:false ~source
+          ~availability ~rng:(Rng.split rng) ~max_slots ()
+      in
+      raw_rounds := !raw_rounds + outcome.Crn_radio.Emulation.raw_rounds;
+      cast
+    end
+    else
+      Cogcast.run_static ?budget_factor ~record:true ~stop_when_complete:false
+        ~source ~assignment ~k ~rng:(Rng.split rng) ()
+  in
+  let tree = Disttree.of_result cast in
+  let info, phase2_slots = run_phase2 ~cast ~runner:(make_runner (Rng.split rng)) in
+  let clusters, phase3_slots =
+    run_phase3 ~cast ~info ~runner:(make_runner (Rng.split rng))
+  in
+  let max_steps =
+    match max_phase4_steps with Some s -> s | None -> (12 * n) + 64
+  in
+  let root_acc, terminated, phase4_slots, max_payload, total_payload =
+    run_phase4 ?measure ~mediated ~monoid ~values ~cast ~info ~clusters
+      ~runner:(make_runner (Rng.split rng)) ~max_steps ()
+  in
+  let mediators =
+    Array.to_list
+      (Array.of_seq
+         (Seq.filter_map
+            (fun v -> if info.(v).is_mediator then Some v else None)
+            (Seq.init n (fun v -> v))))
+  in
+  let complete =
+    cast.Cogcast.informed_count = n && Array.for_all (fun b -> b) terminated
+  in
+  {
+    complete;
+    root_value = (if complete then Some root_acc else None);
+    phase1_slots = cast.Cogcast.slots_run;
+    phase2_slots;
+    phase3_slots;
+    phase4_steps = (phase4_slots + 2) / 3;
+    phase4_slots;
+    total_slots = cast.Cogcast.slots_run + phase2_slots + phase3_slots + phase4_slots;
+    tree;
+    mediators;
+    terminated;
+    max_payload;
+    total_payload;
+  }
+
+let run ?budget_factor ?max_phase4_steps ?mediated ?measure ~monoid ~values
+    ~source ~assignment ~k ~rng () =
+  run_with ~emulated:false ~raw_rounds:(ref 0) ?budget_factor ?max_phase4_steps
+    ?mediated ?measure ~monoid ~values ~source ~assignment ~k ~rng ()
+
+let run_emulated ?budget_factor ?max_phase4_steps ?mediated ?measure ~monoid
+    ~values ~source ~assignment ~k ~rng () =
+  let raw_rounds = ref 0 in
+  let result =
+    run_with ~emulated:true ~raw_rounds ?budget_factor ?max_phase4_steps ?mediated
+      ?measure ~monoid ~values ~source ~assignment ~k ~rng ()
+  in
+  (result, !raw_rounds)

@@ -1,0 +1,31 @@
+module Topology = Crn_channel.Topology
+module Rng = Crn_prng.Rng
+
+type network = {
+  assignment : Crn_channel.Assignment.t;
+  spec : Topology.spec;
+  topology : Topology.kind;
+}
+
+let make_network ?(topology = Topology.Shared_plus_random) ?global_labels
+    ?(seed = 1) ~n ~c ~k () =
+  let spec = { Topology.n; c; k } in
+  let rng = Rng.create seed in
+  let assignment = Topology.generate ?global_labels topology rng spec in
+  { assignment; spec; topology }
+
+let broadcast ?(seed = 2) ?(source = 0) net =
+  Cogcast.run_static ~source ~assignment:net.assignment ~k:net.spec.Topology.k
+    ~rng:(Rng.create seed) ()
+
+let aggregate ?(seed = 2) ?(source = 0) net ~monoid ~values =
+  Cogcomp.run ~monoid ~values ~source ~assignment:net.assignment
+    ~k:net.spec.Topology.k ~rng:(Rng.create seed) ()
+
+let broadcast_bound net =
+  let { Topology.n; c; k } = net.spec in
+  Complexity.cogcast ~factor:1.0 ~n ~c ~k ()
+
+let aggregation_bound net =
+  let { Topology.n; c; k } = net.spec in
+  Complexity.cogcomp ~factor:1.0 ~n ~c ~k ()

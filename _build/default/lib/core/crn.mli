@@ -1,0 +1,41 @@
+(** High-level entry points: build a cognitive radio network and run the
+    paper's protocols with one call each. This is the API the examples and
+    the quickstart in the README use; the full control surface lives in
+    {!Cogcast}, {!Cogcomp} and the substrate libraries. *)
+
+type network = {
+  assignment : Crn_channel.Assignment.t;
+  spec : Crn_channel.Topology.spec;
+  topology : Crn_channel.Topology.kind;
+}
+
+val make_network :
+  ?topology:Crn_channel.Topology.kind ->
+  ?global_labels:bool ->
+  ?seed:int ->
+  n:int ->
+  c:int ->
+  k:int ->
+  unit ->
+  network
+(** [make_network ~n ~c ~k ()] builds an [n]-node network where every node
+    has [c] channels and every pair overlaps on at least [k] (default
+    topology {!Crn_channel.Topology.Shared_plus_random}, default seed 1). *)
+
+val broadcast : ?seed:int -> ?source:int -> network -> Cogcast.result
+(** Run COGCAST from [source] (default 0) with the Theorem 4 slot budget. *)
+
+val aggregate :
+  ?seed:int ->
+  ?source:int ->
+  network ->
+  monoid:'a Aggregate.monoid ->
+  values:'a array ->
+  'a Cogcomp.result
+(** Run COGCOMP to fold [values] at [source] (default 0). *)
+
+val broadcast_bound : network -> float
+(** Theorem 4's predicted slot count for this network (constant factor 1). *)
+
+val aggregation_bound : network -> float
+(** Theorem 10's predicted slot count (constant factor 1). *)

@@ -1,0 +1,112 @@
+type cluster = { slot : int; informer : int; members : int list }
+
+type t = {
+  n : int;
+  root : int;
+  parent : int option array;
+  children : int list array;
+  depth : int array;
+  clusters : cluster list;
+}
+
+let of_result (r : Cogcast.result) =
+  let n = r.Cogcast.n in
+  let parent = Array.copy r.Cogcast.parent in
+  let children = Array.make n [] in
+  Array.iteri
+    (fun v p -> match p with Some u -> children.(u) <- v :: children.(u) | None -> ())
+    parent;
+  Array.iteri (fun u l -> children.(u) <- List.sort compare l) children;
+  (* Depths by BFS from the root. *)
+  let depth = Array.make n (-1) in
+  depth.(r.Cogcast.source) <- 0;
+  let queue = Queue.create () in
+  Queue.add r.Cogcast.source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        depth.(v) <- depth.(u) + 1;
+        Queue.add v queue)
+      children.(u)
+  done;
+  (* Clusters: nodes grouped by (informed slot, parent). *)
+  let table : (int * int, int list) Hashtbl.t = Hashtbl.create 64 in
+  for v = 0 to n - 1 do
+    match (r.Cogcast.informed_at.(v), parent.(v)) with
+    | Some slot, Some p ->
+        let key = (slot, p) in
+        let cur = Option.value ~default:[] (Hashtbl.find_opt table key) in
+        Hashtbl.replace table key (v :: cur)
+    | _ -> ()
+  done;
+  let clusters =
+    Hashtbl.fold
+      (fun (slot, informer) members acc ->
+        { slot; informer; members = List.sort compare members } :: acc)
+      table []
+    |> List.sort (fun a b -> compare (b.slot, b.informer) (a.slot, a.informer))
+  in
+  { n; root = r.Cogcast.source; parent; children; depth; clusters }
+
+let is_spanning t = Array.for_all (fun d -> d >= 0) t.depth
+
+let validate t =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if t.parent.(t.root) <> None then fail "root %d has a parent" t.root
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun v p ->
+        if !bad = None then
+          match p with
+          | None ->
+              if v <> t.root && t.depth.(v) >= 0 then
+                bad := Some (Printf.sprintf "reached node %d has no parent" v)
+          | Some u ->
+              if t.depth.(v) < 0 then
+                bad := Some (Printf.sprintf "node %d has a parent but was not reached" v)
+              else if t.depth.(u) <> t.depth.(v) - 1 then
+                bad :=
+                  Some
+                    (Printf.sprintf "depth inconsistency at edge %d -> %d" u v))
+      t.parent;
+    match !bad with
+    | Some msg -> Error msg
+    | None ->
+        let in_cluster = Array.make t.n 0 in
+        List.iter
+          (fun c -> List.iter (fun v -> in_cluster.(v) <- in_cluster.(v) + 1) c.members)
+          t.clusters;
+        let ok = ref (Ok ()) in
+        Array.iteri
+          (fun v count ->
+            if !ok = Ok () then
+              if v = t.root then begin
+                if count <> 0 then ok := fail "root %d appears in a cluster" v
+              end
+              else if t.depth.(v) >= 0 && count <> 1 then
+                ok := fail "node %d appears in %d clusters" v count)
+          in_cluster;
+        !ok
+  end
+
+let height t = Array.fold_left max 0 t.depth
+
+let cluster_sizes t = Array.of_list (List.map (fun c -> List.length c.members) t.clusters)
+
+let max_cluster t = Array.fold_left max 0 (cluster_sizes t)
+
+let sum_max_cluster_per_slot t =
+  let by_slot : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      let size = List.length c.members in
+      let cur = Option.value ~default:0 (Hashtbl.find_opt by_slot c.slot) in
+      Hashtbl.replace by_slot c.slot (max cur size))
+    t.clusters;
+  Hashtbl.fold (fun _ size acc -> acc + size) by_slot 0
+
+let pp fmt t =
+  Format.fprintf fmt "tree: n=%d root=%d height=%d clusters=%d max_cluster=%d"
+    t.n t.root (height t) (List.length t.clusters) (max_cluster t)

@@ -1,0 +1,49 @@
+(** The distribution tree implicitly constructed by COGCAST (§5, Lemma 5):
+    each informed node's parent is the node it first heard the message from,
+    with the source as root. COGCOMP aggregates values leaf-to-root along
+    this tree; this module extracts, validates and measures it. *)
+
+type cluster = {
+  slot : int;  (** Phase-1 slot [r] at which the members were informed. *)
+  informer : int;  (** The cluster's informer — the members' parent. *)
+  members : int list;  (** Ascending node ids. *)
+}
+(** An [(r,c)]-cluster (Definition 6). Channels are physical, so two nodes
+    are cluster-mates iff they were informed in the same slot by the same
+    winning broadcast; the informer identifies that broadcast uniquely,
+    which is why no channel id is needed here. *)
+
+type t = {
+  n : int;
+  root : int;
+  parent : int option array;
+  children : int list array;  (** Ascending ids. *)
+  depth : int array;  (** [-1] for nodes not reached. *)
+  clusters : cluster list;  (** Ordered by descending [slot]. *)
+}
+
+val of_result : Cogcast.result -> t
+(** Extract the tree from a COGCAST run (uses [parent] and [informed_at];
+    does not require recorded logs). *)
+
+val is_spanning : t -> bool
+(** All [n] nodes reached. *)
+
+val validate : t -> (unit, string) Stdlib.result
+(** Structural soundness: the root has no parent, every reached non-root has
+    a reached parent informed strictly earlier, depths are consistent, and
+    cluster member lists partition the reached non-root nodes. *)
+
+val height : t -> int
+
+val max_cluster : t -> int
+(** Size of the largest cluster (0 when there are none). *)
+
+val cluster_sizes : t -> int array
+
+val sum_max_cluster_per_slot : t -> int
+(** [Σ_i k_i] from Theorem 10's accounting: for each phase-1 slot, the size
+    of the largest cluster created in that slot, summed over slots — the
+    paper proves this is at most [n], which bounds phase 4's step count. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/games/bounds.mli:

@@ -1,0 +1,1 @@
+lib/games/first_hit.ml: Array Crn_prng

@@ -1,0 +1,1 @@
+lib/games/first_hit.mli: Crn_prng

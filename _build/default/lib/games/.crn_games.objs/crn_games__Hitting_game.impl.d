@@ -1,0 +1,1 @@
+lib/games/hitting_game.ml: Array Crn_prng Matching

@@ -1,0 +1,1 @@
+lib/games/hitting_game.mli: Crn_prng Matching

@@ -1,0 +1,1 @@
+lib/games/matching.ml: Array Crn_prng List

@@ -1,0 +1,1 @@
+lib/games/matching.mli: Crn_prng

@@ -1,0 +1,1 @@
+lib/games/players.ml: Array Crn_prng Hitting_game

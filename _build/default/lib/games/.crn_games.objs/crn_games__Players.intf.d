@@ -1,0 +1,1 @@
+lib/games/players.mli: Crn_prng Hitting_game

@@ -1,0 +1,1 @@
+lib/games/reduction.ml: Array Crn_prng Hashtbl Hitting_game Queue

@@ -1,0 +1,1 @@
+lib/games/reduction.mli: Crn_prng Hitting_game

@@ -1,0 +1,31 @@
+let losing_probability_lower_bound ~c ~k ~rounds =
+  if k < 1 || k > c then invalid_arg "Bounds: need 1 <= k <= c";
+  if rounds < 0 then invalid_arg "Bounds: negative rounds";
+  let acc = ref 1.0 in
+  for i = 1 to k do
+    let ni = float_of_int ((c - i + 1) * (c - i + 1)) in
+    let term = 1.0 -. (float_of_int rounds /. ni) in
+    acc := !acc *. Float.max 0.0 term
+  done;
+  !acc
+
+let winning_probability_upper_bound ~c ~k ~rounds =
+  1.0 -. losing_probability_lower_bound ~c ~k ~rounds
+
+let alpha ~beta =
+  if beta <= 1.0 then invalid_arg "Bounds.alpha: beta must exceed 1";
+  2.0 *. ((beta /. (beta -. 1.0)) ** 2.0)
+
+let critical_rounds ?(beta = 2.0) ~c ~k () =
+  if k < 1 || k > c then invalid_arg "Bounds: need 1 <= k <= c";
+  int_of_float (float_of_int (c * c) /. (alpha ~beta *. float_of_int k))
+
+let exact_uniform_win_probability ~c ~k ~rounds =
+  if k < 1 || k > c then invalid_arg "Bounds: need 1 <= k <= c";
+  if rounds < 0 then invalid_arg "Bounds: negative rounds";
+  let p_hit = float_of_int k /. float_of_int (c * c) in
+  1.0 -. ((1.0 -. p_hit) ** float_of_int rounds)
+
+let complete_game_losing_probability ~c ~rounds =
+  if c < 1 then invalid_arg "Bounds: c < 1";
+  Float.max 0.0 (1.0 -. (float_of_int rounds /. float_of_int c))

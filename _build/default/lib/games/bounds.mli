@@ -1,0 +1,37 @@
+(** Numeric machinery from the Lemma 11 / Lemma 14 proofs.
+
+    Lemma 11 lower-bounds the probability [P(L)] that a player's first [l]
+    proposals all miss the referee's random [k]-matching:
+    [P(L) ≥ Π_{i=1}^{k} (1 − l / (c−i+1)²)], and shows that at
+    [l = c²/(αk)] with [α = 2(β/(β−1))²] this is at least [1/2]. This module
+    evaluates those quantities exactly so the experiments can compare the
+    analytic bound against the simulated games, and so tests can check each
+    inequality step of the proof numerically. *)
+
+val losing_probability_lower_bound : c:int -> k:int -> rounds:int -> float
+(** [Π_{i=1}^{k} max(0, 1 − rounds/(c−i+1)²)] — the proof's lower bound on
+    the probability that [rounds] distinct proposals miss the matching.
+    Valid for any player (proposals may as well be distinct; repeats only
+    help the referee). Requires [1 ≤ k ≤ c] and [rounds ≥ 0]. *)
+
+val winning_probability_upper_bound : c:int -> k:int -> rounds:int -> float
+(** [1 − losing_probability_lower_bound]. *)
+
+val alpha : beta:float -> float
+(** [α = 2(β/(β−1))²]; [β = 2] gives [α = 8]. *)
+
+val critical_rounds : ?beta:float -> c:int -> k:int -> unit -> int
+(** [⌊c²/(αk)⌋] — the round count at which Lemma 11 pins the winning
+    probability below 1/2 (for [k ≤ c/β]). *)
+
+val exact_uniform_win_probability : c:int -> k:int -> rounds:int -> float
+(** For the *uniform with-replacement* player specifically: each proposal
+    hits independently with probability [k/c²], so the win probability
+    within [rounds] proposals is [1 − (1 − k/c²)^rounds]. Used to cross-check
+    the simulator against a closed form. *)
+
+val complete_game_losing_probability : c:int -> rounds:int -> float
+(** Lemma 14's game: each (distinct) proposal hits the hidden perfect
+    matching with probability [1/c], and the proof's accounting gives
+    [P(L) ≥ 1 − rounds/c] for [rounds] proposals; this returns
+    [max 0 (1 − rounds/c)]. *)

@@ -1,0 +1,32 @@
+module Rng = Crn_prng.Rng
+
+type strategy = { strategy_name : string; next : slot:int -> int }
+
+let uniform_strategy rng ~c =
+  { strategy_name = "uniform"; next = (fun ~slot:_ -> Rng.int rng c) }
+
+let scan_strategy ~c = { strategy_name = "scan"; next = (fun ~slot -> slot mod c) }
+
+let fresh_random_strategy rng ~c =
+  let order = Rng.permutation rng c in
+  { strategy_name = "random-permutation"; next = (fun ~slot -> order.(slot mod c)) }
+
+let sample ~rng ~c ~k ~strategy =
+  if k < 1 || k > c then invalid_arg "First_hit.sample: k out of range";
+  let members = Rng.sample_without_replacement rng k c in
+  let overlapping = Array.make c false in
+  Array.iter (fun i -> overlapping.(i) <- true) members;
+  let rec loop slot =
+    let label = strategy.next ~slot in
+    if overlapping.(label) then slot + 1 else loop (slot + 1)
+  in
+  loop 0
+
+let mean_first_hit ~rng ~trials ~c ~k ~make_strategy =
+  if trials < 1 then invalid_arg "First_hit.mean_first_hit: trials < 1";
+  let total = ref 0 in
+  for _ = 1 to trials do
+    let strategy = make_strategy (Rng.split rng) in
+    total := !total + sample ~rng:(Rng.split rng) ~c ~k ~strategy
+  done;
+  float_of_int !total /. float_of_int trials

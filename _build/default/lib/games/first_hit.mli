@@ -1,0 +1,39 @@
+(** The Theorem 16 experiment (global channel labels): in the shared-core
+    network the [k] overlapping channels are, from the source's perspective,
+    a uniformly random subset of its [c] channels, so whatever strategy the
+    source uses, the slot at which it first tunes to an overlapping channel
+    has expectation at least [(c+1)/(k+1)]. Non-repeating strategies (a
+    scan, a random permutation) achieve the bound with equality; the
+    memoryless uniform strategy has mean [c/k].
+
+    This module samples that first-hit time for arbitrary source strategies,
+    so experiment E15 can verify both the closed form and its strategy
+    independence. *)
+
+type strategy = {
+  strategy_name : string;
+  next : slot:int -> int;  (** Label in [0, c) chosen at [slot]. *)
+}
+
+val uniform_strategy : Crn_prng.Rng.t -> c:int -> strategy
+
+val scan_strategy : c:int -> strategy
+(** Deterministic [slot mod c] scan. *)
+
+val fresh_random_strategy : Crn_prng.Rng.t -> c:int -> strategy
+(** A random *non-repeating* scan: a random permutation of the labels,
+    then cycling — the optimal strategy, also [(c+1)/(k+1)] in
+    expectation. *)
+
+val sample : rng:Crn_prng.Rng.t -> c:int -> k:int -> strategy:strategy -> int
+(** One trial: draws the hidden overlap set uniformly, runs the strategy,
+    returns the 1-based first-hit slot. *)
+
+val mean_first_hit :
+  rng:Crn_prng.Rng.t ->
+  trials:int ->
+  c:int ->
+  k:int ->
+  make_strategy:(Crn_prng.Rng.t -> strategy) ->
+  float
+(** Monte-Carlo mean over [trials] independent setups and strategies. *)

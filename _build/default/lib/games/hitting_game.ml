@@ -1,0 +1,40 @@
+type player = {
+  player_name : string;
+  propose : round:int -> int * int;
+  inform : round:int -> hit:bool -> unit;
+}
+
+type result = { won : bool; rounds : int }
+
+let play ~matching ~player ~max_rounds =
+  let rec loop round =
+    if round >= max_rounds then { won = false; rounds = max_rounds }
+    else begin
+      let edge = player.propose ~round in
+      let hit = Matching.mem matching edge in
+      player.inform ~round ~hit;
+      if hit then { won = true; rounds = round + 1 } else loop (round + 1)
+    end
+  in
+  loop 0
+
+let play_bipartite ~rng ~c ~k ~player ~max_rounds =
+  let matching = Matching.random rng ~c ~k in
+  play ~matching ~player ~max_rounds
+
+let play_complete ~rng ~c ~player ~max_rounds =
+  let matching = Matching.random_perfect rng ~c in
+  play ~matching ~player ~max_rounds
+
+let median_rounds ~rng ~trials ~make_player ~game ~max_rounds =
+  if trials < 1 then invalid_arg "Hitting_game.median_rounds: trials < 1";
+  let samples =
+    Array.init trials (fun _ ->
+        let player = make_player (Crn_prng.Rng.split rng) in
+        let r = game ~rng:(Crn_prng.Rng.split rng) ~player ~max_rounds in
+        float_of_int r.rounds)
+  in
+  Array.sort compare samples;
+  let t = trials in
+  if t mod 2 = 1 then samples.(t / 2)
+  else (samples.((t / 2) - 1) +. samples.(t / 2)) /. 2.0

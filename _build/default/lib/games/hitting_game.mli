@@ -1,0 +1,55 @@
+(** The hitting games of §6.
+
+    The [(c,k)]-bipartite hitting game (Lemma 11): a referee privately
+    selects a matching [M] of size [k] in [K_{c,c}]; the player proposes one
+    edge per round and wins on the first proposal in [M]. Any player needing
+    probability ≥ 1/2 needs [Ω(c²/k)] rounds.
+
+    The [c]-complete bipartite hitting game (Lemma 14) is the special case
+    where [M] is a perfect matching; it needs [≥ c/3] rounds.
+
+    Players are arbitrary stateful proposal generators; {!Players} provides
+    the standard ones and {!Reduction} derives a player from any local
+    broadcast algorithm (Lemma 12). *)
+
+type player = {
+  player_name : string;
+  propose : round:int -> int * int;
+      (** The edge proposed in this (0-based) round. *)
+  inform : round:int -> hit:bool -> unit;
+      (** Outcome notification. NOTE: in the paper's game the player gets no
+          feedback beyond "not yet won"; [hit = true] simply ends the game,
+          so honest players may only use [hit = false]. *)
+}
+
+type result = {
+  won : bool;
+  rounds : int;  (** Rounds played; the winning proposal counts. *)
+}
+
+val play : matching:Matching.t -> player:player -> max_rounds:int -> result
+
+val play_bipartite :
+  rng:Crn_prng.Rng.t ->
+  c:int ->
+  k:int ->
+  player:player ->
+  max_rounds:int ->
+  result
+(** One [(c,k)] game against the Lemma 11 referee. *)
+
+val play_complete :
+  rng:Crn_prng.Rng.t -> c:int -> player:player -> max_rounds:int -> result
+(** One [c]-complete game against the Lemma 14 referee. *)
+
+val median_rounds :
+  rng:Crn_prng.Rng.t ->
+  trials:int ->
+  make_player:(Crn_prng.Rng.t -> player) ->
+  game:(rng:Crn_prng.Rng.t -> player:player -> max_rounds:int -> result) ->
+  max_rounds:int ->
+  float
+(** Median rounds-to-win over [trials] independent games (losses count as
+    [max_rounds]) — the statistic compared against [f(c,k) ≥ c²/(αk)]:
+    if the median is below the bound the player would win within the bound
+    with probability ≥ 1/2, contradicting Lemma 11. *)

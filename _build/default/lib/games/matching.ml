@@ -1,0 +1,60 @@
+module Rng = Crn_prng.Rng
+
+type t = { c : int; partner : int array (* partner.(a) = b or -1 *) }
+
+let size t = Array.fold_left (fun acc b -> if b >= 0 then acc + 1 else acc) 0 t.partner
+
+let c t = t.c
+
+let mem t (a, b) = a >= 0 && a < t.c && t.partner.(a) = b
+
+let edges t =
+  let acc = ref [] in
+  for a = t.c - 1 downto 0 do
+    if t.partner.(a) >= 0 then acc := (a, t.partner.(a)) :: !acc
+  done;
+  !acc
+
+let of_edges ~c edges =
+  let partner = Array.make c (-1) in
+  let used_b = Array.make c false in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= c || b < 0 || b >= c then
+        invalid_arg "Matching.of_edges: endpoint out of range";
+      if partner.(a) >= 0 then invalid_arg "Matching.of_edges: repeated A vertex";
+      if used_b.(b) then invalid_arg "Matching.of_edges: repeated B vertex";
+      partner.(a) <- b;
+      used_b.(b) <- true)
+    edges;
+  { c; partner }
+
+let random rng ~c ~k =
+  if k < 0 || k > c then invalid_arg "Matching.random: k out of range";
+  (* Sequential uniform picks over remaining vertices: choosing a uniform
+     free A-vertex and a uniform free B-vertex is exactly a uniform choice
+     among the (c-i+1)^2 available edges. *)
+  let free_a = Array.init c (fun i -> i) in
+  let free_b = Array.init c (fun i -> i) in
+  let partner = Array.make c (-1) in
+  for i = 0 to k - 1 do
+    let remaining = c - i in
+    let ai = Rng.int rng remaining in
+    let bi = Rng.int rng remaining in
+    let a = free_a.(ai) and b = free_b.(bi) in
+    partner.(a) <- b;
+    (* Swap the chosen vertices out of the free prefix. *)
+    free_a.(ai) <- free_a.(remaining - 1);
+    free_a.(remaining - 1) <- a;
+    free_b.(bi) <- free_b.(remaining - 1);
+    free_b.(remaining - 1) <- b
+  done;
+  { c; partner }
+
+let random_perfect rng ~c =
+  let partner = Rng.permutation rng c in
+  { c; partner }
+
+let b_of_a t a =
+  if a < 0 || a >= t.c then invalid_arg "Matching.b_of_a: out of range";
+  if t.partner.(a) >= 0 then Some t.partner.(a) else None

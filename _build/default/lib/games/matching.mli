@@ -1,0 +1,32 @@
+(** Matchings in the complete bipartite graph [K_{c,c}] over parts
+    [A = {0..c-1}] and [B = {0..c-1}], as chosen by the lower-bound
+    referees of §6. An edge [(a, b)] pairs [a ∈ A] with [b ∈ B]. *)
+
+type t
+(** A matching of some size [k ≤ c]. *)
+
+val size : t -> int
+
+val c : t -> int
+(** Size of each bipartition part. *)
+
+val mem : t -> int * int -> bool
+(** Edge membership. *)
+
+val edges : t -> (int * int) list
+(** Ascending by [A]-endpoint. *)
+
+val of_edges : c:int -> (int * int) list -> t
+(** Validates that endpoints are in range and no vertex repeats. *)
+
+val random : Crn_prng.Rng.t -> c:int -> k:int -> t
+(** The Lemma 11 referee's distribution: [k] edges chosen sequentially,
+    each uniform over the edges not conflicting with earlier picks (the
+    i-th pick is uniform over [(c-i+1)²] candidates). *)
+
+val random_perfect : Crn_prng.Rng.t -> c:int -> t
+(** The Lemma 14 referee: a uniformly random perfect matching (a random
+    bijection from [A] to [B]). *)
+
+val b_of_a : t -> int -> int option
+(** [b_of_a m a] is the partner of [a], if matched. *)

@@ -1,0 +1,32 @@
+module Rng = Crn_prng.Rng
+
+let no_inform ~round:_ ~hit:_ = ()
+
+let uniform rng ~c =
+  {
+    Hitting_game.player_name = "uniform";
+    propose = (fun ~round:_ -> (Rng.int rng c, Rng.int rng c));
+    inform = no_inform;
+  }
+
+let without_replacement rng ~c =
+  let total = c * c in
+  let order = Rng.permutation rng total in
+  {
+    Hitting_game.player_name = "without-replacement";
+    propose =
+      (fun ~round ->
+        let e = order.(round mod total) in
+        (e / c, e mod c));
+    inform = no_inform;
+  }
+
+let row_scan ~c =
+  {
+    Hitting_game.player_name = "row-scan";
+    propose =
+      (fun ~round ->
+        let e = round mod (c * c) in
+        (e / c, e mod c));
+    inform = no_inform;
+  }

@@ -1,0 +1,18 @@
+(** Standard players for the hitting games.
+
+    Lemma 11 holds for *arbitrary* probabilistic players, so these span the
+    natural strategy space: memoryless uniform guessing, sampling without
+    replacement (the strongest generic strategy), and a deterministic
+    row-major scan. Experiment E8 checks that even the strongest of them
+    stays above the [c²/(αk)] bound at the median. *)
+
+val uniform : Crn_prng.Rng.t -> c:int -> Hitting_game.player
+(** Proposes a uniformly random edge each round (with replacement). *)
+
+val without_replacement : Crn_prng.Rng.t -> c:int -> Hitting_game.player
+(** Proposes the [c²] edges in a uniformly random order — optimal among
+    feedback-free strategies by symmetry. *)
+
+val row_scan : c:int -> Hitting_game.player
+(** Deterministic lexicographic scan [(0,0), (0,1), …]; the adversarial
+    referee distribution makes determinism no better than random. *)

@@ -1,0 +1,29 @@
+(** Lemma 12: any algorithm solving local broadcast with local channel
+    labels in [g(c,k,n)] slots yields a player winning the
+    [(c,k)]-bipartite hitting game in [min{c,n}·g(c,k,n)] rounds.
+
+    The player simulates the hard network: the source holds channel set [A],
+    the other [n-1] nodes all hold channel set [B], and the referee's hidden
+    matching [M] defines which [A]-channels coincide with which
+    [B]-channels. Until the source lands on a matched channel no information
+    can leave it, so the simulation needs no radio at all: it just replays
+    the algorithm's channel choices. Each simulated slot [r] yields up to
+    [min{c, n}] fresh proposals [(a_r, b_r^u)] — one per distinct channel
+    chosen by a non-source node, skipping pairs already proposed. *)
+
+type simulated_algorithm = {
+  alg_name : string;
+  source_choice : slot:int -> int;
+      (** The source's channel label (index into [A]) in a simulated slot. *)
+  nonsource_choices : slot:int -> int array;
+      (** Labels (indices into [B]) chosen by the [n-1] non-source nodes. *)
+}
+
+val cogcast_algorithm : Crn_prng.Rng.t -> n:int -> c:int -> simulated_algorithm
+(** COGCAST's choices: every node uniform over its [c] labels each slot. *)
+
+val player_of_algorithm :
+  c:int -> simulated_algorithm -> Hitting_game.player * (unit -> int)
+(** [player_of_algorithm ~c alg] is the Lemma 12 player plus an accessor for
+    the number of simulated slots consumed so far — the quantity related to
+    game rounds by [rounds ≤ min{c,n}·slots]. *)

@@ -1,0 +1,1 @@
+lib/prng/rng.ml: Array Hashtbl Int64 List Splitmix Xoshiro

@@ -1,0 +1,1 @@
+lib/prng/splitmix.ml: Int64

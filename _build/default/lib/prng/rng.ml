@@ -1,0 +1,89 @@
+type t = { gen : Xoshiro.t; sm : Splitmix.t }
+
+let of_int64 seed =
+  let sm = Splitmix.create seed in
+  { gen = Xoshiro.of_splitmix sm; sm = Splitmix.split sm }
+
+let create seed = of_int64 (Splitmix.mix64 (Int64.of_int seed))
+
+let split t =
+  let sm = Splitmix.split t.sm in
+  { gen = Xoshiro.of_splitmix sm; sm = Splitmix.split sm }
+
+let split_n t n = Array.init n (fun _ -> split t)
+
+let copy t = { gen = Xoshiro.copy t.gen; sm = Splitmix.copy t.sm }
+
+let bits64 t = Xoshiro.next t.gen
+
+(* Uniform int on [0, bound) by rejection on the top 62 bits, which keeps the
+   value in OCaml's positive int range. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = 0x3FFF_FFFF_FFFF_FFFFL in
+  let rec loop () =
+    let r = Int64.to_int (Int64.logand (bits64 t) mask) in
+    (* Avoid modulo bias: reject the tail of the range. *)
+    let v = r mod bound in
+    if r - v > 0x3FFF_FFFF_FFFF_FFFF - bound + 1 then loop () else v
+  in
+  loop ()
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (r *. 0x1.0p-53)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let geometric t p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric: p must be in (0,1]";
+  if p = 1.0 then 1
+  else
+    (* Inverse-CDF sampling: ceil(ln U / ln (1-p)). *)
+    let u = 1.0 -. float t 1.0 in
+    let v = ceil (log u /. log (1.0 -. p)) in
+    max 1 (int_of_float v)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let shuffled_init t n f =
+  let a = Array.init n f in
+  shuffle t a;
+  a
+
+let permutation t n = shuffled_init t n (fun i -> i)
+
+let sample_without_replacement t m n =
+  if m > n then invalid_arg "Rng.sample_without_replacement: m > n";
+  if m < 0 then invalid_arg "Rng.sample_without_replacement: m < 0";
+  (* Sparse Fisher–Yates: entry i of the virtual array [0..n-1] is stored in
+     the table only once displaced. *)
+  let displaced = Hashtbl.create (2 * m) in
+  let value_at i = match Hashtbl.find_opt displaced i with Some v -> v | None -> i in
+  Array.init m (fun i ->
+      let j = int_in t i (n - 1) in
+      let vi = value_at i and vj = value_at j in
+      Hashtbl.replace displaced j vi;
+      Hashtbl.replace displaced i vj;
+      vj)
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ -> List.nth l (int t (List.length l))

@@ -1,0 +1,23 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* Stafford's Mix13 variant of the MurmurHash3 finalizer. *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let next_int64 = next
+
+let split t =
+  let seed = next t in
+  create (mix64 seed)

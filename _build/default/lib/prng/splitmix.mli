@@ -1,0 +1,30 @@
+(** SplitMix64: a fast, statistically strong 64-bit PRNG with a trivially
+    splittable state (Steele, Lea & Flood, OOPSLA 2014).
+
+    Used in two roles: seeding {!Xoshiro} states, and deriving independent
+    per-node streams from a single experiment seed so that simulations are
+    reproducible regardless of the order in which nodes draw randomness. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] makes a generator from an arbitrary 64-bit seed. Distinct
+    seeds yield (with overwhelming probability) non-overlapping streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator that will replay [t]'s future. *)
+
+val next : t -> int64
+(** [next t] advances the state and returns 64 uniformly random bits. *)
+
+val next_int64 : t -> int64
+(** Alias for {!next}. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a fresh generator whose stream is
+    independent of [t]'s subsequent output. *)
+
+val mix64 : int64 -> int64
+(** [mix64 z] is the stateless finalizer used by the generator; exposed for
+    hashing-style derivation of seeds from small integers. *)

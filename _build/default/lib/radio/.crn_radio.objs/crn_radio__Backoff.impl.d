@@ -1,0 +1,1 @@
+lib/radio/backoff.ml: Action Array Crn_channel Crn_prng Float Raw_radio

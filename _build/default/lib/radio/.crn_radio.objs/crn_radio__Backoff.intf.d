@@ -1,0 +1,1 @@
+lib/radio/backoff.mli: Crn_prng

@@ -1,0 +1,1 @@
+lib/radio/emulation.ml: Action Array Backoff Crn_channel Crn_prng Engine Hashtbl List

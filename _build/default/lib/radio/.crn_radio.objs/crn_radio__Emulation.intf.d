@@ -1,0 +1,1 @@
+lib/radio/emulation.mli: Crn_channel Crn_prng Engine

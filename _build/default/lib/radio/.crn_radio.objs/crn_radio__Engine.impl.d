@@ -1,0 +1,1 @@
+lib/radio/engine.ml: Action Array Crn_channel Crn_prng Faults Hashtbl Jammer List Metrics Printf Trace

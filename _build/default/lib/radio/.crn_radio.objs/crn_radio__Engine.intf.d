@@ -1,0 +1,1 @@
+lib/radio/engine.mli: Action Crn_channel Crn_prng Faults Jammer Metrics Trace

@@ -1,0 +1,1 @@
+lib/radio/faults.ml: Array Crn_prng Int64 Printf

@@ -1,0 +1,1 @@
+lib/radio/jammer.ml: Crn_channel Crn_prng Hashtbl Int64

@@ -1,0 +1,1 @@
+lib/radio/jammer.mli: Crn_channel

@@ -1,0 +1,1 @@
+lib/radio/jamming_reduction.ml: Array Crn_channel Crn_prng Jammer Option Printf

@@ -1,0 +1,1 @@
+lib/radio/jamming_reduction.mli: Crn_channel Crn_prng Jammer

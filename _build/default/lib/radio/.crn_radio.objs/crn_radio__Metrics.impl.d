@@ -1,0 +1,1 @@
+lib/radio/metrics.ml: Array Format

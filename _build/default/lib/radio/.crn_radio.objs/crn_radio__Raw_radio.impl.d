@@ -1,0 +1,1 @@
+lib/radio/raw_radio.ml: Action Array Crn_channel Hashtbl

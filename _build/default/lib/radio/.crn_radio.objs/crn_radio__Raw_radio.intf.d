@@ -1,0 +1,1 @@
+lib/radio/raw_radio.mli: Action Crn_channel

@@ -1,0 +1,1 @@
+lib/radio/trace.ml: Format

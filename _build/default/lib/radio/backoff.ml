@@ -1,0 +1,86 @@
+module Rng = Crn_prng.Rng
+
+type result = { winner : int; rounds : int }
+
+let ceil_log2 n =
+  if n <= 1 then 0
+  else begin
+    let rec loop acc v = if v >= n then acc else loop (acc + 1) (2 * v) in
+    loop 0 1
+  end
+
+let epoch_length contenders = ceil_log2 (max 2 contenders) + 1
+
+let expected_rounds_bound n =
+  let e = epoch_length (max 2 n) in
+  4 * e * e
+
+(* Direct simulation of the decay session: in sub-round r each live
+   contender transmits with probability 2^{-(r mod epoch)}; the first
+   sub-round with exactly one transmitter ends the session. *)
+let session ~rng ~contenders ~cap =
+  if contenders < 1 then invalid_arg "Backoff.session: need a contender";
+  if contenders = 1 then Some { winner = 0; rounds = 1 }
+  else begin
+    let epoch = epoch_length contenders in
+    let rec loop round =
+      if round >= cap then None
+      else begin
+        let p = Float.pow 0.5 (float_of_int (round mod epoch)) in
+        let transmitters = ref [] in
+        for i = 0 to contenders - 1 do
+          if Rng.bernoulli rng p then transmitters := i :: !transmitters
+        done;
+        match !transmitters with
+        | [ winner ] -> Some { winner; rounds = round + 1 }
+        | _ -> loop (round + 1)
+      end
+    in
+    loop 0
+  end
+
+(* The same protocol run as real nodes through the raw collision engine:
+   everyone shares a single channel; live contenders flip the decay coin and
+   transmit their index; a node hearing a message aborts; the winner is the
+   node that transmitted in a round where everyone else heard its message. *)
+let session_on_raw_radio ~rng ~contenders ~cap =
+  if contenders < 1 then invalid_arg "Backoff.session_on_raw_radio: need a contender";
+  if contenders = 1 then Some { winner = 0; rounds = 1 }
+  else begin
+    let epoch = epoch_length contenders in
+    let assignment =
+      Crn_channel.Assignment.create ~num_channels:1
+        ~local_to_global:(Array.make contenders [| 0 |])
+    in
+    let availability = Crn_channel.Dynamic.static assignment in
+    let aborted = Array.make contenders false in
+    let transmitted_in = Array.make contenders (-1) in
+    let heard_from = ref None in
+    let node_rngs = Rng.split_n rng contenders in
+    let decide i ~round =
+      if aborted.(i) then Action.listen ~label:0
+      else begin
+        let p = Float.pow 0.5 (float_of_int (round mod epoch)) in
+        if Rng.bernoulli node_rngs.(i) p then begin
+          transmitted_in.(i) <- round;
+          Action.broadcast ~label:0 i
+        end
+        else Action.listen ~label:0
+      end
+    in
+    let hear i ~round:_ = function
+      | Raw_radio.Message { msg = sender_index; _ } ->
+          aborted.(i) <- true;
+          heard_from := Some sender_index
+      | Raw_radio.Noise | Raw_radio.Quiet -> ()
+    in
+    let nodes =
+      Array.init contenders (fun i ->
+          Raw_radio.node ~id:i ~decide:(decide i) ~hear:(hear i))
+    in
+    let stop ~round:_ = !heard_from <> None in
+    let outcome = Raw_radio.run ~stop ~availability ~nodes ~max_rounds:cap () in
+    match !heard_from with
+    | Some winner -> Some { winner; rounds = outcome.Raw_radio.rounds_run }
+    | None -> None
+  end

@@ -1,0 +1,106 @@
+module Rng = Crn_prng.Rng
+module Dynamic = Crn_channel.Dynamic
+module Assignment = Crn_channel.Assignment
+
+type outcome = {
+  slots_run : int;
+  raw_rounds : int;
+  failed_sessions : int;
+  stopped_early : bool;
+}
+
+type 'msg channel_state = {
+  mutable broadcasters : (int * 'msg) list;
+  mutable listeners : int list;
+}
+
+let run ?session_cap ?stop ~availability ~rng ~nodes ~max_slots () =
+  let n = Array.length nodes in
+  if n = 0 then invalid_arg "Emulation.run: no nodes";
+  if Dynamic.num_nodes availability <> n then
+    invalid_arg "Emulation.run: node count disagrees with availability";
+  Array.iteri
+    (fun i node ->
+      if node.Engine.id <> i then invalid_arg "Emulation.run: node id mismatch")
+    nodes;
+  let session_cap =
+    match session_cap with Some v -> v | None -> Backoff.expected_rounds_bound n
+  in
+  let channels : (int, 'msg channel_state) Hashtbl.t = Hashtbl.create (4 * n) in
+  let decisions = Array.make n (Action.listen ~label:0) in
+  let tuned = Array.make n 0 in
+  let slot = ref 0 in
+  let raw_rounds = ref 0 in
+  let failed_sessions = ref 0 in
+  let stopped = ref false in
+  while (not !stopped) && !slot < max_slots do
+    let s = !slot in
+    let assignment = Dynamic.at availability s in
+    let c = Assignment.channels_per_node assignment in
+    Hashtbl.reset channels;
+    for i = 0 to n - 1 do
+      let decision = nodes.(i).Engine.decide ~slot:s in
+      if decision.Action.label < 0 || decision.Action.label >= c then
+        invalid_arg "Emulation.run: label out of range";
+      decisions.(i) <- decision;
+      let channel = Assignment.global_of_local assignment ~node:i ~label:decision.Action.label in
+      tuned.(i) <- channel;
+      let state =
+        match Hashtbl.find_opt channels channel with
+        | Some st -> st
+        | None ->
+            let st = { broadcasters = []; listeners = [] } in
+            Hashtbl.replace channels channel st;
+            st
+      in
+      match decision.Action.intent with
+      | Action.Broadcast msg -> state.broadcasters <- (i, msg) :: state.broadcasters
+      | Action.Listen -> state.listeners <- i :: state.listeners
+    done;
+    (* Resolve every active channel with a decay contention session; the
+       abstract slot costs the longest session (sessions are concurrent
+       across channels). Idle channels cost one raw round of listening. *)
+    let slot_rounds = ref 1 in
+    Hashtbl.iter
+      (fun _channel state ->
+        match state.broadcasters with
+        | [] ->
+            List.iter (fun l -> nodes.(l).Engine.feedback ~slot:s Action.Silence)
+              state.listeners
+        | broadcasters -> (
+            let contenders = List.length broadcasters in
+            match Backoff.session ~rng ~contenders ~cap:session_cap with
+            | Some { Backoff.winner; rounds } ->
+                slot_rounds := max !slot_rounds rounds;
+                let winner_id, winner_msg = List.nth broadcasters winner in
+                List.iter
+                  (fun (b, _) ->
+                    if b = winner_id then nodes.(b).Engine.feedback ~slot:s Action.Won
+                    else
+                      nodes.(b).Engine.feedback ~slot:s
+                        (Action.Lost { winner = winner_id; msg = winner_msg }))
+                  broadcasters;
+                List.iter
+                  (fun l ->
+                    nodes.(l).Engine.feedback ~slot:s
+                      (Action.Heard { sender = winner_id; msg = winner_msg }))
+                  state.listeners
+            | None ->
+                incr failed_sessions;
+                slot_rounds := max !slot_rounds session_cap;
+                List.iter
+                  (fun (b, _) -> nodes.(b).Engine.feedback ~slot:s Action.Silence)
+                  broadcasters;
+                List.iter (fun l -> nodes.(l).Engine.feedback ~slot:s Action.Silence)
+                  state.listeners))
+      channels;
+    raw_rounds := !raw_rounds + !slot_rounds;
+    (match stop with Some f -> if f ~slot:s then stopped := true | None -> ());
+    incr slot
+  done;
+  {
+    slots_run = !slot;
+    raw_rounds = !raw_rounds;
+    failed_sessions = !failed_sessions;
+    stopped_early = !stopped;
+  }

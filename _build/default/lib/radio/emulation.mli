@@ -1,0 +1,51 @@
+(** Emulation of the §2 one-winner slot model on the raw collision radio —
+    the end-to-end composition of footnote 4.
+
+    {!Engine.run} *assumes* the contention abstraction; this module
+    *implements* it: each abstract slot expands into one decay-backoff
+    contention session per active channel (sessions on distinct channels
+    run concurrently, so an abstract slot costs the maximum session length
+    over its channels, [O(log² n)] raw rounds w.h.p.). Within a session:
+
+    {ul
+    {- contenders transmit with exponentially decreasing probability; the
+       first sub-round with a unique transmitter delivers its message;}
+    {- every other node on the channel — listeners and backed-off
+       contenders alike — hears that message, which matches the model's
+       "failed broadcasters receive the message that was sent";}
+    {- the winner infers success from being the only non-aborter.}}
+
+    Protocols written against {!Engine}'s node interface run unchanged; the
+    outcome additionally reports the raw rounds consumed, so experiments can
+    measure the emulation overhead (E22). A session that fails to isolate a
+    transmitter within the per-slot cap (probability [n^{-Θ(1)}]) delivers
+    nothing on that channel for that slot: everyone there — broadcasters
+    included — receives {!Action.Silence}, the observable a real radio
+    would produce after a wasted contention window. *)
+
+type outcome = {
+  slots_run : int;  (** Abstract slots executed. *)
+  raw_rounds : int;
+      (** Raw radio rounds consumed (sum over slots of the per-slot
+          maximum session length, each at least 1). *)
+  failed_sessions : int;
+      (** Sessions that hit the cap without isolating a winner; those
+          channels deliver nothing in that slot (all participants receive
+          {!Action.Silence}). *)
+  stopped_early : bool;
+}
+
+val run :
+  ?session_cap:int ->
+  ?stop:(slot:int -> bool) ->
+  availability:Crn_channel.Dynamic.t ->
+  rng:Crn_prng.Rng.t ->
+  nodes:'msg Engine.node array ->
+  max_slots:int ->
+  unit ->
+  outcome
+(** Same contract as {!Engine.run} minus jamming/faults/metrics (compose at
+    the abstract layer if needed). [session_cap] bounds each contention
+    session in raw rounds (default [4·(⌈lg n⌉+1)²], the
+    {!Backoff.expected_rounds_bound}); idle channels and single-listener
+    channels cost one raw round. *)

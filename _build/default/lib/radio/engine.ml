@@ -1,0 +1,137 @@
+module Rng = Crn_prng.Rng
+module Dynamic = Crn_channel.Dynamic
+module Assignment = Crn_channel.Assignment
+
+type 'msg node = {
+  id : int;
+  decide : slot:int -> 'msg Action.decision;
+  feedback : slot:int -> 'msg Action.feedback -> unit;
+}
+
+type outcome = { slots_run : int; stopped_early : bool; trace : Trace.t }
+
+let node ~id ~decide ~feedback = { id; decide; feedback }
+
+(* Per-channel occupancy for one slot. Channels are sparse relative to the
+   spectrum size, so a hashtable keyed by global channel id is used. *)
+type 'msg channel_state = {
+  mutable broadcasters : (int * 'msg) list;  (* audible: (node, msg) *)
+  mutable listeners : int list;  (* audible listeners *)
+}
+
+let run ?(jammer = Jammer.none) ?(faults = Faults.none) ?metrics ?stop
+    ?on_slot_end ~availability ~rng ~nodes ~max_slots () =
+  let n = Array.length nodes in
+  if n = 0 then invalid_arg "Engine.run: no nodes";
+  if Dynamic.num_nodes availability <> n then
+    invalid_arg "Engine.run: node count disagrees with availability";
+  Array.iteri
+    (fun i node -> if node.id <> i then invalid_arg "Engine.run: node id mismatch")
+    nodes;
+  if max_slots < 0 then invalid_arg "Engine.run: negative max_slots";
+  (match metrics with
+  | Some m ->
+      if Array.length m.Metrics.transmissions <> n then
+        invalid_arg "Engine.run: metrics sized for a different node count"
+  | None -> ());
+  let bump counters i =
+    match metrics with
+    | Some m -> (counters m).(i) <- (counters m).(i) + 1
+    | None -> ()
+  in
+  let trace = Trace.create () in
+  let channels : (int, 'msg channel_state) Hashtbl.t = Hashtbl.create (4 * n) in
+  (* Scratch: the decision each node made this slot, and its global channel
+     (or -1 when the action was jammed). *)
+  let decisions = Array.make n (Action.listen ~label:0) in
+  let tuned = Array.make n (-1) in
+  let slot = ref 0 in
+  let stopped = ref false in
+  while (not !stopped) && !slot < max_slots do
+    let s = !slot in
+    let assignment = Dynamic.at availability s in
+    let c = Assignment.channels_per_node assignment in
+    Hashtbl.reset channels;
+    (* Collect decisions and build per-channel occupancy. A node that is
+       down this slot is simply absent: it is not asked for a decision and
+       receives no feedback. *)
+    for i = 0 to n - 1 do
+      if Faults.down faults ~slot:s ~node:i then tuned.(i) <- -2
+      else begin
+      let decision = nodes.(i).decide ~slot:s in
+      if decision.Action.label < 0 || decision.Action.label >= c then
+        invalid_arg
+          (Printf.sprintf "Engine.run: node %d chose label %d outside [0,%d)" i
+             decision.Action.label c);
+      decisions.(i) <- decision;
+      let channel = Assignment.global_of_local assignment ~node:i ~label:decision.Action.label in
+      bump (fun m -> m.Metrics.awake_slots) i;
+      if Jammer.jams jammer ~slot:s ~node:i ~channel then begin
+        tuned.(i) <- -1;
+        trace.Trace.jammed_actions <- trace.Trace.jammed_actions + 1;
+        bump (fun m -> m.Metrics.jammed) i
+      end
+      else begin
+        tuned.(i) <- channel;
+        let state =
+          match Hashtbl.find_opt channels channel with
+          | Some st -> st
+          | None ->
+              let st = { broadcasters = []; listeners = [] } in
+              Hashtbl.replace channels channel st;
+              st
+        in
+        match decision.Action.intent with
+        | Action.Broadcast msg ->
+            state.broadcasters <- (i, msg) :: state.broadcasters;
+            trace.Trace.broadcasts <- trace.Trace.broadcasts + 1;
+            bump (fun m -> m.Metrics.transmissions) i
+        | Action.Listen -> state.listeners <- i :: state.listeners
+      end
+      end
+    done;
+    (* Resolve each channel: one uniformly random winner among audible
+       broadcasters; deliver to audible listeners; inform losers. *)
+    Hashtbl.iter
+      (fun _channel state ->
+        match state.broadcasters with
+        | [] -> ()
+        | broadcasters ->
+            let count = List.length broadcasters in
+            let widx = if count = 1 then 0 else Rng.int rng count in
+            let winner_id, winner_msg = List.nth broadcasters widx in
+            trace.Trace.wins <- trace.Trace.wins + 1;
+            if count > 1 then trace.Trace.contended <- trace.Trace.contended + 1;
+            List.iter
+              (fun (b, _msg) ->
+                if b = winner_id then nodes.(b).feedback ~slot:s Action.Won
+                else
+                  nodes.(b).feedback ~slot:s
+                    (Action.Lost { winner = winner_id; msg = winner_msg }))
+              broadcasters;
+            List.iter
+              (fun l ->
+                trace.Trace.deliveries <- trace.Trace.deliveries + 1;
+                bump (fun m -> m.Metrics.receptions) l;
+                nodes.(l).feedback ~slot:s
+                  (Action.Heard { sender = winner_id; msg = winner_msg }))
+              state.listeners)
+      channels;
+    (* Feedback for nodes that heard nothing or were jammed; down nodes
+       (tuned = -2) get nothing. *)
+    for i = 0 to n - 1 do
+      if tuned.(i) = -2 then ()
+      else if tuned.(i) = -1 then nodes.(i).feedback ~slot:s Action.Jammed
+      else
+        match decisions.(i).Action.intent with
+        | Action.Broadcast _ -> ()  (* already got Won/Lost above *)
+        | Action.Listen ->
+            let state = Hashtbl.find channels tuned.(i) in
+            if state.broadcasters = [] then nodes.(i).feedback ~slot:s Action.Silence
+    done;
+    trace.Trace.slots_run <- trace.Trace.slots_run + 1;
+    (match on_slot_end with Some f -> f ~slot:s | None -> ());
+    (match stop with Some f -> if f ~slot:s then stopped := true | None -> ());
+    incr slot
+  done;
+  { slots_run = !slot; stopped_early = !stopped; trace }

@@ -1,0 +1,60 @@
+(** The slot-synchronous radio engine implementing the paper's §2 model.
+
+    Per slot, every node submits a {!Action.decision} (a local channel label
+    plus broadcast/listen). The engine translates labels to global channels
+    through the slot's {!Crn_channel.Dynamic} assignment, resolves contention
+    — on each channel with at least one audible broadcaster, one broadcaster
+    chosen uniformly at random wins and is delivered to every listener on
+    that channel — and feeds back the outcome to each node ({!Action.Won},
+    {!Action.Lost}, {!Action.Heard}, {!Action.Silence}, {!Action.Jammed}).
+
+    With a jammer installed, an action on a channel jammed *at that node*
+    is absorbed: the node receives {!Action.Jammed}, a jammed broadcaster is
+    not eligible to win, and a jammed listener hears nothing. This is the
+    receiver-side interference semantics used by the Theorem 18 reduction
+    experiments.
+
+    With a fault schedule installed, a node that is down in a slot is
+    absent from it entirely: no decision is requested, nothing is sent or
+    heard, and no feedback is delivered — the semantics of a transient
+    outage in §1's robustness discussion.
+
+    The engine is polymorphic in the message type, so different protocols
+    bring their own message variants without an untyped union. *)
+
+type 'msg node = {
+  id : int;  (** Must equal the node's index in the [nodes] array. *)
+  decide : slot:int -> 'msg Action.decision;
+  feedback : slot:int -> 'msg Action.feedback -> unit;
+}
+
+type outcome = {
+  slots_run : int;
+      (** Number of slots executed (equals [max_slots] unless [stop] fired). *)
+  stopped_early : bool;
+  trace : Trace.t;
+}
+
+val run :
+  ?jammer:Jammer.t ->
+  ?faults:Faults.t ->
+  ?metrics:Metrics.t ->
+  ?stop:(slot:int -> bool) ->
+  ?on_slot_end:(slot:int -> unit) ->
+  availability:Crn_channel.Dynamic.t ->
+  rng:Crn_prng.Rng.t ->
+  nodes:'msg node array ->
+  max_slots:int ->
+  unit ->
+  outcome
+(** [run ~availability ~rng ~nodes ~max_slots ()] executes up to [max_slots]
+    slots. [stop ~slot] is evaluated after each slot (with the 0-based index
+    of the slot just completed) and ends the run when it returns [true].
+    Raises [Invalid_argument] if node ids are inconsistent, the node count
+    disagrees with [availability], or a node submits an out-of-range label. *)
+
+val node :
+  id:int ->
+  decide:(slot:int -> 'msg Action.decision) ->
+  feedback:(slot:int -> 'msg Action.feedback -> unit) ->
+  'msg node

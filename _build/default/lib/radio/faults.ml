@@ -1,0 +1,62 @@
+module Splitmix = Crn_prng.Splitmix
+
+type t = { name : string; down : slot:int -> node:int -> bool }
+
+let name t = t.name
+let down t = t.down
+
+let none = { name = "none"; down = (fun ~slot:_ ~node:_ -> false) }
+
+let of_fun ~name down = { name; down }
+
+let crash ~node ~from_slot =
+  {
+    name = Printf.sprintf "crash(node=%d,slot=%d)" node from_slot;
+    down = (fun ~slot ~node:v -> v = node && slot >= from_slot);
+  }
+
+let random_naps ~seed ~rate =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Faults.random_naps: rate out of [0,1]";
+  {
+    name = Printf.sprintf "random-naps(%.2f)" rate;
+    down =
+      (fun ~slot ~node ->
+        let h =
+          Splitmix.mix64
+            (Int64.logxor seed
+               (Int64.of_int ((slot * 0x9E3779B1) lxor (node * 0x85EBCA77))))
+        in
+        (* Map the top 53 bits to [0, 1). *)
+        let u =
+          Int64.to_float (Int64.shift_right_logical h 11) *. 0x1.0p-53
+        in
+        u < rate);
+  }
+
+let periodic_nap ~period ~nap ~offset_stride =
+  if period < 1 || nap < 0 || nap > period then
+    invalid_arg "Faults.periodic_nap: need 0 <= nap <= period, period >= 1";
+  {
+    name = Printf.sprintf "periodic-nap(%d/%d)" nap period;
+    down = (fun ~slot ~node -> (slot + (node * offset_stride)) mod period < nap);
+  }
+
+let spare t ~node =
+  {
+    name = t.name ^ Printf.sprintf "\\{%d}" node;
+    down = (fun ~slot ~node:v -> v <> node && t.down ~slot ~node:v);
+  }
+
+let union a b =
+  {
+    name = a.name ^ "+" ^ b.name;
+    down = (fun ~slot ~node -> a.down ~slot ~node || b.down ~slot ~node);
+  }
+
+let staggered_activation ~activation =
+  {
+    name = "staggered-activation";
+    down =
+      (fun ~slot ~node ->
+        node >= 0 && node < Array.length activation && slot < activation.(node));
+  }

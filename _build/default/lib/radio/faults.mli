@@ -1,0 +1,45 @@
+(** Transient node failures.
+
+    §1 argues that COGCAST's obliviousness — every node does the same thing
+    in every slot — makes it robust to "changes to the network conditions,
+    temporary faults, and so on". This module supplies fault schedules the
+    engine applies: a node that is *down* in a slot neither transmits nor
+    receives (it simply misses the slot); its protocol state is untouched.
+
+    Fault schedules must be deterministic functions of [(slot, node)] so
+    runs replay; randomized schedules derive decisions from a seed. *)
+
+type t
+
+val name : t -> string
+
+val down : t -> slot:int -> node:int -> bool
+(** Whether [node] misses [slot]. *)
+
+val none : t
+
+val of_fun : name:string -> (slot:int -> node:int -> bool) -> t
+
+val crash : node:int -> from_slot:int -> t
+(** [node] permanently fails at [from_slot]. *)
+
+val random_naps : seed:int64 -> rate:float -> t
+(** Every node independently misses each slot with probability [rate]
+    (decided per (slot, node) from the seed) — memoryless transient
+    faults. *)
+
+val periodic_nap : period:int -> nap:int -> offset_stride:int -> t
+(** Node [v] sleeps during slots [s] with
+    [(s + v*offset_stride) mod period < nap] — staggered duty cycling. *)
+
+val spare : t -> node:int -> t
+(** [spare t ~node] is [t] with [node] never failing — used to keep the
+    source alive, without which broadcast trivially cannot start. *)
+
+val union : t -> t -> t
+(** Down if either schedule says down. *)
+
+val staggered_activation : activation:int array -> t
+(** [staggered_activation ~activation] keeps node [v] down until slot
+    [activation.(v)] — relaxing the paper's all-activated-simultaneously
+    assumption (§2). Once awake a node never fails. *)

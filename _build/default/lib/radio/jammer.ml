@@ -1,0 +1,78 @@
+module Rng = Crn_prng.Rng
+module Splitmix = Crn_prng.Splitmix
+
+type t = {
+  name : string;
+  budget : int;
+  jams : slot:int -> node:int -> channel:int -> bool;
+}
+
+let name t = t.name
+let budget t = t.budget
+let jams t = t.jams
+
+let jammed_set t ~slot ~node ~num_channels =
+  let set = Crn_channel.Bitset.create num_channels in
+  for channel = 0 to num_channels - 1 do
+    if t.jams ~slot ~node ~channel then Crn_channel.Bitset.set set channel
+  done;
+  set
+
+let none = { name = "none"; budget = 0; jams = (fun ~slot:_ ~node:_ ~channel:_ -> false) }
+
+let of_fun ~name ~budget jams = { name; budget; jams }
+
+(* Deterministic per-(slot, node) jam set: hash the seed with slot and node,
+   memoize the resulting subset. *)
+let random_subset_jammer ~name ~seed ~budget ~num_channels ~per_node =
+  if budget < 0 || budget > num_channels then
+    invalid_arg "Jammer: budget out of range";
+  let cache : (int * int, Crn_channel.Bitset.t) Hashtbl.t = Hashtbl.create 256 in
+  let set_for ~slot ~node =
+    let node_key = if per_node then node else 0 in
+    match Hashtbl.find_opt cache (slot, node_key) with
+    | Some s -> s
+    | None ->
+        let mixed =
+          Splitmix.mix64
+            (Int64.logxor seed
+               (Int64.of_int ((slot * 0x1000003) lxor (node_key * 0x5bd1e995))))
+        in
+        let rng = Rng.of_int64 mixed in
+        let members = Rng.sample_without_replacement rng budget num_channels in
+        let s = Crn_channel.Bitset.of_array num_channels members in
+        Hashtbl.replace cache (slot, node_key) s;
+        s
+  in
+  {
+    name;
+    budget;
+    jams =
+      (fun ~slot ~node ~channel ->
+        channel < num_channels && Crn_channel.Bitset.mem (set_for ~slot ~node) channel);
+  }
+
+let random_per_node ~seed ~budget ~num_channels =
+  random_subset_jammer ~name:"random-per-node" ~seed ~budget ~num_channels ~per_node:true
+
+let random_global ~seed ~budget ~num_channels =
+  random_subset_jammer ~name:"random-global" ~seed ~budget ~num_channels ~per_node:false
+
+let sweep ~budget ~num_channels =
+  if budget < 0 || budget > num_channels then invalid_arg "Jammer.sweep: budget out of range";
+  {
+    name = "sweep";
+    budget;
+    jams =
+      (fun ~slot ~node:_ ~channel ->
+        let base = slot * budget mod num_channels in
+        let offset = (channel - base + num_channels) mod num_channels in
+        offset < budget);
+  }
+
+let targeted_low ~budget =
+  {
+    name = "targeted-low";
+    budget;
+    jams = (fun ~slot:_ ~node:_ ~channel -> channel < budget);
+  }

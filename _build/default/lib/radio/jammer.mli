@@ -1,0 +1,46 @@
+(** n-uniform jamming adversaries (§7, Theorem 18).
+
+    An [x]-uniform jammer partitions the nodes into [x] groups and makes an
+    independent jamming decision for each group; an [n]-uniform jammer may
+    jam a different channel set *at every node*. The adversary's per-slot,
+    per-node budget is the number of channels it may jam, and Theorem 18
+    requires budget [< c/2].
+
+    Jamming decisions must be deterministic functions of [(slot, node)] so
+    that runs replay; randomized jammers derive their choices from a seed
+    hashed with the slot. *)
+
+type t
+
+val name : t -> string
+
+val budget : t -> int
+(** Maximum channels jammed per node per slot. *)
+
+val jams : t -> slot:int -> node:int -> channel:int -> bool
+(** Whether [channel] is jammed at [node] during [slot]. *)
+
+val jammed_set : t -> slot:int -> node:int -> num_channels:int -> Crn_channel.Bitset.t
+(** All channels jammed at [node] during [slot], as a bitset. *)
+
+val none : t
+(** Jams nothing (budget 0). *)
+
+val of_fun : name:string -> budget:int -> (slot:int -> node:int -> channel:int -> bool) -> t
+
+val random_per_node : seed:int64 -> budget:int -> num_channels:int -> t
+(** The full-strength n-uniform adversary: an independent uniformly random
+    [budget]-subset of channels per node per slot. *)
+
+val random_global : seed:int64 -> budget:int -> num_channels:int -> t
+(** A 1-uniform adversary: one random [budget]-subset shared by all nodes
+    each slot. *)
+
+val sweep : budget:int -> num_channels:int -> t
+(** Deterministic sweep: at slot [s] jams channels
+    [s*budget .. s*budget + budget - 1 (mod num_channels)] at every node —
+    the classic scanning jammer. *)
+
+val targeted_low : budget:int -> t
+(** Always jams channels [0 .. budget-1] at every node — punishes protocols
+    biased toward low channel ids. *)

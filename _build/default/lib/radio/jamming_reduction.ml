@@ -1,0 +1,33 @@
+module Rng = Crn_prng.Rng
+module Assignment = Crn_channel.Assignment
+module Dynamic = Crn_channel.Dynamic
+
+let overlap_guarantee ~num_channels ~budget = num_channels - (2 * budget)
+
+let availability_of_jammer ?shuffle_labels ~num_nodes ~num_channels ~jammer () =
+  let budget = Jammer.budget jammer in
+  if budget >= num_channels then
+    invalid_arg "Jamming_reduction: jammer budget must be below num_channels";
+  let channels_per_node = num_channels - budget in
+  let label_rng = Option.map Rng.copy shuffle_labels in
+  let view slot =
+    let rows =
+      Array.init num_nodes (fun node ->
+          let open_channels = ref [] in
+          for channel = num_channels - 1 downto 0 do
+            if not (Jammer.jams jammer ~slot ~node ~channel) then
+              open_channels := channel :: !open_channels
+          done;
+          let row = Array.of_list !open_channels in
+          if Array.length row <> channels_per_node then
+            invalid_arg
+              (Printf.sprintf
+                 "Jamming_reduction: jammer left %d channels open at node %d \
+                  (expected exactly %d)"
+                 (Array.length row) node channels_per_node);
+          (match label_rng with Some rng -> Rng.shuffle rng row | None -> ());
+          row)
+    in
+    Assignment.create ~num_channels ~local_to_global:rows
+  in
+  Dynamic.of_fun ~num_nodes ~channels_per_node view

@@ -1,0 +1,32 @@
+(** The Theorem 18 reduction: local broadcast in a multi-channel network
+    under an n-uniform jammer reduces to local broadcast in a *dynamic*
+    cognitive radio network with local channel labels.
+
+    Setting: [n] nodes all own the same [c] channels; an adversary jams at
+    most [k' < c/2] channels per node per slot. A node that senses jamming
+    treats the unjammed channels as its per-slot availability set: every
+    node then has at least [c - k'] channels and every pair still overlaps
+    on at least [c - 2k' > 0] channels — a legal dynamic CRN instance, so
+    COGCAST completes with its usual guarantee.
+
+    {!availability_of_jammer} builds that per-slot availability from a
+    jammer whose budget is exact (it must jam exactly [budget] channels at
+    each node each slot, as {!Jammer.random_per_node} and friends do, so
+    that all nodes have equal set sizes as the model requires). *)
+
+val availability_of_jammer :
+  ?shuffle_labels:Crn_prng.Rng.t ->
+  num_nodes:int ->
+  num_channels:int ->
+  jammer:Jammer.t ->
+  unit ->
+  Crn_channel.Dynamic.t
+(** [availability_of_jammer ~num_nodes ~num_channels ~jammer ()] gives each
+    node, in each slot, exactly the channels the jammer leaves open at it.
+    Requires [jammer]'s budget [< num_channels]. With [?shuffle_labels] the
+    per-slot local labels are randomized (the honest local-label model);
+    otherwise labels follow increasing channel id. Raises [Invalid_argument]
+    at query time if the jammer exceeds its budget. *)
+
+val overlap_guarantee : num_channels:int -> budget:int -> int
+(** [c - 2k'], the pairwise overlap Theorem 18 guarantees. *)

@@ -1,0 +1,30 @@
+type t = {
+  transmissions : int array;
+  receptions : int array;
+  awake_slots : int array;
+  jammed : int array;
+}
+
+let create n =
+  {
+    transmissions = Array.make n 0;
+    receptions = Array.make n 0;
+    awake_slots = Array.make n 0;
+    jammed = Array.make n 0;
+  }
+
+let reset t =
+  Array.fill t.transmissions 0 (Array.length t.transmissions) 0;
+  Array.fill t.receptions 0 (Array.length t.receptions) 0;
+  Array.fill t.awake_slots 0 (Array.length t.awake_slots) 0;
+  Array.fill t.jammed 0 (Array.length t.jammed) 0
+
+let total_transmissions t = Array.fold_left ( + ) 0 t.transmissions
+
+let total_awake t = Array.fold_left ( + ) 0 t.awake_slots
+
+let pp fmt t =
+  Format.fprintf fmt "tx=%d rx=%d awake=%d jammed=%d" (total_transmissions t)
+    (Array.fold_left ( + ) 0 t.receptions)
+    (total_awake t)
+    (Array.fold_left ( + ) 0 t.jammed)

@@ -1,0 +1,26 @@
+(** Per-node activity counters — the simulator's energy/telemetry surface.
+
+    Radios spend energy per slot awake and (more) per transmission; these
+    counters let experiments compare protocols on that axis (e.g. COGCAST's
+    epidemic transmits far more than the rendezvous baseline even when it
+    finishes sooner). Attach a value to {!Engine.run} via [?metrics]; the
+    engine increments it and never reads it. *)
+
+type t = {
+  transmissions : int array;  (** Broadcast attempts per node (incl. lost). *)
+  receptions : int array;  (** Messages heard per node (listener side). *)
+  awake_slots : int array;  (** Slots in which the node participated. *)
+  jammed : int array;  (** Actions absorbed by a jammer, per node. *)
+}
+
+val create : int -> t
+(** [create n] makes zeroed counters for [n] nodes. *)
+
+val reset : t -> unit
+
+val total_transmissions : t -> int
+
+val total_awake : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Aggregate one-line rendering. *)

@@ -1,0 +1,77 @@
+module Dynamic = Crn_channel.Dynamic
+module Assignment = Crn_channel.Assignment
+
+type 'msg reception =
+  | Message of { sender : int; msg : 'msg }
+  | Noise
+  | Quiet
+
+type 'msg node = {
+  id : int;
+  decide : round:int -> 'msg Action.decision;
+  hear : round:int -> 'msg reception -> unit;
+}
+
+type outcome = { rounds_run : int; stopped_early : bool }
+
+let node ~id ~decide ~hear = { id; decide; hear }
+
+type 'msg channel_state = {
+  mutable transmitters : (int * 'msg) list;
+  mutable listeners : int list;
+}
+
+let run ?(collision_detection = false) ?stop ~availability ~nodes ~max_rounds () =
+  let n = Array.length nodes in
+  if n = 0 then invalid_arg "Raw_radio.run: no nodes";
+  if Dynamic.num_nodes availability <> n then
+    invalid_arg "Raw_radio.run: node count disagrees with availability";
+  Array.iteri
+    (fun i node -> if node.id <> i then invalid_arg "Raw_radio.run: node id mismatch")
+    nodes;
+  let channels : (int, 'msg channel_state) Hashtbl.t = Hashtbl.create (4 * n) in
+  let decisions = Array.make n (Action.listen ~label:0) in
+  let tuned = Array.make n 0 in
+  let round = ref 0 in
+  let stopped = ref false in
+  while (not !stopped) && !round < max_rounds do
+    let r = !round in
+    let assignment = Dynamic.at availability r in
+    let c = Assignment.channels_per_node assignment in
+    Hashtbl.reset channels;
+    for i = 0 to n - 1 do
+      let decision = nodes.(i).decide ~round:r in
+      if decision.Action.label < 0 || decision.Action.label >= c then
+        invalid_arg "Raw_radio.run: label out of range";
+      decisions.(i) <- decision;
+      let channel = Assignment.global_of_local assignment ~node:i ~label:decision.Action.label in
+      tuned.(i) <- channel;
+      let state =
+        match Hashtbl.find_opt channels channel with
+        | Some st -> st
+        | None ->
+            let st = { transmitters = []; listeners = [] } in
+            Hashtbl.replace channels channel st;
+            st
+      in
+      match decision.Action.intent with
+      | Action.Broadcast msg -> state.transmitters <- (i, msg) :: state.transmitters
+      | Action.Listen -> state.listeners <- i :: state.listeners
+    done;
+    for i = 0 to n - 1 do
+      let state = Hashtbl.find channels tuned.(i) in
+      let reception =
+        match decisions.(i).Action.intent with
+        | Action.Broadcast _ -> Quiet  (* cannot hear while transmitting *)
+        | Action.Listen -> (
+            match state.transmitters with
+            | [] -> Quiet
+            | [ (sender, msg) ] -> Message { sender; msg }
+            | _ :: _ :: _ -> if collision_detection then Noise else Quiet)
+      in
+      nodes.(i).hear ~round:r reception
+    done;
+    (match stop with Some f -> if f ~round:r then stopped := true | None -> ());
+    incr round
+  done;
+  { rounds_run = !round; stopped_early = !stopped }

@@ -1,0 +1,43 @@
+(** The *raw* radio model underneath the paper's one-winner abstraction
+    (§2, footnote 3–4): if two or more nodes transmit concurrently on a
+    channel, the transmissions collide and nothing is received. Listeners
+    can optionally distinguish collision noise from silence (collision
+    detection).
+
+    This engine exists to demonstrate that the one-winner contention model
+    used by COGCAST/COGCOMP is implementable: {!Backoff} runs a decay
+    protocol on top of it and realizes one successful delivery in
+    [O(log² n)] raw rounds w.h.p. (experiment E13). *)
+
+type 'msg reception =
+  | Message of { sender : int; msg : 'msg }  (** Exactly one transmitter. *)
+  | Noise  (** Collision heard (only with [~collision_detection:true]). *)
+  | Quiet  (** Nothing transmitted (or collision without detection). *)
+
+type 'msg node = {
+  id : int;
+  decide : round:int -> 'msg Action.decision;
+  hear : round:int -> 'msg reception -> unit;
+      (** Called on every node each round — transmitters also "hear" [Quiet]
+          (they get no feedback about their own transmission, unlike the
+          abstract model). *)
+}
+
+type outcome = { rounds_run : int; stopped_early : bool }
+
+val run :
+  ?collision_detection:bool ->
+  ?stop:(round:int -> bool) ->
+  availability:Crn_channel.Dynamic.t ->
+  nodes:'msg node array ->
+  max_rounds:int ->
+  unit ->
+  outcome
+(** Same conventions as {!Engine.run}; no randomness is needed because there
+    is no winner selection — collisions destroy all messages. *)
+
+val node :
+  id:int ->
+  decide:(round:int -> 'msg Action.decision) ->
+  hear:(round:int -> 'msg reception -> unit) ->
+  'msg node

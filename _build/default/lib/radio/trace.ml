@@ -1,0 +1,34 @@
+type t = {
+  mutable slots_run : int;
+  mutable broadcasts : int;
+  mutable wins : int;
+  mutable contended : int;
+  mutable deliveries : int;
+  mutable jammed_actions : int;
+}
+
+let create () =
+  {
+    slots_run = 0;
+    broadcasts = 0;
+    wins = 0;
+    contended = 0;
+    deliveries = 0;
+    jammed_actions = 0;
+  }
+
+let reset t =
+  t.slots_run <- 0;
+  t.broadcasts <- 0;
+  t.wins <- 0;
+  t.contended <- 0;
+  t.deliveries <- 0;
+  t.jammed_actions <- 0
+
+let contention_rate t =
+  if t.wins = 0 then 0.0 else float_of_int t.contended /. float_of_int t.wins
+
+let pp fmt t =
+  Format.fprintf fmt
+    "slots=%d broadcasts=%d wins=%d contended=%d deliveries=%d jammed=%d"
+    t.slots_run t.broadcasts t.wins t.contended t.deliveries t.jammed_actions

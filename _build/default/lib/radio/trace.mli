@@ -1,0 +1,23 @@
+(** Aggregate execution statistics collected by the engines. Protocol-level
+    bookkeeping (who informed whom, cluster structure, …) belongs to the
+    protocols themselves; the trace records channel-level facts useful for
+    diagnosing contention. *)
+
+type t = {
+  mutable slots_run : int;
+  mutable broadcasts : int;  (** Broadcast attempts (excluding jammed ones). *)
+  mutable wins : int;  (** Slots×channels on which a winner was chosen. *)
+  mutable contended : int;
+      (** Slots×channels with two or more audible broadcasters. *)
+  mutable deliveries : int;  (** Listener receptions. *)
+  mutable jammed_actions : int;  (** Node actions absorbed by jamming. *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val contention_rate : t -> float
+(** Fraction of winning channels that had more than one broadcaster. *)
+
+val pp : Format.formatter -> t -> unit

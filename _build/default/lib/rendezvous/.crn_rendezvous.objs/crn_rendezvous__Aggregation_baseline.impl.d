@@ -1,0 +1,1 @@
+lib/rendezvous/aggregation_baseline.ml: Array Crn_channel Crn_core Crn_prng Crn_radio Float

@@ -1,0 +1,1 @@
+lib/rendezvous/aggregation_baseline.mli: Crn_channel Crn_core Crn_prng

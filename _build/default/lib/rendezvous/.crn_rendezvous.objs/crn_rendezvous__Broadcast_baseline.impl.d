@@ -1,0 +1,1 @@
+lib/rendezvous/broadcast_baseline.ml: Array Crn_channel Crn_core Crn_prng Crn_radio Float

@@ -1,0 +1,1 @@
+lib/rendezvous/broadcast_baseline.mli: Crn_channel Crn_prng Crn_radio

@@ -1,0 +1,1 @@
+lib/rendezvous/deterministic.ml: Array Crn_channel Crn_radio Printf

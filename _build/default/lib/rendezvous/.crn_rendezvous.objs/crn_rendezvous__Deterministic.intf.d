@@ -1,0 +1,1 @@
+lib/rendezvous/deterministic.mli: Crn_channel Crn_prng

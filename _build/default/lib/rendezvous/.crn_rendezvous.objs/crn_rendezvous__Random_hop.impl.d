@@ -1,0 +1,1 @@
+lib/rendezvous/random_hop.ml: Array Crn_channel Crn_prng

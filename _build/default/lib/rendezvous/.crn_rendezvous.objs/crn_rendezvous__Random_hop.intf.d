@@ -1,0 +1,1 @@
+lib/rendezvous/random_hop.mli: Crn_channel Crn_prng

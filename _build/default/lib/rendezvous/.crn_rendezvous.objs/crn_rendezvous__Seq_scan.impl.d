@@ -1,0 +1,1 @@
+lib/rendezvous/seq_scan.ml: Array Crn_channel Crn_radio Hashtbl

@@ -1,0 +1,1 @@
+lib/rendezvous/seq_scan.mli: Crn_channel Crn_prng

@@ -1,0 +1,69 @@
+module Rng = Crn_prng.Rng
+module Dynamic = Crn_channel.Dynamic
+module Action = Crn_radio.Action
+module Engine = Crn_radio.Engine
+
+type 'a msg = { from : int; value : 'a }
+
+type 'a result = {
+  completed_at : int option;
+  slots_run : int;
+  received_count : int;
+  root_value : 'a option;
+}
+
+let run (type a) ?(stop_when_complete = true) ?(ack = true)
+    ~(monoid : a Crn_core.Aggregate.monoid) ~(values : a array) ~source
+    ~availability ~rng ~max_slots () =
+  let n = Dynamic.num_nodes availability in
+  let c = Dynamic.channels_per_node availability in
+  if Array.length values <> n then
+    invalid_arg "Aggregation_baseline.run: values length mismatch";
+  if source < 0 || source >= n then
+    invalid_arg "Aggregation_baseline.run: source out of range";
+  let received = Array.make n false in
+  received.(source) <- true;
+  let received_count = ref 1 in
+  let acc = ref values.(source) in
+  let node_rngs = Rng.split_n rng n in
+  let decide v ~slot:_ =
+    let label = Rng.int node_rngs.(v) c in
+    if v = source then Action.listen ~label
+    else if ack && received.(v) then Action.listen ~label (* idealized ACK *)
+    else Action.broadcast ~label { from = v; value = values.(v) }
+  in
+  let feedback v ~slot:_ fb =
+    if v = source then
+      match fb with
+      | Action.Heard { msg = { from; value }; _ } ->
+          if not received.(from) then begin
+            received.(from) <- true;
+            incr received_count;
+            acc := monoid.Crn_core.Aggregate.combine !acc value
+          end
+      | Action.Won | Action.Lost _ | Action.Silence | Action.Jammed -> ()
+  in
+  let nodes =
+    Array.init n (fun v -> Engine.node ~id:v ~decide:(decide v) ~feedback:(feedback v))
+  in
+  let stop =
+    if stop_when_complete then Some (fun ~slot:_ -> !received_count = n) else None
+  in
+  let outcome = Engine.run ?stop ~availability ~rng ~nodes ~max_slots () in
+  let slots_run = outcome.Engine.slots_run in
+  let complete = !received_count = n in
+  {
+    completed_at = (if complete then Some slots_run else None);
+    slots_run;
+    received_count = !received_count;
+    root_value = (if complete then Some !acc else None);
+  }
+
+let run_static ?stop_when_complete ?ack ?(budget_factor = 8.0) ~monoid ~values
+    ~source ~assignment ~k ~rng () =
+  let n = Crn_channel.Assignment.num_nodes assignment in
+  let c = Crn_channel.Assignment.channels_per_node assignment in
+  let budget = Crn_core.Complexity.rendezvous_aggregation ~n ~c ~k in
+  let max_slots = max 1 (int_of_float (Float.ceil (budget_factor *. budget))) in
+  run ?stop_when_complete ?ack ~monoid ~values ~source
+    ~availability:(Dynamic.static assignment) ~rng ~max_slots ()

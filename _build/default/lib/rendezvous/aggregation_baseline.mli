@@ -1,0 +1,51 @@
+(** The straw-man data aggregation from §1: every non-source node runs
+    randomized rendezvous, transmitting its value; the source hops and
+    listens. With fair contention resolution the paper bounds this at
+    [O(c²·n/k)] — the comparator COGCOMP beats in experiment E7.
+
+    Two variants, selected by [?ack] (default [true]):
+    {ul
+    {- [ack = true] — a node stops transmitting the moment the source has
+       received its value (a free, instantaneous ACK the real protocol would
+       have to engineer). This keeps contention "fair" as §1 assumes and is
+       a *lower* bound on the baseline's true cost, so the COGCOMP gap
+       reported against it is conservative.}
+    {- [ack = false] — nodes transmit forever; the source then hears a
+       uniformly random contender per met slot and must coupon-collect all
+       [n-1] distinct values, the behavior an unmodified rendezvous layer
+       actually exhibits.}} *)
+
+type 'a result = {
+  completed_at : int option;
+      (** Slots until the source held every node's value. *)
+  slots_run : int;
+  received_count : int;  (** Distinct non-source values received. *)
+  root_value : 'a option;
+}
+
+val run :
+  ?stop_when_complete:bool ->
+  ?ack:bool ->
+  monoid:'a Crn_core.Aggregate.monoid ->
+  values:'a array ->
+  source:int ->
+  availability:Crn_channel.Dynamic.t ->
+  rng:Crn_prng.Rng.t ->
+  max_slots:int ->
+  unit ->
+  'a result
+
+val run_static :
+  ?stop_when_complete:bool ->
+  ?ack:bool ->
+  ?budget_factor:float ->
+  monoid:'a Crn_core.Aggregate.monoid ->
+  values:'a array ->
+  source:int ->
+  assignment:Crn_channel.Assignment.t ->
+  k:int ->
+  rng:Crn_prng.Rng.t ->
+  unit ->
+  'a result
+(** Budget derived from {!Crn_core.Complexity.rendezvous_aggregation} scaled
+    by [budget_factor] (default 8.0). *)

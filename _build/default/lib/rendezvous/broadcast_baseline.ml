@@ -1,0 +1,61 @@
+module Rng = Crn_prng.Rng
+module Dynamic = Crn_channel.Dynamic
+module Action = Crn_radio.Action
+module Engine = Crn_radio.Engine
+
+type msg = Payload
+
+type result = {
+  completed_at : int option;
+  slots_run : int;
+  informed_count : int;
+  informed : bool array;
+}
+
+let run ?metrics ?(stop_when_complete = true) ~source ~availability ~rng ~max_slots () =
+  let n = Dynamic.num_nodes availability in
+  let c = Dynamic.channels_per_node availability in
+  if source < 0 || source >= n then
+    invalid_arg "Broadcast_baseline.run: source out of range";
+  let informed = Array.make n false in
+  informed.(source) <- true;
+  let informed_count = ref 1 in
+  let node_rngs = Rng.split_n rng n in
+  let decide v ~slot:_ =
+    let label = Rng.int node_rngs.(v) c in
+    if v = source then Action.broadcast ~label Payload
+    else if informed.(v) then Action.listen ~label (* silent; already served *)
+    else Action.listen ~label
+  in
+  let feedback v ~slot:_ = function
+    | Action.Heard { sender; msg = Payload } ->
+        (* Only the source transmits, so any reception is the real message. *)
+        if sender = source && not informed.(v) then begin
+          informed.(v) <- true;
+          incr informed_count
+        end
+    | Action.Won | Action.Lost _ | Action.Silence | Action.Jammed -> ()
+  in
+  let nodes =
+    Array.init n (fun v -> Engine.node ~id:v ~decide:(decide v) ~feedback:(feedback v))
+  in
+  let stop =
+    if stop_when_complete then Some (fun ~slot:_ -> !informed_count = n) else None
+  in
+  let outcome = Engine.run ?metrics ?stop ~availability ~rng ~nodes ~max_slots () in
+  let slots_run = outcome.Engine.slots_run in
+  {
+    completed_at = (if !informed_count = n then Some slots_run else None);
+    slots_run;
+    informed_count = !informed_count;
+    informed;
+  }
+
+let run_static ?metrics ?stop_when_complete ?(budget_factor = 8.0) ~source ~assignment ~k
+    ~rng () =
+  let n = Crn_channel.Assignment.num_nodes assignment in
+  let c = Crn_channel.Assignment.channels_per_node assignment in
+  let budget = Crn_core.Complexity.rendezvous_broadcast ~n ~c ~k in
+  let max_slots = max 1 (int_of_float (Float.ceil (budget_factor *. budget))) in
+  run ?metrics ?stop_when_complete ~source
+    ~availability:(Dynamic.static assignment) ~rng ~max_slots ()

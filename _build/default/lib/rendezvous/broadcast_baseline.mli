@@ -1,0 +1,41 @@
+(** The straw-man local broadcast from §1: every node runs randomized
+    rendezvous against the source, which transmits its message in every
+    slot. Informed non-source nodes fall silent — there is no epidemic
+    relay, which is precisely what COGCAST adds and what this baseline is
+    measured against in experiment E4.
+
+    Expected completion is [O((c²/k)·lg n)]: each uninformed node meets the
+    source with probability at least [k/c²] per slot.
+
+    Runs on the same {!Crn_radio.Engine} as COGCAST so that contention and
+    label semantics are identical. *)
+
+type result = {
+  completed_at : int option;
+  slots_run : int;
+  informed_count : int;
+  informed : bool array;
+}
+
+val run :
+  ?metrics:Crn_radio.Metrics.t ->
+  ?stop_when_complete:bool ->
+  source:int ->
+  availability:Crn_channel.Dynamic.t ->
+  rng:Crn_prng.Rng.t ->
+  max_slots:int ->
+  unit ->
+  result
+
+val run_static :
+  ?metrics:Crn_radio.Metrics.t ->
+  ?stop_when_complete:bool ->
+  ?budget_factor:float ->
+  source:int ->
+  assignment:Crn_channel.Assignment.t ->
+  k:int ->
+  rng:Crn_prng.Rng.t ->
+  unit ->
+  result
+(** Budget derived from {!Crn_core.Complexity.rendezvous_broadcast} scaled by
+    [budget_factor] (default 8.0). *)

@@ -1,0 +1,39 @@
+module Rng = Crn_prng.Rng
+module Assignment = Crn_channel.Assignment
+
+let pair ~rng ~assignment ~u ~v ~max_slots =
+  let c = Assignment.channels_per_node assignment in
+  let rec loop slot =
+    if slot > max_slots then None
+    else begin
+      let cu = Assignment.global_of_local assignment ~node:u ~label:(Rng.int rng c) in
+      let cv = Assignment.global_of_local assignment ~node:v ~label:(Rng.int rng c) in
+      if cu = cv then Some slot else loop (slot + 1)
+    end
+  in
+  loop 1
+
+let source_meets_all ~rng ~assignment ~source ~max_slots =
+  let n = Assignment.num_nodes assignment in
+  let c = Assignment.channels_per_node assignment in
+  let met = Array.make n false in
+  met.(source) <- true;
+  let met_count = ref 1 in
+  let rec loop slot =
+    if !met_count = n then Some (slot - 1)
+    else if slot > max_slots then None
+    else begin
+      let cs = Assignment.global_of_local assignment ~node:source ~label:(Rng.int rng c) in
+      for v = 0 to n - 1 do
+        if not met.(v) then begin
+          let cv = Assignment.global_of_local assignment ~node:v ~label:(Rng.int rng c) in
+          if cv = cs then begin
+            met.(v) <- true;
+            incr met_count
+          end
+        end
+      done;
+      loop (slot + 1)
+    end
+  in
+  loop 1

@@ -1,0 +1,29 @@
+(** Uniform random channel hopping — the basic randomized rendezvous
+    primitive the paper cites as achieving [O(c²/k)] expected meeting time
+    for a pair of nodes (§1).
+
+    In every slot each node tunes to a uniformly random channel of its set;
+    two nodes rendezvous in the first slot they land on a common channel.
+    Per slot the meeting probability is at least [k/c²], so the expectation
+    is at most [c²/k]. *)
+
+val pair :
+  rng:Crn_prng.Rng.t ->
+  assignment:Crn_channel.Assignment.t ->
+  u:int ->
+  v:int ->
+  max_slots:int ->
+  int option
+(** [pair ~rng ~assignment ~u ~v ~max_slots] is the 1-based slot at which
+    nodes [u] and [v] first choose the same global channel, or [None] if
+    that never happens within [max_slots]. *)
+
+val source_meets_all :
+  rng:Crn_prng.Rng.t ->
+  assignment:Crn_channel.Assignment.t ->
+  source:int ->
+  max_slots:int ->
+  int option
+(** The number of slots until the source has shared a channel at least once
+    with every other node (each node hopping independently) — the schedule
+    skeleton of the rendezvous broadcast baseline. *)

@@ -1,0 +1,33 @@
+(** The "hop-together" sequential scan from the §6 discussion — a
+    global-channel-label algorithm that beats COGCAST when [c ≫ n].
+
+    All nodes scan the global spectrum in lockstep: in slot [s] every node
+    that has channel [s mod C] in its set tunes to it (source broadcasts,
+    others listen); nodes lacking that channel park on a private label and
+    idle. On the shared-core network the first slot whose scan channel is
+    one of the [k] common channels completes the broadcast in one shot, so
+    the expected time is [O(C/k)] — [O(1)] in the paper's [c = n², k = c−1]
+    example, versus COGCAST's [Θ(n lg n)].
+
+    The algorithm requires the *global label* model: each node must
+    recognize the scan channel's global identity in its own set. It is
+    impossible under local labels, which is the content of Theorem 15's
+    separation. *)
+
+type result = {
+  completed_at : int option;
+  slots_run : int;
+  informed_count : int;
+}
+
+val run :
+  ?stop_when_complete:bool ->
+  source:int ->
+  assignment:Crn_channel.Assignment.t ->
+  rng:Crn_prng.Rng.t ->
+  max_slots:int ->
+  unit ->
+  result
+(** Informed non-source nodes also broadcast on the scan channel (relay),
+    matching the discussion's "all nodes will hop to one of the k
+    overlapping channels and hence complete the broadcast". *)

@@ -1,0 +1,1 @@
+lib/stats/csv.ml: Buffer Fun List String Table

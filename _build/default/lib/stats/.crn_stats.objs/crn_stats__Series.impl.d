@@ -1,0 +1,1 @@
+lib/stats/series.ml: Array Buffer Fit List Printf String

@@ -1,0 +1,15 @@
+(** Minimal CSV writing (RFC 4180 quoting) for exporting experiment tables
+    to external plotting tools. *)
+
+val escape : string -> string
+(** Quote a field iff it contains a comma, quote, or newline. *)
+
+val line : string list -> string
+(** One CSV record (no trailing newline). *)
+
+val to_string : header:string list -> rows:string list list -> string
+
+val of_table : Table.t -> string
+
+val write_table : path:string -> Table.t -> unit
+(** Write the table to [path], creating or truncating it. *)

@@ -1,0 +1,52 @@
+type line = { slope : float; intercept : float; r2 : float }
+
+let linear pts =
+  let n = Array.length pts in
+  if n < 2 then invalid_arg "Fit.linear: need at least two points";
+  let fn = float_of_int n in
+  let sx = Array.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+  let sy = Array.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+  let sxx = Array.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+  let sxy = Array.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+  let denom = (fn *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then invalid_arg "Fit.linear: degenerate x values";
+  let slope = ((fn *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. fn in
+  let mean_y = sy /. fn in
+  let ss_tot = Array.fold_left (fun a (_, y) -> a +. ((y -. mean_y) ** 2.0)) 0.0 pts in
+  let ss_res =
+    Array.fold_left
+      (fun a (x, y) ->
+        let e = y -. ((slope *. x) +. intercept) in
+        a +. (e *. e))
+      0.0 pts
+  in
+  let r2 = if ss_tot < 1e-12 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+  { slope; intercept; r2 }
+
+let log_log pts =
+  let mapped =
+    Array.map
+      (fun (x, y) ->
+        if x <= 0.0 || y <= 0.0 then
+          invalid_arg "Fit.log_log: non-positive coordinate"
+        else (log x, log y))
+      pts
+  in
+  linear mapped
+
+let semilog_x pts =
+  let mapped =
+    Array.map
+      (fun (x, y) ->
+        if x <= 0.0 then invalid_arg "Fit.semilog_x: non-positive x" else (log x, y))
+      pts
+  in
+  linear mapped
+
+let pearson pts =
+  let { r2; slope; _ } = linear pts in
+  let r = sqrt (Float.max 0.0 r2) in
+  if slope < 0.0 then -.r else r
+
+let eval l x = (l.slope *. x) +. l.intercept

@@ -1,0 +1,31 @@
+(** Least-squares fitting, used to check the *shape* of measured scaling
+    curves against the paper's asymptotic claims (e.g. that COGCAST
+    completion time grows linearly in [lg n], inversely in [k], and
+    quadratically in [c] once [c > n]). *)
+
+type line = {
+  slope : float;
+  intercept : float;
+  r2 : float;  (** Coefficient of determination of the fit. *)
+}
+
+val linear : (float * float) array -> line
+(** [linear pts] is the ordinary least-squares line through [pts]; requires
+    at least two points with distinct x. *)
+
+val log_log : (float * float) array -> line
+(** [log_log pts] fits [y = a * x^slope] by regressing [ln y] on [ln x];
+    points with non-positive coordinates are rejected with
+    [Invalid_argument]. The returned [slope] is the empirical scaling
+    exponent — the primary tool for verifying, e.g., that doubling [c]
+    quadruples broadcast time when [c >= n]. *)
+
+val semilog_x : (float * float) array -> line
+(** [semilog_x pts] fits [y = slope * ln x + intercept]; verifies
+    logarithmic growth (e.g. time vs [n] at fixed [c/k]). *)
+
+val pearson : (float * float) array -> float
+(** Pearson correlation coefficient. *)
+
+val eval : line -> float -> float
+(** [eval l x] is [l.slope *. x +. l.intercept]. *)

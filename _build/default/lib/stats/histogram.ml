@@ -1,0 +1,50 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if lo >= hi then invalid_arg "Histogram.create: lo >= hi";
+  if bins < 1 then invalid_arg "Histogram.create: bins < 1";
+  { lo; hi; counts = Array.make bins 0; total = 0 }
+
+let bins t = Array.length t.counts
+
+let bin_index t x =
+  let nbins = bins t in
+  let idx = int_of_float (float_of_int nbins *. ((x -. t.lo) /. (t.hi -. t.lo))) in
+  if idx < 0 then 0 else if idx >= nbins then nbins - 1 else idx
+
+let add t x =
+  t.counts.(bin_index t x) <- t.counts.(bin_index t x) + 1;
+  t.total <- t.total + 1
+
+let add_int t x = add t (float_of_int x)
+
+let count t = t.total
+
+let bin_count t i = t.counts.(i)
+
+let bin_bounds t i =
+  let w = (t.hi -. t.lo) /. float_of_int (bins t) in
+  (t.lo +. (w *. float_of_int i), t.lo +. (w *. float_of_int (i + 1)))
+
+let of_ints ?(bins = 10) xs =
+  if Array.length xs = 0 then invalid_arg "Histogram.of_ints: empty sample";
+  let lo = float_of_int (Array.fold_left min xs.(0) xs) in
+  let hi = float_of_int (Array.fold_left max xs.(0) xs) in
+  let hi = if hi <= lo then lo +. 1.0 else hi +. 1e-9 in
+  let t = create ~lo ~hi ~bins in
+  Array.iter (add_int t) xs;
+  t
+
+let pp ?(width = 40) fmt t =
+  let peak = Array.fold_left max 1 t.counts in
+  Array.iteri
+    (fun i c ->
+      let lo, hi = bin_bounds t i in
+      let bar = String.make (c * width / peak) '#' in
+      Format.fprintf fmt "[%8.1f, %8.1f) %6d %s@." lo hi c bar)
+    t.counts

@@ -1,0 +1,32 @@
+(** Fixed-bin histograms, used to inspect distributions such as cluster sizes
+    in the COGCOMP distribution tree and completion-time spreads. *)
+
+type t
+(** A histogram with equal-width bins over a closed range. *)
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] makes an empty histogram; requires [lo < hi] and
+    [bins >= 1]. Values outside the range are clamped into the end bins. *)
+
+val add : t -> float -> unit
+(** Record one observation. *)
+
+val add_int : t -> int -> unit
+
+val count : t -> int
+(** Total observations recorded. *)
+
+val bin_count : t -> int -> int
+(** [bin_count t i] is the number of observations in bin [i]. *)
+
+val bin_bounds : t -> int -> float * float
+(** [bin_bounds t i] is the half-open interval covered by bin [i]. *)
+
+val bins : t -> int
+
+val of_ints : ?bins:int -> int array -> t
+(** [of_ints xs] builds a histogram spanning the sample's own range. *)
+
+val pp : ?width:int -> Format.formatter -> t -> unit
+(** ASCII bar rendering, one line per bin; [width] scales the longest bar
+    (default 40 columns). *)

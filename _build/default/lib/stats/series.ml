@@ -1,0 +1,71 @@
+type t = { name : string; points : (float * float) array }
+
+let make name pts = { name; points = Array.of_list pts }
+
+let of_ints name pts =
+  make name (List.map (fun (x, y) -> (float_of_int x, float_of_int y)) pts)
+
+let scaling_exponent t = (Fit.log_log t.points).Fit.slope
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '@'; '#'; '%'; '&' |]
+
+let plot ?(width = 60) ?(height = 16) ?(logx = false) ?(logy = false) series =
+  let all_pts = List.concat_map (fun s -> Array.to_list s.points) series in
+  if all_pts = [] then "(empty plot)\n"
+  else begin
+    let tx x = if logx then log x else x in
+    let ty y = if logy then log y else y in
+    let xs = List.map (fun (x, _) -> tx x) all_pts in
+    let ys = List.map (fun (_, y) -> ty y) all_pts in
+    let fmin = List.fold_left min infinity and fmax = List.fold_left max neg_infinity in
+    let x0 = fmin xs and x1 = fmax xs and y0 = fmin ys and y1 = fmax ys in
+    let x1 = if x1 <= x0 then x0 +. 1.0 else x1 in
+    let y1 = if y1 <= y0 then y0 +. 1.0 else y1 in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si s ->
+        let glyph = glyphs.(si mod Array.length glyphs) in
+        Array.iter
+          (fun (x, y) ->
+            let gx =
+              int_of_float ((tx x -. x0) /. (x1 -. x0) *. float_of_int (width - 1))
+            in
+            let gy =
+              int_of_float ((ty y -. y0) /. (y1 -. y0) *. float_of_int (height - 1))
+            in
+            grid.(height - 1 - gy).(gx) <- glyph)
+          s.points)
+      series;
+    let buf = Buffer.create 1024 in
+    Array.iter
+      (fun row ->
+        Buffer.add_string buf "  |";
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf "  +";
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "   x:[%.3g, %.3g]%s  y:[%.3g, %.3g]%s\n"
+         (if logx then exp x0 else x0)
+         (if logx then exp x1 else x1)
+         (if logx then " (log)" else "")
+         (if logy then exp y0 else y0)
+         (if logy then exp y1 else y1)
+         (if logy then " (log)" else ""));
+    List.iteri
+      (fun si s ->
+        Buffer.add_string buf
+          (Printf.sprintf "   %c = %s\n" glyphs.(si mod Array.length glyphs) s.name))
+      series;
+    Buffer.contents buf
+  end
+
+let print_plot ?title ?width ?height ?logx ?logy series =
+  (match title with
+  | Some s ->
+      print_newline ();
+      print_endline s
+  | None -> ());
+  print_string (plot ?width ?height ?logx ?logy series)

@@ -1,0 +1,23 @@
+(** Named (x, y) series with ASCII line rendering — the "figures" of the
+    reproduction. Each paper figure-equivalent experiment emits one or more
+    series; {!plot} draws them side-by-side on a shared log-or-linear grid so
+    crossovers (e.g. COGCAST vs hop-together at [c >> n]) are visible in the
+    bench output. *)
+
+type t = { name : string; points : (float * float) array }
+
+val make : string -> (float * float) list -> t
+
+val of_ints : string -> (int * int) list -> t
+
+val scaling_exponent : t -> float
+(** Log-log slope of the series (requires positive coordinates). *)
+
+val plot :
+  ?width:int -> ?height:int -> ?logx:bool -> ?logy:bool -> t list -> string
+(** [plot series] renders the series on one character grid; each series is
+    drawn with its own glyph and listed in a legend. Useful for eyeballing
+    the shape claims; the tables carry the precise numbers. *)
+
+val print_plot :
+  ?title:string -> ?width:int -> ?height:int -> ?logx:bool -> ?logy:bool -> t list -> unit

@@ -1,0 +1,39 @@
+(** Summary statistics over samples of simulation measurements (slot counts,
+    round counts). All functions are total over non-empty inputs and raise
+    [Invalid_argument] on empty inputs. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;  (** Sample standard deviation (Bessel-corrected). *)
+  min : float;
+  max : float;
+  median : float;
+  p10 : float;
+  p90 : float;
+  p99 : float;
+}
+(** A one-pass summary of a sample. *)
+
+val of_floats : float array -> t
+(** [of_floats xs] summarizes a non-empty sample. *)
+
+val of_ints : int array -> t
+(** [of_ints xs] summarizes a non-empty integer sample. *)
+
+val mean : float array -> float
+val variance : float array -> float
+
+val stddev : float array -> float
+(** Sample standard deviation; [0.] for singleton samples. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [0,100], by linear interpolation between
+    order statistics. Does not modify [xs]. *)
+
+val median : float array -> float
+
+val pp : Format.formatter -> t -> unit
+(** Renders as ["mean=… sd=… min=… med=… max=…"]. *)
+
+val to_string : t -> string

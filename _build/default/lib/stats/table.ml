@@ -1,0 +1,68 @@
+type t = { headers : string list; mutable body : string list list (* reversed *) }
+
+let create headers = { headers; body = [] }
+
+let add_row t cells =
+  let width = List.length t.headers in
+  let given = List.length cells in
+  if given > width then invalid_arg "Table.add_row: too many cells";
+  let padded = cells @ List.init (width - given) (fun _ -> "") in
+  t.body <- padded :: t.body
+
+let add_rowf t fmt = Printf.ksprintf (fun s -> add_row t (String.split_on_char '|' s)) fmt
+
+let rows t = List.length t.body
+
+let looks_numeric s =
+  s <> ""
+  && String.for_all (fun ch -> (ch >= '0' && ch <= '9') || ch = '.' || ch = '-' || ch = '+' || ch = 'e' || ch = 'x') s
+
+let render t =
+  let all = t.headers :: List.rev t.body in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row -> List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let body = List.rev t.body in
+  let numeric =
+    Array.init ncols (fun i ->
+        body <> []
+        && List.for_all (fun row -> let c = List.nth row i in c = "" || looks_numeric c) body)
+  in
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        let pad = widths.(i) - String.length cell in
+        if i > 0 then Buffer.add_string buf "  ";
+        if numeric.(i) then begin
+          Buffer.add_string buf (String.make pad ' ');
+          Buffer.add_string buf cell
+        end
+        else begin
+          Buffer.add_string buf cell;
+          Buffer.add_string buf (String.make pad ' ')
+        end)
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.headers;
+  let total = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter emit_row body;
+  Buffer.contents buf
+
+let print ?title t =
+  (match title with
+  | Some s ->
+      print_newline ();
+      print_endline s;
+      print_endline (String.make (String.length s) '=')
+  | None -> ());
+  print_string (render t)
+
+let headers t = t.headers
+
+let to_rows t = List.rev t.body

@@ -1,0 +1,31 @@
+(** Aligned plain-text tables — the output format of every experiment in
+    [bench/main.exe], mirroring how the reproduced "tables" are reported in
+    EXPERIMENTS.md. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row; short rows are padded with empty
+    cells, long rows raise [Invalid_argument]. *)
+
+val add_rowf : t -> ('a, unit, string, unit) format4 -> 'a
+(** [add_rowf t fmt ...] formats a single string and splits it on ['|'] into
+    cells, a convenience for terse bench code:
+    [add_rowf t "%d|%d|%.1f" n c time]. *)
+
+val rows : t -> int
+
+val render : t -> string
+(** Render with a header rule and right-aligned numeric-looking columns. *)
+
+val print : ?title:string -> t -> unit
+(** [print ~title t] writes the table to stdout, preceded by an underlined
+    title. *)
+
+val headers : t -> string list
+
+val to_rows : t -> string list list
+(** Body rows in insertion order (padded, as rendered). *)

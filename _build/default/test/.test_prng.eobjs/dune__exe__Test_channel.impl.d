@@ -1,0 +1,1 @@
+test/test_channel.ml: Alcotest Array Crn_channel Crn_prng List QCheck QCheck_alcotest

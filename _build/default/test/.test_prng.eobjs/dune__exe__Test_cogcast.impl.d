@@ -1,0 +1,1 @@
+test/test_cogcast.ml: Alcotest Array Crn_channel Crn_core Crn_prng Crn_radio Crn_stats Hashtbl List Option QCheck QCheck_alcotest

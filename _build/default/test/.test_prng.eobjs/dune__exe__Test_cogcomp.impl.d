@@ -1,0 +1,1 @@
+test/test_cogcomp.ml: Alcotest Array Crn_channel Crn_core Crn_prng Crn_radio Crn_stats List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_games.ml: Alcotest Array Crn_core Crn_games Crn_prng Float Hashtbl List Printf QCheck QCheck_alcotest

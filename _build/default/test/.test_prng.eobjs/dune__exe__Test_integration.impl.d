@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Crn_channel Crn_core Crn_prng Crn_radio Crn_rendezvous Float List Option Printf

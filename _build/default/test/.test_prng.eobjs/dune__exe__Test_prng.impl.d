@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Crn_prng Hashtbl List QCheck QCheck_alcotest

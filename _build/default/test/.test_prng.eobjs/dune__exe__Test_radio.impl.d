@@ -1,0 +1,1 @@
+test/test_radio.ml: Alcotest Array Crn_channel Crn_prng Crn_radio List QCheck QCheck_alcotest

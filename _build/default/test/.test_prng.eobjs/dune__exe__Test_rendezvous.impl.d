@@ -1,0 +1,1 @@
+test/test_rendezvous.ml: Alcotest Array Crn_channel Crn_core Crn_prng Crn_rendezvous Crn_stats List Printf QCheck QCheck_alcotest

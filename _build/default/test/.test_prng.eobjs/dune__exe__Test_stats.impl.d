@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Crn_stats Filename Float Fun Gen List QCheck QCheck_alcotest String Sys

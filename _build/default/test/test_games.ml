@@ -1,0 +1,395 @@
+(* Tests for the §6 lower-bound machinery: matchings, the hitting games,
+   players, the Lemma 12 reduction and the Theorem 16 first-hit law. *)
+
+module Rng = Crn_prng.Rng
+module Matching = Crn_games.Matching
+module Hitting_game = Crn_games.Hitting_game
+module Players = Crn_games.Players
+module Reduction = Crn_games.Reduction
+module First_hit = Crn_games.First_hit
+module Complexity = Crn_core.Complexity
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- matchings ---------------------------------------------------------- *)
+
+let test_matching_of_edges () =
+  let m = Matching.of_edges ~c:5 [ (0, 3); (2, 1) ] in
+  check_int "size" 2 (Matching.size m);
+  check "mem" true (Matching.mem m (0, 3));
+  check "not mem" false (Matching.mem m (0, 1));
+  Alcotest.(check (option int)) "partner" (Some 1) (Matching.b_of_a m 2);
+  Alcotest.(check (option int)) "unmatched" None (Matching.b_of_a m 4)
+
+let test_matching_rejects_conflicts () =
+  Alcotest.check_raises "repeated A" (Invalid_argument "Matching.of_edges: repeated A vertex")
+    (fun () -> ignore (Matching.of_edges ~c:4 [ (1, 2); (1, 3) ]));
+  Alcotest.check_raises "repeated B" (Invalid_argument "Matching.of_edges: repeated B vertex")
+    (fun () -> ignore (Matching.of_edges ~c:4 [ (1, 2); (3, 2) ]))
+
+let test_random_matching_wellformed () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 50 do
+    let m = Matching.random rng ~c:10 ~k:4 in
+    check_int "size k" 4 (Matching.size m);
+    let edges = Matching.edges m in
+    let as_ = List.map fst edges and bs = List.map snd edges in
+    check "distinct A" true (List.sort_uniq compare as_ = List.sort compare as_);
+    check "distinct B" true (List.sort_uniq compare bs = List.sort compare bs)
+  done
+
+let test_random_perfect () =
+  let m = Matching.random_perfect (Rng.create 2) ~c:12 in
+  check_int "perfect size" 12 (Matching.size m)
+
+let test_random_matching_marginal_uniform () =
+  (* Each A vertex should be matched with probability k/c. *)
+  let rng = Rng.create 3 in
+  let c = 8 and k = 2 in
+  let hits = Array.make c 0 in
+  let trials = 20_000 in
+  for _ = 1 to trials do
+    let m = Matching.random rng ~c ~k in
+    List.iter (fun (a, _) -> hits.(a) <- hits.(a) + 1) (Matching.edges m)
+  done;
+  let expect = float_of_int k /. float_of_int c in
+  Array.iteri
+    (fun a count ->
+      let frac = float_of_int count /. float_of_int trials in
+      if Float.abs (frac -. expect) > 0.02 then
+        Alcotest.failf "vertex %d matched with frequency %.4f (expected %.4f)" a frac expect)
+    hits
+
+(* --- game mechanics ------------------------------------------------------ *)
+
+let test_scan_player_wins_planted () =
+  let m = Matching.of_edges ~c:4 [ (2, 3) ] in
+  let player = Players.row_scan ~c:4 in
+  let r = Hitting_game.play ~matching:m ~player ~max_rounds:100 in
+  check "won" true r.Hitting_game.won;
+  (* Row scan proposes (2,3) as its 2*4+3 = 11th proposal (round index 11,
+     1-based rounds = 12). *)
+  check_int "rounds" 12 r.Hitting_game.rounds
+
+let test_game_times_out () =
+  let m = Matching.of_edges ~c:4 [ (3, 3) ] in
+  let player = Players.row_scan ~c:4 in
+  let r = Hitting_game.play ~matching:m ~player ~max_rounds:5 in
+  check "lost" false r.Hitting_game.won;
+  check_int "capped rounds" 5 r.Hitting_game.rounds
+
+let test_players_always_win_eventually () =
+  let rng = Rng.create 4 in
+  List.iter
+    (fun make_player ->
+      for _ = 1 to 20 do
+        let player = make_player (Rng.split rng) in
+        let r =
+          Hitting_game.play_bipartite ~rng:(Rng.split rng) ~c:8 ~k:3 ~player
+            ~max_rounds:200_000
+        in
+        check "eventually wins" true r.Hitting_game.won
+      done)
+    [
+      (fun rng -> Players.uniform rng ~c:8);
+      (fun rng -> Players.without_replacement rng ~c:8);
+      (fun _ -> Players.row_scan ~c:8);
+    ]
+
+(* --- Lemma 11 / Lemma 14 empirical bounds --------------------------------- *)
+
+let test_bipartite_bound_holds () =
+  (* Median rounds of every player must respect f(c,k) >= c²/(αk) (α = 8 at
+     β = 2, valid for k <= c/2). *)
+  let rng = Rng.create 5 in
+  List.iter
+    (fun (c, k) ->
+      let bound = Complexity.bipartite_game_lower_bound ~c ~k () in
+      List.iter
+        (fun (name, make_player) ->
+          let median =
+            Hitting_game.median_rounds ~rng ~trials:31 ~make_player
+              ~game:(fun ~rng ~player ~max_rounds ->
+                Hitting_game.play_bipartite ~rng ~c ~k ~player ~max_rounds)
+              ~max_rounds:(c * c * 100)
+          in
+          if median < bound then
+            Alcotest.failf "%s beat the Lemma 11 bound at c=%d k=%d: %.1f < %.1f" name c
+              k median bound)
+        [
+          ("uniform", fun rng -> Players.uniform rng ~c);
+          ("without-replacement", fun rng -> Players.without_replacement rng ~c);
+          ("row-scan", fun _ -> Players.row_scan ~c);
+        ])
+    [ (8, 1); (8, 4); (16, 2) ]
+
+let test_complete_bound_holds () =
+  let rng = Rng.create 6 in
+  List.iter
+    (fun c ->
+      let bound = Complexity.complete_game_lower_bound ~c in
+      let median =
+        Hitting_game.median_rounds ~rng ~trials:31
+          ~make_player:(fun rng -> Players.without_replacement rng ~c)
+          ~game:(fun ~rng ~player ~max_rounds ->
+            Hitting_game.play_complete ~rng ~c ~player ~max_rounds)
+          ~max_rounds:(c * c * 10)
+      in
+      if median < bound then
+        Alcotest.failf "beat the Lemma 14 bound at c=%d: %.1f < %.1f" c median bound)
+    [ 6; 12; 24 ]
+
+(* --- Lemma 12 reduction ----------------------------------------------------- *)
+
+let test_reduction_player_wins () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10 do
+    let alg = Reduction.cogcast_algorithm (Rng.split rng) ~n:10 ~c:6 in
+    let player, _slots = Reduction.player_of_algorithm ~c:6 alg in
+    let r =
+      Hitting_game.play_bipartite ~rng:(Rng.split rng) ~c:6 ~k:2 ~player
+        ~max_rounds:100_000
+    in
+    check "reduction player wins" true r.Hitting_game.won
+  done
+
+let test_reduction_round_slot_relation () =
+  (* Lemma 12: game rounds <= min{c, n} * simulated slots. *)
+  let rng = Rng.create 8 in
+  List.iter
+    (fun (n, c, k) ->
+      for _ = 1 to 10 do
+        let alg = Reduction.cogcast_algorithm (Rng.split rng) ~n ~c in
+        let player, slots_used = Reduction.player_of_algorithm ~c alg in
+        let r =
+          Hitting_game.play_bipartite ~rng:(Rng.split rng) ~c ~k ~player
+            ~max_rounds:1_000_000
+        in
+        check "wins" true r.Hitting_game.won;
+        let bound = min c n * slots_used () in
+        if r.Hitting_game.rounds > bound then
+          Alcotest.failf "rounds %d > min{c,n}*slots = %d (n=%d c=%d k=%d)"
+            r.Hitting_game.rounds bound n c k
+      done)
+    [ (10, 6, 2); (4, 12, 3); (20, 5, 1) ]
+
+let test_reduction_no_duplicate_proposals () =
+  let alg = Reduction.cogcast_algorithm (Rng.create 9) ~n:8 ~c:5 in
+  let player, _ = Reduction.player_of_algorithm ~c:5 alg in
+  let seen = Hashtbl.create 64 in
+  for round = 0 to 24 do
+    let e = player.Hitting_game.propose ~round in
+    check "fresh proposal" false (Hashtbl.mem seen e);
+    Hashtbl.replace seen e ()
+  done
+
+(* --- Lemma 11 numeric machinery --------------------------------------------------- *)
+
+module Bounds = Crn_games.Bounds
+
+let test_bounds_alpha () =
+  Alcotest.(check (float 1e-9)) "alpha(2) = 8" 8.0 (Bounds.alpha ~beta:2.0)
+
+let test_losing_bound_at_critical_rounds () =
+  (* The lemma's conclusion: at l = c^2/(alpha k) the losing probability is
+     at least 1/2 whenever k <= c/2. Check the numeric bound directly. *)
+  List.iter
+    (fun (c, k) ->
+      let l = Bounds.critical_rounds ~c ~k () in
+      let p = Bounds.losing_probability_lower_bound ~c ~k ~rounds:l in
+      if p < 0.5 then
+        Alcotest.failf "P(L) bound %.4f < 1/2 at c=%d k=%d l=%d" p c k l)
+    [ (8, 1); (8, 4); (16, 2); (16, 8); (32, 4); (64, 32); (100, 10) ]
+
+let test_losing_bound_monotone_in_rounds () =
+  let prev = ref 1.0 in
+  for rounds = 0 to 100 do
+    let p = Bounds.losing_probability_lower_bound ~c:10 ~k:3 ~rounds in
+    Alcotest.(check bool) "non-increasing" true (p <= !prev +. 1e-12);
+    prev := p
+  done
+
+let test_uniform_win_matches_closed_form () =
+  (* Simulated uniform-player win frequency within l rounds vs the exact
+     1 - (1 - k/c^2)^l. *)
+  let rng = Rng.create 40 in
+  let c = 10 and k = 3 in
+  List.iter
+    (fun rounds ->
+      let trials = 3000 in
+      let wins = ref 0 in
+      for _ = 1 to trials do
+        let player = Players.uniform (Rng.split rng) ~c in
+        let r =
+          Hitting_game.play_bipartite ~rng:(Rng.split rng) ~c ~k ~player
+            ~max_rounds:rounds
+        in
+        if r.Hitting_game.won then incr wins
+      done;
+      let freq = float_of_int !wins /. float_of_int trials in
+      let exact = Bounds.exact_uniform_win_probability ~c ~k ~rounds in
+      if Float.abs (freq -. exact) > 0.035 then
+        Alcotest.failf "uniform win freq %.4f vs closed form %.4f at l=%d" freq exact
+          rounds)
+    [ 5; 20; 60 ]
+
+let test_empirical_win_rate_below_upper_bound () =
+  (* No player may exceed the analytic winning-probability upper bound at
+     the critical round count (up to sampling noise). *)
+  let rng = Rng.create 41 in
+  List.iter
+    (fun (c, k) ->
+      let l = Bounds.critical_rounds ~c ~k () in
+      let cap = Bounds.winning_probability_upper_bound ~c ~k ~rounds:l in
+      List.iter
+        (fun make_player ->
+          let trials = 600 in
+          let wins = ref 0 in
+          for _ = 1 to trials do
+            let player = make_player (Rng.split rng) in
+            let r =
+              Hitting_game.play_bipartite ~rng:(Rng.split rng) ~c ~k ~player
+                ~max_rounds:l
+            in
+            if r.Hitting_game.won then incr wins
+          done;
+          let freq = float_of_int !wins /. float_of_int trials in
+          if freq > cap +. 0.06 then
+            Alcotest.failf "win rate %.3f exceeds analytic cap %.3f (c=%d k=%d l=%d)"
+              freq cap c k l)
+        [
+          (fun rng -> Players.uniform rng ~c);
+          (fun rng -> Players.without_replacement rng ~c);
+        ])
+    [ (12, 2); (16, 4) ]
+
+let test_complete_game_bound () =
+  (* Lemma 14 accounting: P(L) >= 1 - rounds/c; at rounds = c/3 the losing
+     probability is at least 2/3 > 1/2 analytically, and empirically the
+     win rate within c/3 rounds stays below 1/2. *)
+  Alcotest.(check (float 1e-9)) "analytic" (2.0 /. 3.0)
+    (Bounds.complete_game_losing_probability ~c:30 ~rounds:10);
+  let rng = Rng.create 42 in
+  let c = 30 in
+  let rounds = c / 3 in
+  let trials = 1000 in
+  let wins = ref 0 in
+  for _ = 1 to trials do
+    let player = Players.without_replacement (Rng.split rng) ~c in
+    let r = Hitting_game.play_complete ~rng:(Rng.split rng) ~c ~player ~max_rounds:rounds in
+    if r.Hitting_game.won then incr wins
+  done;
+  let freq = float_of_int !wins /. float_of_int trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "win rate %.3f below 1/2 within c/3 rounds" freq)
+    true (freq < 0.5)
+
+let prop_losing_bound_in_unit_interval =
+  QCheck.Test.make ~name:"losing-probability bound stays in [0,1]" ~count:300
+    QCheck.(triple (int_range 1 60) (int_range 1 60) (int_range 0 10_000))
+    (fun (c, kk, rounds) ->
+      let k = 1 + (kk mod c) in
+      let p = Bounds.losing_probability_lower_bound ~c ~k ~rounds in
+      p >= 0.0 && p <= 1.0)
+
+(* --- Theorem 16 first hit ------------------------------------------------------ *)
+
+let test_first_hit_k_equals_c () =
+  (* Every channel overlapping: first hit is always slot 1. *)
+  let v =
+    First_hit.sample ~rng:(Rng.create 10) ~c:7 ~k:7
+      ~strategy:(First_hit.scan_strategy ~c:7)
+  in
+  check_int "immediate hit" 1 v
+
+let test_first_hit_expectation_matches_theorem () =
+  (* Theorem 16: E[first hit] >= (c+1)/(k+1) for every strategy, with
+     equality for non-repeating strategies (scan, random permutation). The
+     memoryless uniform strategy has mean exactly c/k >= the bound. *)
+  let rng = Rng.create 11 in
+  List.iter
+    (fun (c, k) ->
+      let bound = Complexity.global_label_lower_bound ~c ~k in
+      (* Non-repeating strategies achieve the bound exactly. *)
+      List.iter
+        (fun (name, make_strategy) ->
+          let mean = First_hit.mean_first_hit ~rng ~trials:20_000 ~c ~k ~make_strategy in
+          if Float.abs (mean -. bound) > 0.12 *. bound then
+            Alcotest.failf "%s first-hit mean %.3f vs theorem %.3f (c=%d k=%d)" name mean
+              bound c k)
+        [
+          ("scan", fun _ -> First_hit.scan_strategy ~c);
+          ("random-permutation", fun rng -> First_hit.fresh_random_strategy rng ~c);
+        ];
+      (* The memoryless strategy sits above the bound, at c/k. *)
+      let mean =
+        First_hit.mean_first_hit ~rng ~trials:20_000 ~c ~k
+          ~make_strategy:(fun rng -> First_hit.uniform_strategy rng ~c)
+      in
+      let geo = float_of_int c /. float_of_int k in
+      if mean < bound *. 0.95 then
+        Alcotest.failf "uniform beat the Theorem 16 bound: %.3f < %.3f" mean bound;
+      if Float.abs (mean -. geo) > 0.12 *. geo then
+        Alcotest.failf "uniform first-hit mean %.3f should be ~c/k = %.3f" mean geo)
+    [ (8, 2); (12, 1); (20, 10) ]
+
+let prop_first_hit_positive_and_bounded_for_scan =
+  QCheck.Test.make ~name:"scan strategy first-hit <= c - k + 1" ~count:300
+    QCheck.(triple small_int (int_range 1 30) (int_range 0 29))
+    (fun (seed, c, kk) ->
+      let k = 1 + (kk mod c) in
+      let v =
+        First_hit.sample ~rng:(Rng.create seed) ~c ~k
+          ~strategy:(First_hit.scan_strategy ~c)
+      in
+      v >= 1 && v <= c - k + 1)
+
+let () =
+  Alcotest.run "games"
+    [
+      ( "matching",
+        [
+          Alcotest.test_case "of_edges" `Quick test_matching_of_edges;
+          Alcotest.test_case "conflicts rejected" `Quick test_matching_rejects_conflicts;
+          Alcotest.test_case "random wellformed" `Quick test_random_matching_wellformed;
+          Alcotest.test_case "random perfect" `Quick test_random_perfect;
+          Alcotest.test_case "marginal uniform" `Slow test_random_matching_marginal_uniform;
+        ] );
+      ( "game",
+        [
+          Alcotest.test_case "scan wins planted" `Quick test_scan_player_wins_planted;
+          Alcotest.test_case "times out" `Quick test_game_times_out;
+          Alcotest.test_case "players eventually win" `Quick test_players_always_win_eventually;
+        ] );
+      ( "lower bounds",
+        [
+          Alcotest.test_case "Lemma 11 bound holds" `Slow test_bipartite_bound_holds;
+          Alcotest.test_case "Lemma 14 bound holds" `Slow test_complete_bound_holds;
+        ] );
+      ( "lemma 11 numerics",
+        [
+          Alcotest.test_case "alpha" `Quick test_bounds_alpha;
+          Alcotest.test_case "P(L) >= 1/2 at critical rounds" `Quick
+            test_losing_bound_at_critical_rounds;
+          Alcotest.test_case "bound monotone" `Quick test_losing_bound_monotone_in_rounds;
+          Alcotest.test_case "uniform matches closed form" `Slow
+            test_uniform_win_matches_closed_form;
+          Alcotest.test_case "win rate below analytic cap" `Slow
+            test_empirical_win_rate_below_upper_bound;
+          Alcotest.test_case "complete game bound" `Quick test_complete_game_bound;
+          QCheck_alcotest.to_alcotest prop_losing_bound_in_unit_interval;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "player wins" `Quick test_reduction_player_wins;
+          Alcotest.test_case "round/slot relation" `Quick test_reduction_round_slot_relation;
+          Alcotest.test_case "no duplicate proposals" `Quick test_reduction_no_duplicate_proposals;
+        ] );
+      ( "first hit",
+        [
+          Alcotest.test_case "k = c immediate" `Quick test_first_hit_k_equals_c;
+          Alcotest.test_case "matches (c+1)/(k+1)" `Slow test_first_hit_expectation_matches_theorem;
+          QCheck_alcotest.to_alcotest prop_first_hit_positive_and_bounded_for_scan;
+        ] );
+    ]

@@ -1,0 +1,313 @@
+(* Tests for the statistics library: summaries, percentiles, histograms,
+   least-squares fitting, tables and series. *)
+
+module Summary = Crn_stats.Summary
+module Histogram = Crn_stats.Histogram
+module Fit = Crn_stats.Fit
+module Table = Crn_stats.Table
+module Series = Crn_stats.Series
+
+let checkf = Alcotest.(check (float 1e-9))
+let checkf_loose = Alcotest.(check (float 1e-6))
+
+(* --- Summary ----------------------------------------------------------- *)
+
+let test_mean () = checkf "mean" 2.5 (Summary.mean [| 1.0; 2.0; 3.0; 4.0 |])
+
+let test_mean_singleton () = checkf "singleton" 42.0 (Summary.mean [| 42.0 |])
+
+let test_variance () =
+  (* Sample variance of 2,4,4,4,5,5,7,9 is 32/7. *)
+  checkf_loose "variance" (32.0 /. 7.0)
+    (Summary.variance [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |])
+
+let test_stddev_singleton () = checkf "sd of singleton" 0.0 (Summary.stddev [| 3.0 |])
+
+let test_percentile_interpolation () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0 |] in
+  checkf "p0" 10.0 (Summary.percentile xs 0.0);
+  checkf "p100" 40.0 (Summary.percentile xs 100.0);
+  checkf "p50 interpolates" 25.0 (Summary.percentile xs 50.0);
+  checkf "p25" 17.5 (Summary.percentile xs 25.0)
+
+let test_percentile_unsorted_input () =
+  let xs = [| 40.0; 10.0; 30.0; 20.0 |] in
+  checkf "sorts internally" 25.0 (Summary.percentile xs 50.0);
+  (* And does not mutate the input. *)
+  Alcotest.(check (array (float 0.0))) "input unchanged" [| 40.0; 10.0; 30.0; 20.0 |] xs
+
+let test_median_odd () = checkf "odd median" 3.0 (Summary.median [| 5.0; 1.0; 3.0 |])
+
+let test_summary_record () =
+  let s = Summary.of_ints [| 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 |] in
+  Alcotest.(check int) "count" 10 s.Summary.count;
+  checkf "mean" 5.5 s.Summary.mean;
+  checkf "min" 1.0 s.Summary.min;
+  checkf "max" 10.0 s.Summary.max;
+  checkf "median" 5.5 s.Summary.median
+
+let test_empty_rejected () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Summary.mean: empty sample")
+    (fun () -> ignore (Summary.mean [||]))
+
+(* --- Histogram --------------------------------------------------------- *)
+
+let test_histogram_basic () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  List.iter (Histogram.add h) [ 0.5; 1.5; 2.5; 9.5; 9.9 ];
+  Alcotest.(check int) "count" 5 (Histogram.count h);
+  Alcotest.(check int) "bin 0" 2 (Histogram.bin_count h 0);
+  Alcotest.(check int) "bin 1" 1 (Histogram.bin_count h 1);
+  Alcotest.(check int) "bin 4" 2 (Histogram.bin_count h 4)
+
+let test_histogram_clamps () =
+  let h = Histogram.create ~lo:0.0 ~hi:1.0 ~bins:2 in
+  Histogram.add h (-5.0);
+  Histogram.add h 99.0;
+  Alcotest.(check int) "low clamped" 1 (Histogram.bin_count h 0);
+  Alcotest.(check int) "high clamped" 1 (Histogram.bin_count h 1)
+
+let test_histogram_of_ints () =
+  let h = Histogram.of_ints ~bins:4 [| 1; 2; 3; 4; 5; 6; 7; 8 |] in
+  Alcotest.(check int) "total preserved" 8 (Histogram.count h);
+  Alcotest.(check int) "bins" 4 (Histogram.bins h)
+
+let test_histogram_bounds () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  let lo, hi = Histogram.bin_bounds h 2 in
+  checkf "bin 2 lo" 4.0 lo;
+  checkf "bin 2 hi" 6.0 hi
+
+(* --- Fit --------------------------------------------------------------- *)
+
+let test_linear_exact () =
+  let pts = Array.init 10 (fun i -> (float_of_int i, (3.0 *. float_of_int i) +. 2.0)) in
+  let line = Fit.linear pts in
+  checkf_loose "slope" 3.0 line.Fit.slope;
+  checkf_loose "intercept" 2.0 line.Fit.intercept;
+  checkf_loose "r2" 1.0 line.Fit.r2
+
+let test_linear_flat () =
+  let pts = [| (1.0, 5.0); (2.0, 5.0); (3.0, 5.0) |] in
+  let line = Fit.linear pts in
+  checkf_loose "slope 0" 0.0 line.Fit.slope;
+  checkf_loose "flat data has r2 = 1 by convention" 1.0 line.Fit.r2
+
+let test_log_log_exponent () =
+  (* y = 7 x^2.5 has log-log slope 2.5. *)
+  let pts = Array.init 20 (fun i ->
+      let x = float_of_int (i + 1) in
+      (x, 7.0 *. (x ** 2.5)))
+  in
+  let line = Fit.log_log pts in
+  checkf_loose "exponent" 2.5 line.Fit.slope
+
+let test_log_log_rejects_nonpositive () =
+  Alcotest.check_raises "zero rejected"
+    (Invalid_argument "Fit.log_log: non-positive coordinate") (fun () ->
+      ignore (Fit.log_log [| (0.0, 1.0); (1.0, 2.0) |]))
+
+let test_semilog () =
+  (* y = 4 ln x + 1. *)
+  let pts = Array.init 20 (fun i ->
+      let x = float_of_int (i + 1) in
+      (x, (4.0 *. log x) +. 1.0))
+  in
+  let line = Fit.semilog_x pts in
+  checkf_loose "slope" 4.0 line.Fit.slope;
+  checkf_loose "intercept" 1.0 line.Fit.intercept
+
+let test_pearson_sign () =
+  let up = Array.init 10 (fun i -> (float_of_int i, float_of_int (2 * i))) in
+  let down = Array.init 10 (fun i -> (float_of_int i, float_of_int (-3 * i))) in
+  checkf_loose "perfect positive" 1.0 (Fit.pearson up);
+  checkf_loose "perfect negative" (-1.0) (Fit.pearson down)
+
+let test_fit_degenerate () =
+  Alcotest.check_raises "needs two points"
+    (Invalid_argument "Fit.linear: need at least two points") (fun () ->
+      ignore (Fit.linear [| (1.0, 1.0) |]));
+  Alcotest.check_raises "same x rejected"
+    (Invalid_argument "Fit.linear: degenerate x values") (fun () ->
+      ignore (Fit.linear [| (1.0, 1.0); (1.0, 2.0) |]))
+
+(* --- Table ------------------------------------------------------------- *)
+
+let test_table_render () =
+  let t = Table.create [ "n"; "slots" ] in
+  Table.add_row t [ "8"; "120" ];
+  Table.add_row t [ "16"; "300" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "mentions header" true
+    (String.length s > 0
+    && String.trim (List.hd (String.split_on_char '\n' s)) <> "");
+  Alcotest.(check int) "two rows" 2 (Table.rows t)
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in
+  nn = 0 || scan 0
+
+let test_table_rowf () =
+  let t = Table.create [ "a"; "b"; "c" ] in
+  Table.add_rowf t "%d|%s|%.1f" 5 "hi" 2.5;
+  Alcotest.(check int) "one row" 1 (Table.rows t);
+  let s = Table.render t in
+  Alcotest.(check bool) "contains formatted cell" true (contains_substring s "2.5")
+
+let test_table_pads_short_rows () =
+  let t = Table.create [ "a"; "b" ] in
+  Table.add_row t [ "only" ];
+  Alcotest.(check int) "row accepted" 1 (Table.rows t)
+
+let test_table_rejects_long_rows () =
+  let t = Table.create [ "a" ] in
+  Alcotest.check_raises "too many cells" (Invalid_argument "Table.add_row: too many cells")
+    (fun () -> Table.add_row t [ "x"; "y" ])
+
+(* --- Csv ----------------------------------------------------------------- *)
+
+module Csv = Crn_stats.Csv
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain untouched" "abc" (Csv.escape "abc");
+  Alcotest.(check string) "comma quoted" "\"a,b\"" (Csv.escape "a,b");
+  Alcotest.(check string) "quote doubled" "\"a\"\"b\"" (Csv.escape "a\"b");
+  Alcotest.(check string) "newline quoted" "\"a\nb\"" (Csv.escape "a\nb")
+
+let test_csv_of_table () =
+  let t = Table.create [ "n"; "label" ] in
+  Table.add_row t [ "1"; "plain" ];
+  Table.add_row t [ "2"; "with,comma" ];
+  Alcotest.(check string) "csv output" "n,label\n1,plain\n2,\"with,comma\"\n"
+    (Csv.of_table t)
+
+let test_csv_write_roundtrip () =
+  let t = Table.create [ "a"; "b" ] in
+  Table.add_row t [ "x"; "y" ];
+  let path = Filename.temp_file "crn_csv" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.write_table ~path t;
+      let ic = open_in path in
+      let content = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "file content" "a,b\nx,y\n" content)
+
+(* --- Series ------------------------------------------------------------ *)
+
+let test_series_exponent () =
+  let s = Series.make "quad" (List.init 10 (fun i ->
+      let x = float_of_int (i + 1) in
+      (x, x *. x)))
+  in
+  checkf_loose "exponent 2" 2.0 (Series.scaling_exponent s)
+
+let test_series_plot_nonempty () =
+  let s = Series.of_ints "line" [ (1, 1); (2, 2); (3, 3) ] in
+  let out = Series.plot [ s ] in
+  Alcotest.(check bool) "plot renders" true (String.length out > 50)
+
+let test_series_plot_empty () =
+  Alcotest.(check string) "empty plot" "(empty plot)\n" (Series.plot [])
+
+(* --- properties -------------------------------------------------------- *)
+
+let prop_percentile_between_min_max =
+  QCheck.Test.make ~name:"percentile stays within [min,max]" ~count:300
+    QCheck.(pair (list_of_size Gen.(1 -- 40) (float_bound_exclusive 1000.0)) (float_bound_inclusive 100.0))
+    (fun (xs, p) ->
+      let a = Array.of_list xs in
+      let v = Summary.percentile a p in
+      let lo = Array.fold_left min a.(0) a and hi = Array.fold_left max a.(0) a in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:300
+    QCheck.(list_of_size Gen.(2 -- 40) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let prev = ref (Summary.percentile a 0.0) in
+      let ok = ref true in
+      List.iter
+        (fun p ->
+          let v = Summary.percentile a p in
+          if v < !prev -. 1e-9 then ok := false;
+          prev := v)
+        [ 10.0; 25.0; 50.0; 75.0; 90.0; 100.0 ];
+      !ok)
+
+let prop_linear_recovers_line =
+  QCheck.Test.make ~name:"linear fit recovers exact lines" ~count:200
+    QCheck.(pair (float_range (-50.0) 50.0) (float_range (-50.0) 50.0))
+    (fun (slope, intercept) ->
+      let pts = Array.init 8 (fun i ->
+          let x = float_of_int i in
+          (x, (slope *. x) +. intercept))
+      in
+      let l = Fit.linear pts in
+      Float.abs (l.Fit.slope -. slope) < 1e-6
+      && Float.abs (l.Fit.intercept -. intercept) < 1e-6)
+
+let prop_histogram_conserves_count =
+  QCheck.Test.make ~name:"histogram conserves observation count" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 100) (int_bound 1000))
+    (fun xs ->
+      let h = Histogram.of_ints ~bins:7 (Array.of_list xs) in
+      Histogram.count h = List.length xs)
+
+let () =
+  Alcotest.run "crn_stats"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "mean singleton" `Quick test_mean_singleton;
+          Alcotest.test_case "variance" `Quick test_variance;
+          Alcotest.test_case "stddev singleton" `Quick test_stddev_singleton;
+          Alcotest.test_case "percentile interpolation" `Quick test_percentile_interpolation;
+          Alcotest.test_case "percentile input untouched" `Quick test_percentile_unsorted_input;
+          Alcotest.test_case "median odd" `Quick test_median_odd;
+          Alcotest.test_case "summary record" `Quick test_summary_record;
+          Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "basic binning" `Quick test_histogram_basic;
+          Alcotest.test_case "clamping" `Quick test_histogram_clamps;
+          Alcotest.test_case "of_ints" `Quick test_histogram_of_ints;
+          Alcotest.test_case "bin bounds" `Quick test_histogram_bounds;
+        ] );
+      ( "fit",
+        [
+          Alcotest.test_case "linear exact" `Quick test_linear_exact;
+          Alcotest.test_case "linear flat" `Quick test_linear_flat;
+          Alcotest.test_case "log-log exponent" `Quick test_log_log_exponent;
+          Alcotest.test_case "log-log rejects nonpositive" `Quick test_log_log_rejects_nonpositive;
+          Alcotest.test_case "semilog" `Quick test_semilog;
+          Alcotest.test_case "pearson sign" `Quick test_pearson_sign;
+          Alcotest.test_case "degenerate inputs" `Quick test_fit_degenerate;
+        ] );
+      ( "table+series",
+        [
+          Alcotest.test_case "table render" `Quick test_table_render;
+          Alcotest.test_case "table add_rowf" `Quick test_table_rowf;
+          Alcotest.test_case "table pads short rows" `Quick test_table_pads_short_rows;
+          Alcotest.test_case "table rejects long rows" `Quick test_table_rejects_long_rows;
+          Alcotest.test_case "series exponent" `Quick test_series_exponent;
+          Alcotest.test_case "series plot" `Quick test_series_plot_nonempty;
+          Alcotest.test_case "series empty plot" `Quick test_series_plot_empty;
+          Alcotest.test_case "csv escaping" `Quick test_csv_escape;
+          Alcotest.test_case "csv of table" `Quick test_csv_of_table;
+          Alcotest.test_case "csv write roundtrip" `Quick test_csv_write_roundtrip;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_percentile_between_min_max;
+            prop_percentile_monotone;
+            prop_linear_recovers_line;
+            prop_histogram_conserves_count;
+          ] );
+    ]
