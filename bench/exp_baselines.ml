@@ -28,15 +28,13 @@ let e4 () =
       let spec = { Topology.n; c; k } in
       let trials = trials ~full:5 in
       let cog =
-        median_of ~trials ~base_seed:(7000 + c) (fun seed ->
-            let rng = Rng.create seed in
+        median_of ~trials ~base_seed:(7000 + c) (fun rng ->
             let assignment = Topology.shared_core rng spec in
             let r = Cogcast.run_static ~source:0 ~assignment ~k ~rng () in
             Option.value ~default:r.Cogcast.slots_run r.Cogcast.completed_at)
       in
       let base =
-        median_of ~trials ~base_seed:(8000 + c) (fun seed ->
-            let rng = Rng.create seed in
+        median_of ~trials ~base_seed:(8000 + c) (fun rng ->
             let assignment = Topology.shared_core rng spec in
             let r = Broadcast_baseline.run_static ~source:0 ~assignment ~k ~rng () in
             Option.value ~default:r.Broadcast_baseline.slots_run
@@ -45,7 +43,7 @@ let e4 () =
       Table.add_row t
         [ string_of_int c; fmt_f cog; fmt_f base; fmt_f2 (base /. cog); string_of_int c ])
     cs;
-  Table.print t;
+  print_table t;
   note "claim: the measured speedup grows linearly with c (who wins: COGCAST, everywhere)"
 
 (* E7: aggregation, COGCOMP vs rendezvous baseline (§1: O((c/k)lg n + n) vs
@@ -69,9 +67,7 @@ let e7 () =
     (fun n ->
       let spec = { Topology.n; c; k } in
       let trials = trials ~full:5 in
-      let p4 = ref 0.0 in
-      let run_baseline ~ack seed =
-        let rng = Rng.create seed in
+      let run_baseline ~ack rng =
         let assignment = Topology.shared_core rng spec in
         let values = Array.init n (fun i -> i) in
         let r =
@@ -80,28 +76,31 @@ let e7 () =
         in
         r.Aggregation_baseline.slots_run
       in
-      let cog =
-        median_of ~trials ~base_seed:(9000 + n) (fun seed ->
-            let rng = Rng.create seed in
+      (* Keep total slots and the phase-4 share of the same runs together,
+         then take the medians of each — the old sequential code relied on
+         stateful update order, which a parallel runner cannot. *)
+      let runs =
+        run_trials ~trials ~base_seed:(9000 + n) (fun rng ->
             let assignment = Topology.shared_core rng spec in
             let values = Array.init n (fun i -> i) in
             let r = Cogcomp.run ~monoid:Aggregate.sum ~values ~source:0 ~assignment ~k ~rng () in
-            p4 := float_of_int r.Cogcomp.phase4_slots;
-            r.Cogcomp.total_slots)
+            (r.Cogcomp.total_slots, r.Cogcomp.phase4_slots))
       in
+      let cog = Crn_stats.Summary.median (Array.map (fun (tot, _) -> float_of_int tot) runs) in
+      let p4 = Crn_stats.Summary.median (Array.map (fun (_, p) -> float_of_int p) runs) in
       let base_ack = median_of ~trials ~base_seed:(9500 + n) (run_baseline ~ack:true) in
       let base_honest = median_of ~trials ~base_seed:(9700 + n) (run_baseline ~ack:false) in
       Table.add_row t
         [
           string_of_int n;
           fmt_f cog;
-          fmt_f !p4;
+          fmt_f p4;
           fmt_f base_ack;
           fmt_f base_honest;
           fmt_f2 (base_honest /. cog);
         ])
     ns;
-  Table.print t;
+  print_table t;
   note "honest baseline (no ACK): the source coupon-collects n-1 distinct values ~ n ln n;";
   note "the +ACK variant is a gift to the baseline (free acknowledgements). COGCOMP's";
   note "total is Theta((c/k) lg n) + Theta(n) and overtakes both as n grows; its crossover";
@@ -127,21 +126,20 @@ let e10 () =
       let big_c = k + (n * (c - k)) in
       let trials = trials ~full:5 in
       let scan =
-        median_of ~trials ~base_seed:(10_000 + n) (fun seed ->
+        median_of ~trials ~base_seed:(10_000 + n) (fun rng ->
+            let topo_rng = Rng.split rng in
+            let perm_rng = Rng.split rng in
             let assignment =
-              Assignment.permute_channels
-                (Rng.create (seed + 1))
-                (Topology.shared_core ~global_labels:true (Rng.create seed) spec)
+              Assignment.permute_channels perm_rng
+                (Topology.shared_core ~global_labels:true topo_rng spec)
             in
             let r =
-              Seq_scan.run ~source:0 ~assignment ~rng:(Rng.create (seed + 2))
-                ~max_slots:(8 * big_c) ()
+              Seq_scan.run ~source:0 ~assignment ~rng ~max_slots:(8 * big_c) ()
             in
             Option.value ~default:r.Seq_scan.slots_run r.Seq_scan.completed_at)
       in
       let cog =
-        median_of ~trials ~base_seed:(11_000 + n) (fun seed ->
-            let rng = Rng.create seed in
+        median_of ~trials ~base_seed:(11_000 + n) (fun rng ->
             let assignment = Topology.shared_core rng spec in
             let r = Cogcast.run_static ~source:0 ~assignment ~k ~rng () in
             Option.value ~default:r.Cogcast.slots_run r.Cogcast.completed_at)
@@ -156,6 +154,6 @@ let e10 () =
           fmt_f2 (float_of_int big_c /. float_of_int k);
         ])
     ns;
-  Table.print t;
+  print_table t;
   note "claim: scan is O(1) expected here while COGCAST needs Theta((c/(nk)) c lg n) ~ n lg n;";
   note "       the gap grows with n — and the scan is impossible under local labels (Theorem 15)"

@@ -1,5 +1,8 @@
 (* Experiments E1-E3, E5, E11: COGCAST scaling (Theorem 4), overlap-pattern
-   robustness (Claims 1-3) and the dynamic model (§7). *)
+   robustness (Claims 1-3) and the dynamic model (§7).
+
+   Every trial takes an explicit Rng.t (a pre-split stream handed out by
+   Bench_util.run_trials), so the tables are identical at any --jobs. *)
 
 open Bench_util
 module Rng = Crn_prng.Rng
@@ -11,19 +14,18 @@ module Table = Crn_stats.Table
 module Series = Crn_stats.Series
 module Fit = Crn_stats.Fit
 
-let completion ~seed ~kind spec =
-  let rng = Rng.create seed in
+let completion ~rng ~kind spec =
   let assignment = Topology.generate kind rng spec in
   let r = Cogcast.run_static ~source:0 ~assignment ~k:spec.Topology.k ~rng () in
   match r.Cogcast.completed_at with
   | Some s -> s
   | None -> r.Cogcast.slots_run (* budget exhausted: report the cap *)
 
-let dynamic_completion ~seed spec =
-  let availability = Dynamic.reshuffled_shared_core ~seed:(Rng.create seed) spec in
+let dynamic_completion ~rng spec =
+  let availability = Dynamic.reshuffled_shared_core ~seed:(Rng.split rng) spec in
   let { Topology.n; c; k } = spec in
   let max_slots = Complexity.cogcast_slots ~n ~c ~k () in
-  let r = Cogcast.run ~source:0 ~availability ~rng:(Rng.create (seed + 1)) ~max_slots () in
+  let r = Cogcast.run ~source:0 ~availability ~rng ~max_slots () in
   match r.Cogcast.completed_at with Some s -> s | None -> r.Cogcast.slots_run
 
 (* E1: time vs n at fixed c, for several k. Claim: slope vs lg n is linear
@@ -42,8 +44,8 @@ let e1 () =
             (fun n ->
               let trials = trials ~full:(if n >= 2048 then 3 else 5) in
               let m =
-                median_of ~trials ~base_seed:(1000 + n + k) (fun seed ->
-                    completion ~seed ~kind:Topology.Shared_core { Topology.n; c; k })
+                median_of ~trials ~base_seed:(1000 + n + k) (fun rng ->
+                    completion ~rng ~kind:Topology.Shared_core { Topology.n; c; k })
               in
               (float_of_int n, m))
             ns
@@ -57,7 +59,7 @@ let e1 () =
         (string_of_int n
         :: List.map (fun (_, pts) -> fmt_f (snd (List.nth pts i))) series))
     ns;
-  Table.print t;
+  print_table t;
   (* The lg n growth is a tail phenomenon: near n ~ c the boundary constants
      of the max{1, c/n} regime dominate (times first *fall* as n grows past
      c because channels fill with listeners). Fit the n >= 8c tail only. *)
@@ -86,15 +88,15 @@ let e2 () =
     List.map
       (fun c ->
         let m =
-          median_of ~trials:(trials ~full:5) ~base_seed:(2000 + c) (fun seed ->
-              completion ~seed ~kind:Topology.Shared_core { Topology.n; c; k })
+          median_of ~trials:(trials ~full:5) ~base_seed:(2000 + c) (fun rng ->
+              completion ~rng ~kind:Topology.Shared_core { Topology.n; c; k })
         in
         Table.add_row t
           [ string_of_int c; fmt_f m; fmt_f (Complexity.cogcast ~factor:1.0 ~n ~c ~k ()) ];
         (float_of_int c, m))
       cs
   in
-  Table.print t;
+  print_table t;
   let below = List.filter (fun (c, _) -> c <= float_of_int n) pts in
   let above = List.filter (fun (c, _) -> c >= float_of_int n) pts in
   if List.length below >= 2 then
@@ -115,15 +117,15 @@ let e3 () =
     List.map
       (fun k ->
         let m =
-          median_of ~trials:(trials ~full:5) ~base_seed:(3000 + k) (fun seed ->
-              completion ~seed ~kind:Topology.Shared_core { Topology.n; c; k })
+          median_of ~trials:(trials ~full:5) ~base_seed:(3000 + k) (fun rng ->
+              completion ~rng ~kind:Topology.Shared_core { Topology.n; c; k })
         in
         Table.add_row t
           [ string_of_int k; fmt_f m; fmt_f (Complexity.cogcast ~factor:1.0 ~n ~c ~k ()) ];
         (float_of_int k, m))
       ks
   in
-  Table.print t;
+  print_table t;
   note "log-log slope vs k: %.2f (theorem: -1)" (Fit.log_log (Array.of_list pts)).Fit.slope
 
 (* E5: Claims 1-3 robustness — the bound holds whatever the overlap
@@ -137,8 +139,7 @@ let e5 () =
     (fun kind ->
       let trials = trials ~full:9 in
       let samples =
-        Array.init trials (fun i ->
-            float_of_int (completion ~seed:(4000 + i) ~kind spec))
+        samples_of ~trials ~base_seed:4000 (fun rng -> completion ~rng ~kind spec)
       in
       let s = Crn_stats.Summary.of_floats samples in
       Table.add_row t
@@ -149,7 +150,7 @@ let e5 () =
           fmt_f budget;
         ])
     Topology.all_kinds;
-  Table.print t;
+  print_table t;
   note "claim: every pattern completes within the same Theta((c/k) lg n) budget"
 
 (* E11: dynamic channel assignments (§7) — same completion scaling as the
@@ -164,11 +165,11 @@ let e11 () =
       let spec = { Topology.n; c; k } in
       let trials = trials ~full:5 in
       let st =
-        median_of ~trials ~base_seed:(5000 + n) (fun seed ->
-            completion ~seed ~kind:Topology.Shared_core spec)
+        median_of ~trials ~base_seed:(5000 + n) (fun rng ->
+            completion ~rng ~kind:Topology.Shared_core spec)
       in
-      let dy = median_of ~trials ~base_seed:(6000 + n) (fun seed -> dynamic_completion ~seed spec) in
+      let dy = median_of ~trials ~base_seed:(6000 + n) (fun rng -> dynamic_completion ~rng spec) in
       Table.add_row t [ string_of_int n; fmt_f st; fmt_f dy; fmt_f2 (dy /. st) ])
     ns;
-  Table.print t;
+  print_table t;
   note "claim: the ratio stays ~1; Theorem 4's proof never uses staticness"

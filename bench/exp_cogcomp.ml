@@ -24,34 +24,35 @@ let e6 () =
     (fun n ->
       let spec = { Topology.n; c; k } in
       let trials = trials ~full:(if n >= 1024 then 3 else 5) in
-      let acc = Array.make 5 0.0 in
-      let steps_ratio = ref 0.0 in
-      for i = 0 to trials - 1 do
-        let rng = Rng.create (12_000 + n + i) in
-        let assignment = Topology.shared_plus_random rng spec in
-        let values = Array.init n (fun v -> v) in
-        let r = Cogcomp.run ~monoid:Aggregate.sum ~values ~source:0 ~assignment ~k ~rng () in
-        acc.(0) <- acc.(0) +. float_of_int r.Cogcomp.phase1_slots;
-        acc.(1) <- acc.(1) +. float_of_int r.Cogcomp.phase2_slots;
-        acc.(2) <- acc.(2) +. float_of_int r.Cogcomp.phase3_slots;
-        acc.(3) <- acc.(3) +. float_of_int r.Cogcomp.phase4_slots;
-        acc.(4) <- acc.(4) +. float_of_int r.Cogcomp.total_slots;
-        steps_ratio := !steps_ratio +. (float_of_int r.Cogcomp.phase4_steps /. float_of_int n)
-      done;
+      let runs =
+        run_trials ~trials ~base_seed:(12_000 + n) (fun rng ->
+            let assignment = Topology.shared_plus_random rng spec in
+            let values = Array.init n (fun v -> v) in
+            let r = Cogcomp.run ~monoid:Aggregate.sum ~values ~source:0 ~assignment ~k ~rng () in
+            [|
+              float_of_int r.Cogcomp.phase1_slots;
+              float_of_int r.Cogcomp.phase2_slots;
+              float_of_int r.Cogcomp.phase3_slots;
+              float_of_int r.Cogcomp.phase4_slots;
+              float_of_int r.Cogcomp.total_slots;
+              float_of_int r.Cogcomp.phase4_steps /. float_of_int n;
+            |])
+      in
       let ft = float_of_int trials in
-      p4_pts := (float_of_int n, acc.(3) /. ft) :: !p4_pts;
+      let avg j = Array.fold_left (fun acc row -> acc +. row.(j)) 0.0 runs /. ft in
+      p4_pts := (float_of_int n, avg 3) :: !p4_pts;
       Table.add_row t
         [
           string_of_int n;
-          fmt_f (acc.(0) /. ft);
-          fmt_f (acc.(1) /. ft);
-          fmt_f (acc.(2) /. ft);
-          fmt_f (acc.(3) /. ft);
-          fmt_f (acc.(4) /. ft);
-          fmt_f2 (!steps_ratio /. ft);
+          fmt_f (avg 0);
+          fmt_f (avg 1);
+          fmt_f (avg 2);
+          fmt_f (avg 3);
+          fmt_f (avg 4);
+          fmt_f2 (avg 5);
         ])
     ns;
-  Table.print t;
+  print_table t;
   let fit = Fit.log_log (Array.of_list !p4_pts) in
   note "phase 4 log-log slope vs n: %.2f (Theorem 10 proves O(n), an upper bound;" fit.Fit.slope;
   note "sub-linear growth is expected — clusters on different channels drain in parallel)";
@@ -71,29 +72,29 @@ let e14 () =
     (fun n ->
       let spec = { Topology.n; c; k } in
       let trials = trials ~full:9 in
-      let height = ref 0.0 and clusters = ref 0.0 and maxc = ref 0.0 and summax = ref 0.0 in
-      for i = 0 to trials - 1 do
-        let rng = Rng.create (13_000 + n + i) in
-        let assignment = Topology.shared_plus_random rng spec in
-        let r = Cogcast.run_static ~source:0 ~assignment ~k ~rng () in
-        let tree = Disttree.of_result r in
-        height := !height +. float_of_int (Disttree.height tree);
-        clusters := !clusters +. float_of_int (List.length tree.Disttree.clusters);
-        maxc := !maxc +. float_of_int (Disttree.max_cluster tree);
-        summax := !summax +. float_of_int (Disttree.sum_max_cluster_per_slot tree)
-      done;
+      let runs =
+        run_trials ~trials ~base_seed:(13_000 + n) (fun rng ->
+            let assignment = Topology.shared_plus_random rng spec in
+            let r = Cogcast.run_static ~source:0 ~assignment ~k ~rng () in
+            let tree = Disttree.of_result r in
+            ( Disttree.height tree,
+              List.length tree.Disttree.clusters,
+              Disttree.max_cluster tree,
+              Disttree.sum_max_cluster_per_slot tree ))
+      in
       let ft = float_of_int trials in
+      let avg f = Array.fold_left (fun acc run -> acc +. float_of_int (f run)) 0.0 runs /. ft in
       Table.add_row t
         [
           string_of_int n;
-          fmt_f (!height /. ft);
-          fmt_f (!clusters /. ft);
-          fmt_f (!maxc /. ft);
-          fmt_f (!summax /. ft);
+          fmt_f (avg (fun (h, _, _, _) -> h));
+          fmt_f (avg (fun (_, cl, _, _) -> cl));
+          fmt_f (avg (fun (_, _, m, _) -> m));
+          fmt_f (avg (fun (_, _, _, s) -> s));
           string_of_int n;
         ])
     ns;
-  Table.print t;
+  print_table t;
   note "claim: sum of per-slot max cluster sizes <= n always (drives phase 4's O(n))";
   (* Cluster-size distribution at the largest n: most clusters are tiny, a
      few (early slots, crowded channels) are large — the skew phase 4's

@@ -9,11 +9,18 @@ module First_hit = Crn_games.First_hit
 module Complexity = Crn_core.Complexity
 module Table = Crn_stats.Table
 
+(* Parallel counterpart of Hitting_game.median_rounds: one pre-split stream
+   per game, losses counted as max_rounds. *)
+let median_rounds_par ~trials ~base_seed ~make_player ~game ~max_rounds =
+  median_of ~trials ~base_seed (fun rng ->
+      let player = make_player (Rng.split rng) in
+      let r = game ~rng ~player ~max_rounds in
+      if r.Hitting_game.won then r.Hitting_game.rounds else max_rounds)
+
 (* E8: median rounds-to-win of standard players vs the Lemma 11 / Lemma 14
    closed-form bounds. *)
 let e8 () =
   header "E8" "Hitting games: player medians vs lower bounds (Lemmas 11 & 14)";
-  let rng = Rng.create 77 in
   let t =
     Table.create
       [ "game"; "c"; "k"; "uniform"; "w/o-replacement"; "row-scan"; "bound" ]
@@ -22,15 +29,16 @@ let e8 () =
   List.iter
     (fun (c, k) ->
       let trials = trials ~full:31 in
-      let median make_player =
-        Hitting_game.median_rounds ~rng ~trials ~make_player
+      let median i make_player =
+        median_rounds_par ~trials ~base_seed:(30_000 + (100 * c) + (10 * k) + i)
+          ~make_player
           ~game:(fun ~rng ~player ~max_rounds ->
             Hitting_game.play_bipartite ~rng ~c ~k ~player ~max_rounds)
           ~max_rounds:(c * c * 200)
       in
-      let u = median (fun rng -> Players.uniform rng ~c) in
-      let w = median (fun rng -> Players.without_replacement rng ~c) in
-      let s = median (fun _ -> Players.row_scan ~c) in
+      let u = median 0 (fun rng -> Players.uniform rng ~c) in
+      let w = median 1 (fun rng -> Players.without_replacement rng ~c) in
+      let s = median 2 (fun _ -> Players.row_scan ~c) in
       Table.add_row t
         [
           "(c,k)-bipartite";
@@ -45,15 +53,15 @@ let e8 () =
   List.iter
     (fun c ->
       let trials = trials ~full:31 in
-      let median make_player =
-        Hitting_game.median_rounds ~rng ~trials ~make_player
+      let median i make_player =
+        median_rounds_par ~trials ~base_seed:(34_000 + (100 * c) + i) ~make_player
           ~game:(fun ~rng ~player ~max_rounds ->
             Hitting_game.play_complete ~rng ~c ~player ~max_rounds)
           ~max_rounds:(c * c * 20)
       in
-      let u = median (fun rng -> Players.uniform rng ~c) in
-      let w = median (fun rng -> Players.without_replacement rng ~c) in
-      let s = median (fun _ -> Players.row_scan ~c) in
+      let u = median 0 (fun rng -> Players.uniform rng ~c) in
+      let w = median 1 (fun rng -> Players.without_replacement rng ~c) in
+      let s = median 2 (fun _ -> Players.row_scan ~c) in
       Table.add_row t
         [
           "c-complete";
@@ -65,7 +73,7 @@ let e8 () =
           fmt_f (Complexity.complete_game_lower_bound ~c);
         ])
     (if !quick then [ 16 ] else [ 8; 16; 32 ]);
-  Table.print t;
+  print_table t;
   note "claim: no player's median dips below the bound column (c²/(8k), resp. c/3)";
   (* Cross-check the Lemma 11 probability accounting: empirical win rates at
      the critical round count l = c²/(8k) vs the analytic cap 1 - P(L). *)
@@ -77,18 +85,15 @@ let e8 () =
     (fun (c, k) ->
       let l = Crn_games.Bounds.critical_rounds ~c ~k () in
       let cap = Crn_games.Bounds.winning_probability_upper_bound ~c ~k ~rounds:l in
-      let win_rate make_player =
+      let win_rate i make_player =
         let trials = if !quick then 200 else 1000 in
-        let wins = ref 0 in
-        for _ = 1 to trials do
-          let player = make_player (Rng.split rng) in
-          let r =
-            Hitting_game.play_bipartite ~rng:(Rng.split rng) ~c ~k ~player
-              ~max_rounds:l
-          in
-          if r.Hitting_game.won then incr wins
-        done;
-        float_of_int !wins /. float_of_int trials
+        let wins =
+          run_trials ~trials ~base_seed:(37_000 + (100 * c) + (10 * k) + i) (fun rng ->
+              let player = make_player (Rng.split rng) in
+              let r = Hitting_game.play_bipartite ~rng ~c ~k ~player ~max_rounds:l in
+              if r.Hitting_game.won then 1 else 0)
+        in
+        float_of_int (Array.fold_left ( + ) 0 wins) /. float_of_int trials
       in
       Table.add_row t2
         [
@@ -97,18 +102,17 @@ let e8 () =
           string_of_int l;
           fmt_f2 cap;
           fmt_f2 (Crn_games.Bounds.exact_uniform_win_probability ~c ~k ~rounds:l);
-          fmt_f2 (win_rate (fun rng -> Players.uniform rng ~c));
-          fmt_f2 (win_rate (fun rng -> Players.without_replacement rng ~c));
+          fmt_f2 (win_rate 0 (fun rng -> Players.uniform rng ~c));
+          fmt_f2 (win_rate 1 (fun rng -> Players.without_replacement rng ~c));
         ])
     (if !quick then [ (16, 2) ] else [ (8, 1); (16, 2); (16, 8); (32, 4) ]);
-  Table.print ~title:"  win probability at the Lemma 11 critical round count" t2;
+  print_table ~title:"  win probability at the Lemma 11 critical round count" t2;
   note "claim: every empirical rate is below the analytic cap (and far below 1/2)"
 
 (* E9: the Lemma 12 reduction — COGCAST-as-player wins within
    min{c,n} * simulated-slots rounds. *)
 let e9 () =
   header "E9" "Lemma 12 reduction: COGCAST as a hitting-game player";
-  let rng = Rng.create 99 in
   let t =
     Table.create
       [ "n"; "c"; "k"; "median rounds"; "median slots"; "rounds/slots"; "min{c,n}" ]
@@ -120,19 +124,17 @@ let e9 () =
   List.iter
     (fun (n, c, k) ->
       let trials = trials ~full:15 in
-      let rounds = Array.make trials 0.0 and slots = Array.make trials 0.0 in
-      for i = 0 to trials - 1 do
-        let alg = Reduction.cogcast_algorithm (Rng.split rng) ~n ~c in
-        let player, slots_used = Reduction.player_of_algorithm ~c alg in
-        let r =
-          Hitting_game.play_bipartite ~rng:(Rng.split rng) ~c ~k ~player
-            ~max_rounds:10_000_000
-        in
-        rounds.(i) <- float_of_int r.Hitting_game.rounds;
-        slots.(i) <- float_of_int (slots_used ())
-      done;
-      let mr = Crn_stats.Summary.median rounds in
-      let ms = Crn_stats.Summary.median slots in
+      let runs =
+        run_trials ~trials ~base_seed:(40_000 + (1000 * n) + (10 * c) + k) (fun rng ->
+            let alg = Reduction.cogcast_algorithm (Rng.split rng) ~n ~c in
+            let player, slots_used = Reduction.player_of_algorithm ~c alg in
+            let r =
+              Hitting_game.play_bipartite ~rng ~c ~k ~player ~max_rounds:10_000_000
+            in
+            (float_of_int r.Hitting_game.rounds, float_of_int (slots_used ())))
+      in
+      let mr = Crn_stats.Summary.median (Array.map fst runs) in
+      let ms = Crn_stats.Summary.median (Array.map snd runs) in
       Table.add_row t
         [
           string_of_int n;
@@ -144,13 +146,12 @@ let e9 () =
           string_of_int (min c n);
         ])
     cfgs;
-  Table.print t;
+  print_table t;
   note "claim: rounds <= min{c,n} x slots on every run (the reduction's accounting)"
 
 (* E15: Theorem 16's first-hit expectation. *)
 let e15 () =
   header "E15" "Theorem 16 first-hit expectation: (c+1)/(k+1) for non-repeating strategies";
-  let rng = Rng.create 123 in
   let t =
     Table.create
       [ "c"; "k"; "scan"; "random-perm"; "uniform"; "(c+1)/(k+1)"; "c/k" ]
@@ -159,10 +160,14 @@ let e15 () =
   List.iter
     (fun (c, k) ->
       let trials = if !quick then 5_000 else 40_000 in
-      let mean make_strategy = First_hit.mean_first_hit ~rng ~trials ~c ~k ~make_strategy in
-      let scan = mean (fun _ -> First_hit.scan_strategy ~c) in
-      let perm = mean (fun rng -> First_hit.fresh_random_strategy rng ~c) in
-      let unif = mean (fun rng -> First_hit.uniform_strategy rng ~c) in
+      let mean i make_strategy =
+        mean_of ~trials ~base_seed:(44_000 + (100 * c) + (10 * k) + i) (fun rng ->
+            let strategy = make_strategy (Rng.split rng) in
+            First_hit.sample ~rng ~c ~k ~strategy)
+      in
+      let scan = mean 0 (fun _ -> First_hit.scan_strategy ~c) in
+      let perm = mean 1 (fun rng -> First_hit.fresh_random_strategy rng ~c) in
+      let unif = mean 2 (fun rng -> First_hit.uniform_strategy rng ~c) in
       Table.add_row t
         [
           string_of_int c;
@@ -174,6 +179,6 @@ let e15 () =
           fmt_f2 (float_of_int c /. float_of_int k);
         ])
     cfgs;
-  Table.print t;
+  print_table t;
   note "claim: scan and random-permutation match (c+1)/(k+1) exactly; uniform sits at c/k;";
   note "       nothing falls below the bound — the Omega(c/k) of Theorem 16"

@@ -22,8 +22,7 @@ let e12 () =
       [ "jam budget k'"; "overlap c-2k'"; "jammer"; "median slots"; "unjammed ref" ]
   in
   let reference =
-    median_of ~trials:(trials ~full:5) ~base_seed:14_000 (fun seed ->
-        let rng = Rng.create seed in
+    median_of ~trials:(trials ~full:5) ~base_seed:14_000 (fun rng ->
         let spec = { Crn_channel.Topology.n; c = big_c; k = big_c } in
         let assignment = Crn_channel.Topology.identical rng spec in
         let r = Cogcast.run_static ~source:0 ~assignment ~k:big_c ~rng () in
@@ -32,21 +31,21 @@ let e12 () =
   List.iter
     (fun budget ->
       List.iter
-        (fun (jname, jammer) ->
+        (fun (jname, make_jammer) ->
           let k = Jamming_reduction.overlap_guarantee ~num_channels:big_c ~budget in
           let c = big_c - budget in
+          (* The jammer is rebuilt per trial: its jam sets are a pure
+             function of its seed, so this costs nothing in determinism and
+             keeps trials free of shared state. *)
           let m =
-            median_of ~trials:(trials ~full:5) ~base_seed:(15_000 + budget) (fun seed ->
+            median_of ~trials:(trials ~full:5) ~base_seed:(15_000 + budget) (fun rng ->
                 let availability =
                   Jamming_reduction.availability_of_jammer
-                    ~shuffle_labels:(Rng.create seed) ~num_nodes:n ~num_channels:big_c
-                    ~jammer ()
+                    ~shuffle_labels:(Rng.split rng) ~num_nodes:n ~num_channels:big_c
+                    ~jammer:(make_jammer ()) ()
                 in
                 let max_slots = 8 * Complexity.cogcast_slots ~n ~c ~k () in
-                let r =
-                  Cogcast.run ~source:0 ~availability ~rng:(Rng.create (seed + 1))
-                    ~max_slots ()
-                in
+                let r = Cogcast.run ~source:0 ~availability ~rng ~max_slots () in
                 Option.value ~default:r.Cogcast.slots_run r.Cogcast.completed_at)
           in
           Table.add_row t
@@ -58,11 +57,12 @@ let e12 () =
               fmt_f reference;
             ])
         [
-          ("random-per-node", Jammer.random_per_node ~seed:3L ~budget ~num_channels:big_c);
-          ("sweep", Jammer.sweep ~budget ~num_channels:big_c);
+          ( "random-per-node",
+            fun () -> Jammer.random_per_node ~seed:3L ~budget ~num_channels:big_c );
+          ("sweep", fun () -> Jammer.sweep ~budget ~num_channels:big_c);
         ])
     budgets;
-  Table.print t;
+  print_table t;
   note "claim: broadcast completes for every budget k' < C/2 (Theorem 18's regime).";
   note "Times stay near the unjammed reference because these jammers leave the";
   note "*typical* pairwise overlap far above the worst-case guarantee c-2k';";
@@ -75,18 +75,22 @@ let e13 () =
   let t =
     Table.create [ "contenders m"; "mean rounds"; "p99 rounds"; "bound 4(lg m + 1)^2"; "failures" ]
   in
-  let rng = Rng.create 31 in
   let pts = ref [] in
   List.iter
     (fun m ->
       let trials = if !quick then 100 else 400 in
-      let samples = Array.make trials 0.0 in
-      let failures = ref 0 in
-      for i = 0 to trials - 1 do
-        match Backoff.session ~rng ~contenders:m ~cap:100_000 with
-        | Some { Backoff.rounds; _ } -> samples.(i) <- float_of_int rounds
-        | None -> incr failures
-      done;
+      let sessions =
+        run_trials ~trials ~base_seed:(45_000 + m) (fun rng ->
+            match Backoff.session ~rng ~contenders:m ~cap:100_000 with
+            | Some { Backoff.rounds; _ } -> Some rounds
+            | None -> None)
+      in
+      let samples =
+        Array.map (function Some r -> float_of_int r | None -> 0.0) sessions
+      in
+      let failures =
+        Array.fold_left (fun acc s -> if s = None then acc + 1 else acc) 0 sessions
+      in
       let s = Crn_stats.Summary.of_floats samples in
       pts := (float_of_int m, s.Crn_stats.Summary.mean) :: !pts;
       Table.add_row t
@@ -95,10 +99,10 @@ let e13 () =
           fmt_f2 s.Crn_stats.Summary.mean;
           fmt_f s.Crn_stats.Summary.p99;
           string_of_int (Backoff.expected_rounds_bound m);
-          string_of_int !failures;
+          string_of_int failures;
         ])
     ms;
-  Table.print t;
+  print_table t;
   (* Growth vs lg m should be at most quadratic: fit mean rounds against
      (lg m)^2 and report. *)
   let quad_pts =

@@ -1,13 +1,22 @@
 (* Experiment harness: regenerates every quantitative claim of the paper as
-   a table or series (experiments E1-E15 in DESIGN.md / EXPERIMENTS.md),
+   a table or series (experiments E1-E22 in DESIGN.md / EXPERIMENTS.md),
    plus Bechamel micro-benchmarks of the simulator kernels.
 
    Usage:
-     dune exec bench/main.exe                 (full run, all experiments)
-     dune exec bench/main.exe -- --quick      (trimmed sweeps, seconds)
-     dune exec bench/main.exe -- E1 E8        (selected experiments)
-     dune exec bench/main.exe -- --no-micro   (skip Bechamel section)
-*)
+     dune exec bench/main.exe                   (full run, all experiments)
+     dune exec bench/main.exe -- --quick        (trimmed sweeps, seconds)
+     dune exec bench/main.exe -- E1 E8          (selected experiments)
+     dune exec bench/main.exe -- --no-micro     (skip Bechamel section)
+     dune exec bench/main.exe -- --jobs 4       (trial parallelism; same
+                                                 tables at any job count)
+     dune exec bench/main.exe -- --json out.json  (machine-readable results;
+                                                 bare --json writes
+                                                 BENCH_<date>.json)
+
+   Unknown flags and unknown experiment ids are rejected with a usage
+   message and a nonzero exit. *)
+
+module Json = Crn_stats.Json
 
 let experiments =
   [
@@ -35,25 +44,107 @@ let experiments =
     ("E22", Exp_extensions.e22);
   ]
 
+let known_ids = List.map fst experiments
+
+let usage oc =
+  Printf.fprintf oc
+    "usage: bench/main.exe [OPTIONS] [EXPERIMENT-ID...]\n\
+     \n\
+     options:\n\
+     \  --quick         trimmed sweeps and trial counts (seconds, not minutes)\n\
+     \  --no-micro      skip the Bechamel micro-benchmark section\n\
+     \  --jobs N        run trials on N domains (default: %d, the recommended\n\
+     \                  domain count; results are identical at any N)\n\
+     \  --json [PATH]   also write results as JSON to PATH (default\n\
+     \                  BENCH_<yyyy-mm-dd>.json)\n\
+     \  --help          this message\n\
+     \n\
+     experiment ids: %s\n"
+    (Crn_exec.Pool.default_jobs ())
+    (String.concat " " known_ids)
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "bench/main.exe: %s\n\n" msg;
+      usage stderr;
+      exit 2)
+    fmt
+
+let default_json_path () =
+  let tm = Unix.localtime (Unix.gettimeofday ()) in
+  Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+
+type config = {
+  mutable micro : bool;
+  mutable json : string option;
+  mutable selected : string list; (* reversed *)
+}
+
+let parse_args argv =
+  let cfg = { micro = true; json = None; selected = [] } in
+  let is_flag a = String.length a > 0 && a.[0] = '-' in
+  let is_known_id a = List.mem (String.uppercase_ascii a) known_ids in
+  let parse_jobs v =
+    match int_of_string_opt v with
+    | Some n when n >= 1 -> Bench_util.jobs := n
+    | _ -> die "--jobs needs a positive integer, got %S" v
+  in
+  let rec go = function
+    | [] -> ()
+    | "--help" :: _ | "-h" :: _ ->
+        usage stdout;
+        exit 0
+    | "--quick" :: rest ->
+        Bench_util.quick := true;
+        go rest
+    | "--no-micro" :: rest ->
+        cfg.micro <- false;
+        go rest
+    | "--jobs" :: v :: rest ->
+        parse_jobs v;
+        go rest
+    | [ "--jobs" ] -> die "--jobs needs a value"
+    | "--json" :: rest -> (
+        (* --json takes an optional PATH: the next token is consumed unless
+           it is a flag or an experiment id. *)
+        match rest with
+        | v :: rest' when (not (is_flag v)) && not (is_known_id v) ->
+            cfg.json <- Some v;
+            go rest'
+        | _ ->
+            cfg.json <- Some (default_json_path ());
+            go rest)
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+        parse_jobs (String.sub a 7 (String.length a - 7));
+        go rest
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--json=" ->
+        cfg.json <- Some (String.sub a 7 (String.length a - 7));
+        go rest
+    | a :: _ when is_flag a -> die "unknown flag %S" a
+    | a :: rest ->
+        let id = String.uppercase_ascii a in
+        if not (List.mem id known_ids) then
+          die "unknown experiment id %S; known: %s" a (String.concat " " known_ids);
+        cfg.selected <- id :: cfg.selected;
+        go rest
+  in
+  go argv;
+  cfg
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let flags, selected = List.partition (fun a -> String.length a > 0 && a.[0] = '-') args in
-  let micro = not (List.mem "--no-micro" flags) in
-  if List.mem "--quick" flags then Bench_util.quick := true;
-  let selected = List.map String.uppercase_ascii selected in
+  let cfg = parse_args (List.tl (Array.to_list Sys.argv)) in
+  let selected = List.rev cfg.selected in
   let to_run =
     if selected = [] then experiments
-    else
-      List.filter (fun (id, _) -> List.mem id selected) experiments
+    else List.filter (fun (id, _) -> List.mem id selected) experiments
   in
-  if to_run = [] then begin
-    Printf.eprintf "unknown experiment id(s); known: %s\n"
-      (String.concat " " (List.map fst experiments));
-    exit 1
-  end;
   print_endline "Efficient Communication in Cognitive Radio Networks (PODC'15)";
   print_endline "reproduction harness — slot counts are the paper's own unit.";
   if !Bench_util.quick then print_endline "(quick mode: trimmed sweeps and trial counts)";
+  Printf.printf "(trial parallelism: --jobs %d; tables are seed-deterministic at any job count)\n"
+    !Bench_util.jobs;
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun (id, run) ->
@@ -61,5 +152,30 @@ let () =
       run ();
       Printf.printf "  [%s done in %.1fs]\n%!" id (Unix.gettimeofday () -. t))
     to_run;
-  if micro && selected = [] then Micro.run ();
-  Printf.printf "\nall experiments done in %.1fs\n" (Unix.gettimeofday () -. t0)
+  if cfg.micro && selected = [] then Micro.run ();
+  let total = Unix.gettimeofday () -. t0 in
+  (match cfg.json with
+  | None -> ()
+  | Some path ->
+      let report =
+        Json.Obj
+          [
+            ("schema", Json.String "crn-bench/1");
+            ( "generated_at",
+              let tm = Unix.localtime (Unix.gettimeofday ()) in
+              Json.String
+                (Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d"
+                   (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+                   tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec) );
+            ("ocaml_version", Json.String Sys.ocaml_version);
+            ("quick", Json.Bool !Bench_util.quick);
+            ("jobs", Json.Int !Bench_util.jobs);
+            ( "selected",
+              Json.List (List.map (fun (id, _) -> Json.String id) to_run) );
+            ("total_wall_s", Json.Float total);
+            ("experiments", Bench_util.records_json ());
+          ]
+      in
+      Json.write ~path report;
+      Printf.printf "\nwrote %s\n" path);
+  Printf.printf "\nall experiments done in %.1fs\n" total

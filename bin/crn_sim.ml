@@ -6,11 +6,16 @@
      game       — play the §6 hitting games against the closed-form bounds
      backoff    — measure the decay-backoff realization of the slot model
      jam        — broadcast under an n-uniform jammer (Theorem 18 reduction)
+     sweep      — sweep n, c or k and report completion scaling
 
-   Every run is reproducible from --seed. *)
+   Every run is reproducible from --seed: trials execute on a domain pool
+   sized by --jobs, with one RNG stream split off per trial up front, so
+   the numbers are identical at any --jobs value. *)
 
 open Cmdliner
 module Rng = Crn_prng.Rng
+module Pool = Crn_exec.Pool
+module Trials = Crn_exec.Trials
 module Topology = Crn_channel.Topology
 module Summary = Crn_stats.Summary
 module Cogcast = Crn_core.Cogcast
@@ -25,6 +30,16 @@ let seed_arg =
 
 let trials_arg =
   Arg.(value & opt int 9 & info [ "trials" ] ~docv:"T" ~doc:"Independent trials.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains running trials in parallel. Results are identical at any \
+           value, including 1 (the seed determines every trial's stream, \
+           not the schedule).")
 
 let n_arg = Arg.(value & opt int 64 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
 
@@ -67,14 +82,13 @@ let check_params n c k =
 (* ---- broadcast ---- *)
 
 let broadcast_cmd =
-  let run n c k topology seed trials =
+  let run n c k topology seed trials jobs =
     match check_params n c k with
     | `Error _ as e -> e
     | `Ok () ->
         let spec = { Topology.n; c; k } in
         let samples =
-          Array.init trials (fun i ->
-              let rng = Rng.create (seed + i) in
+          Trials.run_jobs ~jobs ~trials ~seed (fun rng ->
               let assignment = Topology.generate topology rng spec in
               let r = Cogcast.run_static ~source:0 ~assignment ~k ~rng () in
               match r.Cogcast.completed_at with
@@ -91,50 +105,54 @@ let broadcast_cmd =
         `Ok ()
   in
   let term =
-    Term.(ret (const run $ n_arg $ c_arg $ k_arg $ topology_arg $ seed_arg $ trials_arg))
+    Term.(
+      ret
+        (const run $ n_arg $ c_arg $ k_arg $ topology_arg $ seed_arg $ trials_arg
+       $ jobs_arg))
   in
   Cmd.v (Cmd.info "broadcast" ~doc:"Run COGCAST local broadcast (Theorem 4).") term
 
 (* ---- aggregate ---- *)
 
 let aggregate_cmd =
-  let run n c k topology seed trials baseline =
+  let run n c k topology seed trials jobs baseline =
     match check_params n c k with
     | `Error _ as e -> e
     | `Ok () ->
         let spec = { Topology.n; c; k } in
-        let totals = Array.make trials 0.0 in
-        let ok = ref true in
-        for i = 0 to trials - 1 do
-          let rng = Rng.create (seed + i) in
-          let assignment = Topology.generate topology rng spec in
-          let values = Array.init n (fun v -> v) in
-          let r =
-            Cogcomp.run ~monoid:Aggregate.sum ~values ~source:0 ~assignment ~k ~rng ()
-          in
-          totals.(i) <- float_of_int r.Cogcomp.total_slots;
-          if r.Cogcomp.root_value <> Some (n * (n - 1) / 2) then ok := false
-        done;
-        Printf.printf "COGCOMP  n=%d c=%d k=%d topology=%s trials=%d\n" n c k
-          (Topology.kind_name topology) trials;
-        Printf.printf "  total slots: %s\n" (Summary.to_string (Summary.of_floats totals));
-        Printf.printf "  all runs aggregated the exact sum: %b\n" !ok;
-        if baseline then begin
-          let base = Array.make trials 0.0 in
-          for i = 0 to trials - 1 do
-            let rng = Rng.create (seed + 1000 + i) in
-            let assignment = Topology.generate topology rng spec in
-            let values = Array.init n (fun v -> v) in
-            let r =
-              Crn_rendezvous.Aggregation_baseline.run_static ~ack:false
-                ~monoid:Aggregate.sum ~values ~source:0 ~assignment ~k ~rng ()
+        Pool.with_pool ~jobs (fun pool ->
+            let runs =
+              Trials.run ~pool ~trials ~seed (fun rng ->
+                  let assignment = Topology.generate topology rng spec in
+                  let values = Array.init n (fun v -> v) in
+                  let r =
+                    Cogcomp.run ~monoid:Aggregate.sum ~values ~source:0 ~assignment
+                      ~k ~rng ()
+                  in
+                  ( float_of_int r.Cogcomp.total_slots,
+                    r.Cogcomp.root_value = Some (n * (n - 1) / 2) ))
             in
-            base.(i) <- float_of_int r.Crn_rendezvous.Aggregation_baseline.slots_run
-          done;
-          Printf.printf "  rendezvous baseline (honest): %s\n"
-            (Summary.to_string (Summary.of_floats base))
-        end;
-        `Ok ()
+            let totals = Array.map fst runs in
+            let ok = Array.for_all snd runs in
+            Printf.printf "COGCOMP  n=%d c=%d k=%d topology=%s trials=%d\n" n c k
+              (Topology.kind_name topology) trials;
+            Printf.printf "  total slots: %s\n" (Summary.to_string (Summary.of_floats totals));
+            Printf.printf "  all runs aggregated the exact sum: %b\n" ok;
+            if baseline then begin
+              let base =
+                Trials.run ~pool ~trials ~seed:(seed + 1000) (fun rng ->
+                    let assignment = Topology.generate topology rng spec in
+                    let values = Array.init n (fun v -> v) in
+                    let r =
+                      Crn_rendezvous.Aggregation_baseline.run_static ~ack:false
+                        ~monoid:Aggregate.sum ~values ~source:0 ~assignment ~k ~rng ()
+                    in
+                    float_of_int r.Crn_rendezvous.Aggregation_baseline.slots_run)
+              in
+              Printf.printf "  rendezvous baseline (honest): %s\n"
+                (Summary.to_string (Summary.of_floats base))
+            end;
+            `Ok ())
   in
   let baseline_arg =
     Arg.(value & flag & info [ "baseline" ] ~doc:"Also run the rendezvous baseline.")
@@ -143,78 +161,91 @@ let aggregate_cmd =
     Term.(
       ret
         (const run $ n_arg $ c_arg $ k_arg $ topology_arg $ seed_arg $ trials_arg
-       $ baseline_arg))
+       $ jobs_arg $ baseline_arg))
   in
   Cmd.v (Cmd.info "aggregate" ~doc:"Run COGCOMP data aggregation (Theorem 10).") term
 
 (* ---- game ---- *)
 
 let game_cmd =
-  let run c k seed trials complete =
+  let run c k seed trials jobs complete =
     if k < 1 || k > c then `Error (false, "need 1 <= k <= c")
     else begin
-      let rng = Rng.create seed in
       let game ~rng ~player ~max_rounds =
         if complete then Crn_games.Hitting_game.play_complete ~rng ~c ~player ~max_rounds
         else Crn_games.Hitting_game.play_bipartite ~rng ~c ~k ~player ~max_rounds
       in
-      let median make_player =
-        Crn_games.Hitting_game.median_rounds ~rng ~trials ~make_player ~game
-          ~max_rounds:(c * c * 200)
-      in
-      Printf.printf "%s hitting game  c=%d%s trials=%d\n"
-        (if complete then "c-complete" else "(c,k)-bipartite")
-        c
-        (if complete then "" else Printf.sprintf " k=%d" k)
-        trials;
-      Printf.printf "  uniform player median rounds:             %.1f\n"
-        (median (fun rng -> Crn_games.Players.uniform rng ~c));
-      Printf.printf "  without-replacement player median rounds: %.1f\n"
-        (median (fun rng -> Crn_games.Players.without_replacement rng ~c));
-      Printf.printf "  lower bound (%s): %.1f\n"
-        (if complete then "Lemma 14: c/3" else "Lemma 11: c^2/(8k)")
-        (if complete then Complexity.complete_game_lower_bound ~c
-         else Complexity.bipartite_game_lower_bound ~c ~k ());
-      `Ok ()
+      let max_rounds = c * c * 200 in
+      Pool.with_pool ~jobs (fun pool ->
+          (* One game per trial, one stream per game; losses count as
+             max_rounds (the Hitting_game.median_rounds convention). *)
+          let median offset make_player =
+            let samples =
+              Trials.run ~pool ~trials ~seed:(seed + offset) (fun rng ->
+                  let player = make_player (Rng.split rng) in
+                  let r = game ~rng ~player ~max_rounds in
+                  if r.Crn_games.Hitting_game.won then
+                    float_of_int r.Crn_games.Hitting_game.rounds
+                  else float_of_int max_rounds)
+            in
+            Summary.median samples
+          in
+          Printf.printf "%s hitting game  c=%d%s trials=%d\n"
+            (if complete then "c-complete" else "(c,k)-bipartite")
+            c
+            (if complete then "" else Printf.sprintf " k=%d" k)
+            trials;
+          Printf.printf "  uniform player median rounds:             %.1f\n"
+            (median 0 (fun rng -> Crn_games.Players.uniform rng ~c));
+          Printf.printf "  without-replacement player median rounds: %.1f\n"
+            (median 1 (fun rng -> Crn_games.Players.without_replacement rng ~c));
+          Printf.printf "  lower bound (%s): %.1f\n"
+            (if complete then "Lemma 14: c/3" else "Lemma 11: c^2/(8k)")
+            (if complete then Complexity.complete_game_lower_bound ~c
+             else Complexity.bipartite_game_lower_bound ~c ~k ());
+          `Ok ())
     end
   in
   let complete_arg =
     Arg.(value & flag & info [ "complete" ] ~doc:"Play the c-complete variant.")
   in
   let term =
-    Term.(ret (const run $ c_arg $ k_arg $ seed_arg $ trials_arg $ complete_arg))
+    Term.(
+      ret (const run $ c_arg $ k_arg $ seed_arg $ trials_arg $ jobs_arg $ complete_arg))
   in
   Cmd.v (Cmd.info "game" ~doc:"Play the §6 bipartite hitting games.") term
 
 (* ---- backoff ---- *)
 
 let backoff_cmd =
-  let run contenders seed trials =
+  let run contenders seed trials jobs =
     if contenders < 1 then `Error (false, "need at least one contender")
     else begin
-      let rng = Rng.create seed in
-      let samples = Array.make trials 0.0 in
-      let failures = ref 0 in
-      for i = 0 to trials - 1 do
-        match
-          Crn_radio.Backoff.session ~rng ~contenders ~cap:1_000_000
-        with
-        | Some { Crn_radio.Backoff.rounds; _ } -> samples.(i) <- float_of_int rounds
-        | None -> incr failures
-      done;
+      let sessions =
+        Trials.run_jobs ~jobs ~trials ~seed (fun rng ->
+            match Crn_radio.Backoff.session ~rng ~contenders ~cap:1_000_000 with
+            | Some { Crn_radio.Backoff.rounds; _ } -> Some rounds
+            | None -> None)
+      in
+      let samples =
+        Array.map (function Some r -> float_of_int r | None -> 0.0) sessions
+      in
+      let failures =
+        Array.fold_left (fun acc s -> if s = None then acc + 1 else acc) 0 sessions
+      in
       Printf.printf "decay backoff  m=%d contenders, trials=%d\n" contenders trials;
       Printf.printf "  raw rounds per one-winner slot: %s\n"
         (Summary.to_string (Summary.of_floats samples));
       Printf.printf "  O(log^2 m) budget: %d; failures: %d\n"
         (Crn_radio.Backoff.expected_rounds_bound contenders)
-        !failures;
+        failures;
       `Ok ()
     end
   in
   let contenders_arg =
     Arg.(value & opt int 64 & info [ "m"; "contenders" ] ~docv:"M" ~doc:"Contenders in the session.")
   in
-  let term = Term.(ret (const run $ contenders_arg $ seed_arg $ trials_arg)) in
+  let term = Term.(ret (const run $ contenders_arg $ seed_arg $ trials_arg $ jobs_arg)) in
   Cmd.v
     (Cmd.info "backoff" ~doc:"Measure the decay-backoff contention layer (footnote 4).")
     term
@@ -222,7 +253,7 @@ let backoff_cmd =
 (* ---- jam ---- *)
 
 let jam_cmd =
-  let run n c budget seed trials =
+  let run n c budget seed trials jobs =
     if budget < 0 || 2 * budget >= c then
       `Error (false, "need jamming budget < c/2 (Theorem 18)")
     else begin
@@ -232,17 +263,14 @@ let jam_cmd =
       in
       let k = Crn_radio.Jamming_reduction.overlap_guarantee ~num_channels:c ~budget in
       let samples =
-        Array.init trials (fun i ->
+        Trials.run_jobs ~jobs ~trials ~seed (fun rng ->
             let availability =
               Crn_radio.Jamming_reduction.availability_of_jammer
-                ~shuffle_labels:(Rng.create (seed + i)) ~num_nodes:n ~num_channels:c
+                ~shuffle_labels:(Rng.split rng) ~num_nodes:n ~num_channels:c
                 ~jammer ()
             in
             let max_slots = 8 * Complexity.cogcast_slots ~n ~c:(c - budget) ~k () in
-            let r =
-              Cogcast.run ~source:0 ~availability ~rng:(Rng.create (seed + 100 + i))
-                ~max_slots ()
-            in
+            let r = Cogcast.run ~source:0 ~availability ~rng ~max_slots () in
             match r.Cogcast.completed_at with
             | Some s -> float_of_int s
             | None -> float_of_int r.Cogcast.slots_run)
@@ -260,7 +288,7 @@ let jam_cmd =
       & info [ "budget" ] ~docv:"B" ~doc:"Channels jammed per node per slot.")
   in
   let term =
-    Term.(ret (const run $ n_arg $ c_arg $ budget_arg $ seed_arg $ trials_arg))
+    Term.(ret (const run $ n_arg $ c_arg $ budget_arg $ seed_arg $ trials_arg $ jobs_arg))
   in
   Cmd.v
     (Cmd.info "jam" ~doc:"Broadcast under an n-uniform jammer (Theorem 18 reduction).")
@@ -269,7 +297,7 @@ let jam_cmd =
 (* ---- sweep ---- *)
 
 let sweep_cmd =
-  let run param values n c k topology seed trials csv =
+  let run param values n c k topology seed trials jobs csv =
     let values =
       List.filter_map int_of_string_opt (String.split_on_char ',' values)
     in
@@ -278,38 +306,38 @@ let sweep_cmd =
       let table = Crn_stats.Table.create [ param; "median slots"; "p90 slots" ] in
       let pts = ref [] in
       let bad = ref None in
-      List.iter
-        (fun v ->
-          let n, c, k =
-            match param with
-            | "n" -> (v, c, k)
-            | "c" -> (n, v, k)
-            | "k" -> (n, c, v)
-            | _ -> (n, c, k)
-          in
-          if n < 1 || k < 1 || k > c then
-            bad := Some (Printf.sprintf "invalid point %s=%d (n=%d c=%d k=%d)" param v n c k)
-          else begin
-            let spec = { Topology.n; c; k } in
-            let samples =
-              Array.init trials (fun i ->
-                  let rng = Rng.create (seed + i) in
-                  let assignment = Topology.generate topology rng spec in
-                  let r = Cogcast.run_static ~source:0 ~assignment ~k ~rng () in
-                  match r.Cogcast.completed_at with
-                  | Some s -> float_of_int s
-                  | None -> float_of_int r.Cogcast.slots_run)
-            in
-            let s = Summary.of_floats samples in
-            Crn_stats.Table.add_row table
-              [
-                string_of_int v;
-                Printf.sprintf "%.1f" s.Summary.median;
-                Printf.sprintf "%.1f" s.Summary.p90;
-              ];
-            pts := (float_of_int v, s.Summary.median) :: !pts
-          end)
-        values;
+      Pool.with_pool ~jobs (fun pool ->
+          List.iter
+            (fun v ->
+              let n, c, k =
+                match param with
+                | "n" -> (v, c, k)
+                | "c" -> (n, v, k)
+                | "k" -> (n, c, v)
+                | _ -> (n, c, k)
+              in
+              if n < 1 || k < 1 || k > c then
+                bad := Some (Printf.sprintf "invalid point %s=%d (n=%d c=%d k=%d)" param v n c k)
+              else begin
+                let spec = { Topology.n; c; k } in
+                let samples =
+                  Trials.run ~pool ~trials ~seed (fun rng ->
+                      let assignment = Topology.generate topology rng spec in
+                      let r = Cogcast.run_static ~source:0 ~assignment ~k ~rng () in
+                      match r.Cogcast.completed_at with
+                      | Some s -> float_of_int s
+                      | None -> float_of_int r.Cogcast.slots_run)
+                in
+                let s = Summary.of_floats samples in
+                Crn_stats.Table.add_row table
+                  [
+                    string_of_int v;
+                    Printf.sprintf "%.1f" s.Summary.median;
+                    Printf.sprintf "%.1f" s.Summary.p90;
+                  ];
+                pts := (float_of_int v, s.Summary.median) :: !pts
+              end)
+            values);
       match !bad with
       | Some msg -> `Error (false, msg)
       | None ->
@@ -356,7 +384,7 @@ let sweep_cmd =
     Term.(
       ret
         (const run $ param_arg $ values_arg $ n_arg $ c_arg $ k_arg $ topology_arg
-       $ seed_arg $ trials_arg $ csv_arg))
+       $ seed_arg $ trials_arg $ jobs_arg $ csv_arg))
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep n, c or k and report COGCAST completion scaling.")

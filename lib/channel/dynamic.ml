@@ -11,15 +11,23 @@ let static a =
     view = (fun _ -> a);
   }
 
+(* The cache is mutex-protected so one availability value can be shared by
+   parallel trials (Crn_exec); [f] must be a deterministic function of the
+   slot, which every constructor here guarantees. *)
 let memoize f =
   let cache = Hashtbl.create 64 in
+  let lock = Mutex.create () in
   fun slot ->
-    match Hashtbl.find_opt cache slot with
-    | Some a -> a
-    | None ->
-        let a = f slot in
-        Hashtbl.replace cache slot a;
-        a
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () ->
+        match Hashtbl.find_opt cache slot with
+        | Some a -> a
+        | None ->
+            let a = f slot in
+            Hashtbl.replace cache slot a;
+            a)
 
 let of_fun ~num_nodes ~channels_per_node f =
   let view =

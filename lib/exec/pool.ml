@@ -1,0 +1,142 @@
+(* Fixed-size domain pool with chunked dynamic scheduling.
+
+   The worker domains are parked on a condition variable between batches.
+   Submitting a batch bumps a generation counter and hands every worker the
+   same "miner" closure; each miner claims chunk indices from an atomic
+   counter until the batch is exhausted (or a sibling failed), so load
+   balances dynamically without any per-task queueing. The caller runs the
+   miner too, then blocks until the last worker checks out. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t; (* signalled when a new batch (or shutdown) is posted *)
+  done_ : Condition.t; (* signalled when the last worker finishes a batch *)
+  mutable batch : (unit -> unit) option; (* miner of the current generation *)
+  mutable generation : int;
+  mutable busy : int; (* workers still mining the current batch *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let clamp_jobs j = if j < 1 then 1 else if j > 128 then 128 else j
+
+let default_jobs () = clamp_jobs (Domain.recommended_domain_count ())
+
+let worker t =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.generation = !seen do
+      Condition.wait t.work t.mutex
+    done;
+    if t.stop then Mutex.unlock t.mutex
+    else begin
+      seen := t.generation;
+      let miner = Option.get t.batch in
+      Mutex.unlock t.mutex;
+      miner ();
+      Mutex.lock t.mutex;
+      t.busy <- t.busy - 1;
+      if t.busy = 0 then Condition.broadcast t.done_;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~jobs =
+  let jobs = clamp_jobs jobs in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      done_ = Condition.create ();
+      batch = None;
+      generation = 0;
+      busy = 0;
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = t.jobs
+
+(* Post [miner] to every worker, mine in the calling domain too, and wait
+   for all workers to finish the batch. *)
+let submit t miner =
+  Mutex.lock t.mutex;
+  t.batch <- Some miner;
+  t.generation <- t.generation + 1;
+  t.busy <- List.length t.domains;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  miner ();
+  Mutex.lock t.mutex;
+  while t.busy > 0 do
+    Condition.wait t.done_ t.mutex
+  done;
+  t.batch <- None;
+  Mutex.unlock t.mutex
+
+let parallel_for ?chunk t ~n f =
+  if n > 0 then
+    if t.domains = [] || n = 1 then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      let chunk =
+        match chunk with
+        | Some c when c >= 1 -> c
+        | Some _ -> invalid_arg "Pool.parallel_for: chunk must be >= 1"
+        | None -> max 1 (n / (t.jobs * 8))
+      in
+      let nchunks = (n + chunk - 1) / chunk in
+      let next = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let rec mine () =
+        if Atomic.get failure = None then begin
+          let c = Atomic.fetch_and_add next 1 in
+          if c < nchunks then begin
+            (try
+               for i = c * chunk to min n ((c + 1) * chunk) - 1 do
+                 f i
+               done
+             with e ->
+               let bt = Printexc.get_raw_backtrace () in
+               ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+            mine ()
+          end
+        end
+      in
+      submit t mine;
+      match Atomic.get failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+
+let run t thunks =
+  let n = Array.length thunks in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for ~chunk:1 t ~n (fun i -> out.(i) <- Some (thunks.(i) ()));
+    Array.map Option.get out
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  let domains = t.domains in
+  t.domains <- [];
+  Mutex.unlock t.mutex;
+  List.iter Domain.join domains
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,57 @@
+(** A fixed-size pool of worker {!Domain}s with chunked work distribution.
+
+    The pool exists to run many independent, CPU-bound tasks — simulation
+    trials, sweep points — across cores. It is deliberately minimal: a pool
+    of [jobs - 1] worker domains (the calling domain is the remaining
+    worker), a single {!parallel_for} entry point with dynamic chunked
+    scheduling, and first-exception propagation back to the caller.
+
+    Determinism is the caller's contract: {!parallel_for} guarantees each
+    index in [0, n) is executed exactly once, but in an unspecified order
+    and on an unspecified domain. Work whose result depends only on its
+    index (as every {!Trials} callback does, via a pre-split RNG per trial)
+    therefore produces identical results at any pool size, including a
+    sequential pool of size 1. *)
+
+type t
+(** A pool of worker domains. Values of type [t] are safe to share: all
+    internal state is protected by a mutex, but only one [parallel_for]
+    may be in flight at a time per pool. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns a pool of total parallelism [jobs]: [jobs - 1]
+    worker domains plus the caller, which participates in every
+    {!parallel_for}. [jobs] is clamped to [[1, 128]]; [jobs = 1] spawns no
+    domains and makes {!parallel_for} run inline, sequentially. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], clamped to [[1, 128]] — the
+    default worker count used by [bench/main.exe] and [bin/crn_sim]. *)
+
+val jobs : t -> int
+(** Total parallelism of the pool (worker domains + the caller). *)
+
+val parallel_for : ?chunk:int -> t -> n:int -> (int -> unit) -> unit
+(** [parallel_for t ~n f] runs [f 0 .. f (n - 1)], each exactly once,
+    distributing indices over the pool in contiguous chunks claimed from a
+    shared atomic counter (dynamic load balancing: fast workers take more
+    chunks). Returns when every index has completed.
+
+    [chunk] sets the indices-per-claim granularity; the default targets a
+    few chunks per worker and [1] gives the finest balancing. If any [f i]
+    raises, the first exception (with its backtrace) is re-raised in the
+    caller after all workers have stopped claiming work; remaining
+    unclaimed chunks are abandoned. [n <= 0] is a no-op. *)
+
+val run : t -> (unit -> 'a) array -> 'a array
+(** [run t thunks] evaluates each thunk exactly once in parallel and
+    returns their results in order. Convenience wrapper over
+    {!parallel_for} with [chunk = 1]. *)
+
+val shutdown : t -> unit
+(** Joins and releases the worker domains. Idempotent; using the pool
+    after [shutdown] degrades to sequential execution in the caller. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] creates a pool, applies [f], and shuts the pool
+    down whether [f] returns or raises. *)

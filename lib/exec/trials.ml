@@ -1,0 +1,26 @@
+module Rng = Crn_prng.Rng
+
+let rngs ~seed ~trials =
+  if trials < 0 then invalid_arg "Trials.rngs: negative trials";
+  Rng.split_n (Rng.create seed) trials
+
+let collect ~trials ~seed f each =
+  if trials = 0 then [||]
+  else begin
+    let streams = rngs ~seed ~trials in
+    let out = Array.make trials None in
+    each trials (fun i -> out.(i) <- Some (f streams.(i)));
+    Array.map Option.get out
+  end
+
+let run ~pool ~trials ~seed f =
+  collect ~trials ~seed f (fun n body -> Pool.parallel_for pool ~n body)
+
+let run_seq ~trials ~seed f =
+  collect ~trials ~seed f (fun n body ->
+      for i = 0 to n - 1 do
+        body i
+      done)
+
+let run_jobs ~jobs ~trials ~seed f =
+  Pool.with_pool ~jobs (fun pool -> run ~pool ~trials ~seed f)

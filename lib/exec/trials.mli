@@ -1,0 +1,37 @@
+(** Deterministic parallel execution of independent simulation trials.
+
+    Every experiment in this repository has the same shape: run [trials]
+    independent simulations, each consuming its own random stream, and
+    summarize the results. This module is that shape as an API, built on
+    {!Pool}: the trial RNGs are derived {e up front} from a single seed via
+    [Rng.split_n], so trial [i] sees the same stream no matter which domain
+    runs it, in what order, or how many workers exist.
+
+    The resulting guarantee, relied on throughout [bench/] and
+    [bin/crn_sim]: {b same seed ⇒ bit-identical results at any job count},
+    including [--jobs 1]. *)
+
+val rngs : seed:int -> trials:int -> Crn_prng.Rng.t array
+(** [rngs ~seed ~trials] is the deterministic per-trial generator array
+    [Rng.split_n (Rng.create seed) trials] — exposed so callers that cannot
+    use {!run} directly (stateful accumulation, library callbacks) can
+    still derive the same streams. *)
+
+val run :
+  pool:Pool.t -> trials:int -> seed:int -> (Crn_prng.Rng.t -> 'a) -> 'a array
+(** [run ~pool ~trials ~seed f] evaluates [f] once per trial, each call on
+    its own pre-split generator, distributing trials over [pool]. Element
+    [i] of the result is the value of trial [i]; the array is identical for
+    every pool size. Exceptions from trials propagate to the caller (first
+    failure wins; see {!Pool.parallel_for}). [trials = 0] yields [[||]];
+    negative [trials] raises [Invalid_argument]. *)
+
+val run_seq : trials:int -> seed:int -> (Crn_prng.Rng.t -> 'a) -> 'a array
+(** [run_seq ~trials ~seed f] is {!run} on the calling domain only — the
+    reference implementation the parallel path must agree with. *)
+
+val run_jobs :
+  jobs:int -> trials:int -> seed:int -> (Crn_prng.Rng.t -> 'a) -> 'a array
+(** [run_jobs ~jobs] is {!run} on an ephemeral pool of [jobs] workers,
+    created and shut down around the call. Convenient for one-shot use;
+    prefer a shared {!Pool.t} in a harness that runs many batches. *)

@@ -28,21 +28,29 @@ let random_subset_jammer ~name ~seed ~budget ~num_channels ~per_node =
   if budget < 0 || budget > num_channels then
     invalid_arg "Jammer: budget out of range";
   let cache : (int * int, Crn_channel.Bitset.t) Hashtbl.t = Hashtbl.create 256 in
+  (* Mutex-protected so one jammer can be shared by parallel trials; the
+     jam set is a pure function of (slot, node), so contention only costs
+     time, never determinism. *)
+  let lock = Mutex.create () in
   let set_for ~slot ~node =
     let node_key = if per_node then node else 0 in
-    match Hashtbl.find_opt cache (slot, node_key) with
-    | Some s -> s
-    | None ->
-        let mixed =
-          Splitmix.mix64
-            (Int64.logxor seed
-               (Int64.of_int ((slot * 0x1000003) lxor (node_key * 0x5bd1e995))))
-        in
-        let rng = Rng.of_int64 mixed in
-        let members = Rng.sample_without_replacement rng budget num_channels in
-        let s = Crn_channel.Bitset.of_array num_channels members in
-        Hashtbl.replace cache (slot, node_key) s;
-        s
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () ->
+        match Hashtbl.find_opt cache (slot, node_key) with
+        | Some s -> s
+        | None ->
+            let mixed =
+              Splitmix.mix64
+                (Int64.logxor seed
+                   (Int64.of_int ((slot * 0x1000003) lxor (node_key * 0x5bd1e995))))
+            in
+            let rng = Rng.of_int64 mixed in
+            let members = Rng.sample_without_replacement rng budget num_channels in
+            let s = Crn_channel.Bitset.of_array num_channels members in
+            Hashtbl.replace cache (slot, node_key) s;
+            s)
   in
   {
     name;

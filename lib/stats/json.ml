@@ -1,0 +1,157 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* A float literal valid in JSON: no "inf"/"nan" (callers map those to
+   Null), and always round-trippable. *)
+let float_literal f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec to_buffer buf v =
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (float_literal f)
+      else Buffer.add_string buf "null"
+  | String s -> Buffer.add_string buf (escape s)
+  | List vs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buffer buf v)
+        vs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (escape k);
+          Buffer.add_char buf ':';
+          to_buffer buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let rec pretty buf indent v =
+  let pad n = Buffer.add_string buf (String.make (2 * n) ' ') in
+  match v with
+  | Null | Bool _ | Int _ | Float _ | String _ -> to_buffer buf v
+  | List [] -> Buffer.add_string buf "[]"
+  | List vs when List.for_all (function List _ | Obj _ -> false | _ -> true) vs ->
+      (* Flat lists of scalars (table rows, header lists) stay on one line. *)
+      to_buffer buf v
+  | List vs ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 1);
+          pretty buf (indent + 1) v)
+        vs;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj kvs ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 1);
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf ": ";
+          pretty buf (indent + 1) v)
+        kvs;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf '}'
+
+let to_string ?(compact = false) v =
+  let buf = Buffer.create 1024 in
+  if compact then to_buffer buf v else pretty buf 0 v;
+  Buffer.contents buf
+
+let write ~path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string v);
+      output_char oc '\n')
+
+(* Table cells that look like numbers become numbers; "8/16", "never",
+   topology names and the like stay strings. The leading-character check
+   keeps float_of_string's "nan"/"infinity"/"0x2" parses out. *)
+let cell s =
+  let numeric_start =
+    s <> ""
+    &&
+    let c = s.[0] in
+    c = '-' || c = '+' || c = '.' || (c >= '0' && c <= '9')
+  in
+  if not numeric_start then String s
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt s with
+        | Some f when Float.is_finite f && not (String.contains s 'x') -> Float f
+        | _ -> String s)
+
+let of_table ?title t =
+  Obj
+    [
+      ("title", match title with Some s -> String s | None -> Null);
+      ("headers", List (List.map (fun h -> String h) (Table.headers t)));
+      ( "rows",
+        List (List.map (fun row -> List (List.map cell row)) (Table.to_rows t)) );
+    ]
+
+let of_summary (s : Summary.t) =
+  Obj
+    [
+      ("count", Int s.Summary.count);
+      ("mean", Float s.Summary.mean);
+      ("stddev", Float s.Summary.stddev);
+      ("min", Float s.Summary.min);
+      ("max", Float s.Summary.max);
+      ("median", Float s.Summary.median);
+      ("p10", Float s.Summary.p10);
+      ("p90", Float s.Summary.p90);
+      ("p99", Float s.Summary.p99);
+    ]
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None

@@ -1,0 +1,51 @@
+(** Minimal JSON values and serialization — the machine-readable side of the
+    experiment harness, with no dependency outside the standard library.
+
+    [bench/main.exe --json PATH] serializes every experiment's tables,
+    notes, trial counts and wall-clock times through this module, so perf
+    trajectories ([BENCH_<date>.json] files) can be diffed and tracked
+    across PRs without scraping the ASCII tables.
+
+    Serialization emits strictly valid JSON (RFC 8259): strings are escaped,
+    and non-finite floats — which JSON cannot represent — are emitted as
+    [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** Members are emitted in list order. *)
+
+val escape : string -> string
+(** [escape s] is the JSON string literal for [s], including the
+    surrounding quotes; quote, backslash and control characters are
+    escaped. *)
+
+val to_buffer : Buffer.t -> t -> unit
+(** Compact (single-line) serialization. *)
+
+val to_string : ?compact:bool -> t -> string
+(** [to_string v] renders [v] pretty-printed with two-space indentation
+    (the format of the checked-in [BENCH_*.json] files);
+    [~compact:true] renders the single-line form. *)
+
+val write : path:string -> t -> unit
+(** [write ~path v] writes the pretty-printed form plus a trailing newline
+    to [path], truncating any existing file. *)
+
+val of_table : ?title:string -> Table.t -> t
+(** [of_table t] is [{"title": …, "headers": […], "rows": [[…], …]}]. Cells
+    that parse as numbers are emitted as JSON numbers, everything else as
+    strings, so slot counts and medians are directly plottable. The
+    ["title"] member is [Null] when [title] is omitted. *)
+
+val of_summary : Summary.t -> t
+(** All nine summary statistics as a flat object, keys matching the record
+    fields of {!Summary.t}. *)
+
+val member : string -> t -> t option
+(** [member key v] is the value bound to [key] when [v] is an [Obj]
+    containing it. *)

@@ -1,0 +1,172 @@
+(* Tests for the parallel trial runner: the determinism contract (same seed
+   => identical results at any job count), index coverage, exception
+   propagation and edge cases. *)
+
+module Rng = Crn_prng.Rng
+module Pool = Crn_exec.Pool
+module Trials = Crn_exec.Trials
+
+(* A trial body with enough state to expose stream mixups: a few draws per
+   trial, combined asymmetrically. *)
+let trial rng =
+  let a = Rng.int rng 1_000_000 in
+  let b = Rng.int rng 1_000_000 in
+  let c = if Rng.bool rng then 1 else 0 in
+  (a * 3) + b + c
+
+let int_array = Alcotest.(array int)
+
+(* --- determinism -------------------------------------------------------- *)
+
+let test_seq_vs_parallel () =
+  let reference = Trials.run_seq ~trials:101 ~seed:42 trial in
+  List.iter
+    (fun jobs ->
+      let got = Trials.run_jobs ~jobs ~trials:101 ~seed:42 trial in
+      Alcotest.check int_array (Printf.sprintf "jobs=%d" jobs) reference got)
+    [ 1; 2; 4; 7 ]
+
+let test_repeat_runs_identical () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let a = Trials.run ~pool ~trials:64 ~seed:7 trial in
+      let b = Trials.run ~pool ~trials:64 ~seed:7 trial in
+      Alcotest.check int_array "same pool, same seed" a b)
+
+let test_seed_changes_results () =
+  let a = Trials.run_seq ~trials:32 ~seed:1 trial in
+  let b = Trials.run_seq ~trials:32 ~seed:2 trial in
+  Alcotest.(check bool) "different seeds differ" true (a <> b)
+
+let test_rngs_match_run_streams () =
+  (* The exposed rng array is exactly what run feeds trial i. *)
+  let rngs = Trials.rngs ~seed:9 ~trials:16 in
+  let direct = Array.map (fun rng -> trial rng) rngs in
+  let via_run = Trials.run_jobs ~jobs:3 ~trials:16 ~seed:9 trial in
+  Alcotest.check int_array "rngs = run streams" direct via_run
+
+(* --- coverage ----------------------------------------------------------- *)
+
+let test_parallel_for_covers_all_indices () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let n = 1000 in
+      let hits = Array.init n (fun _ -> Atomic.make 0) in
+      Pool.parallel_for pool ~n (fun i -> Atomic.incr hits.(i));
+      Array.iteri
+        (fun i a ->
+          if Atomic.get a <> 1 then
+            Alcotest.failf "index %d executed %d times" i (Atomic.get a))
+        hits)
+
+let test_parallel_for_chunk_one () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let n = 17 in
+      let hits = Array.init n (fun _ -> Atomic.make 0) in
+      Pool.parallel_for ~chunk:1 pool ~n (fun i -> Atomic.incr hits.(i));
+      Alcotest.(check int) "every index once" n
+        (Array.fold_left (fun acc a -> acc + Atomic.get a) 0 hits))
+
+let test_pool_run_preserves_order () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let thunks = Array.init 25 (fun i () -> i * i) in
+      let out = Pool.run pool thunks in
+      Alcotest.check int_array "ordered results" (Array.init 25 (fun i -> i * i)) out)
+
+(* --- exceptions --------------------------------------------------------- *)
+
+exception Boom of int
+
+let test_exception_propagates () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let raised =
+        try
+          Pool.parallel_for pool ~n:100 (fun i -> if i = 57 then raise (Boom i));
+          false
+        with Boom 57 -> true
+      in
+      Alcotest.(check bool) "Boom reaches the caller" true raised;
+      (* The pool survives a failed batch. *)
+      let ok = ref 0 in
+      Pool.parallel_for ~chunk:64 pool ~n:10 (fun _ -> incr ok);
+      Alcotest.(check int) "pool usable after failure" 10 !ok)
+
+let test_exception_propagates_sequential_pool () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.check_raises "raised inline" (Boom 3) (fun () ->
+          Pool.parallel_for pool ~n:8 (fun i -> if i = 3 then raise (Boom i))))
+
+let test_trials_exception () =
+  let raised =
+    try
+      ignore
+        (Trials.run_jobs ~jobs:4 ~trials:50 ~seed:0 (fun rng ->
+             if Rng.int rng 10 >= 0 then raise (Boom 0) else 0));
+      false
+    with Boom 0 -> true
+  in
+  Alcotest.(check bool) "trial failure reaches caller" true raised
+
+(* --- edges -------------------------------------------------------------- *)
+
+let test_empty_trials () =
+  Alcotest.check int_array "zero trials" [||]
+    (Trials.run_jobs ~jobs:4 ~trials:0 ~seed:5 trial);
+  Alcotest.check int_array "zero trials, seq" [||] (Trials.run_seq ~trials:0 ~seed:5 trial)
+
+let test_negative_trials_rejected () =
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Trials.rngs: negative trials") (fun () ->
+      ignore (Trials.run_jobs ~jobs:2 ~trials:(-1) ~seed:0 trial))
+
+let test_jobs_clamped () =
+  Alcotest.(check int) "0 clamps to 1" 1 (Pool.jobs (Pool.with_pool ~jobs:0 (fun t -> t)));
+  Pool.with_pool ~jobs:3 (fun t -> Alcotest.(check int) "3 stays 3" 3 (Pool.jobs t))
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~jobs:2 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* Degrades to sequential, still correct. *)
+  let hits = ref 0 in
+  Pool.parallel_for pool ~n:5 (fun _ -> incr hits);
+  Alcotest.(check int) "post-shutdown sequential" 5 !hits
+
+let test_default_jobs_positive () =
+  Alcotest.(check bool) "at least 1" true (Pool.default_jobs () >= 1)
+
+let () =
+  Alcotest.run "crn_exec"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "sequential = parallel at any job count" `Quick
+            test_seq_vs_parallel;
+          Alcotest.test_case "repeat runs identical" `Quick test_repeat_runs_identical;
+          Alcotest.test_case "seed changes results" `Quick test_seed_changes_results;
+          Alcotest.test_case "rngs exposes run's streams" `Quick
+            test_rngs_match_run_streams;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "parallel_for covers all indices" `Quick
+            test_parallel_for_covers_all_indices;
+          Alcotest.test_case "chunk=1" `Quick test_parallel_for_chunk_one;
+          Alcotest.test_case "run preserves order" `Quick test_pool_run_preserves_order;
+        ] );
+      ( "exceptions",
+        [
+          Alcotest.test_case "worker exception propagates" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "sequential pool raises inline" `Quick
+            test_exception_propagates_sequential_pool;
+          Alcotest.test_case "trial exception propagates" `Quick test_trials_exception;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "empty trials" `Quick test_empty_trials;
+          Alcotest.test_case "negative trials rejected" `Quick
+            test_negative_trials_rejected;
+          Alcotest.test_case "jobs clamped" `Quick test_jobs_clamped;
+          Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+          Alcotest.test_case "default_jobs positive" `Quick test_default_jobs_positive;
+        ] );
+    ]

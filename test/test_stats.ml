@@ -195,6 +195,219 @@ let test_csv_write_roundtrip () =
       close_in ic;
       Alcotest.(check string) "file content" "a,b\nx,y\n" content)
 
+(* --- Json --------------------------------------------------------------- *)
+
+module Json = Crn_stats.Json
+
+let test_json_escape () =
+  Alcotest.(check string) "plain" "\"abc\"" (Json.escape "abc");
+  Alcotest.(check string) "quote" "\"a\\\"b\"" (Json.escape "a\"b");
+  Alcotest.(check string) "backslash" "\"a\\\\b\"" (Json.escape "a\\b");
+  Alcotest.(check string) "newline" "\"a\\nb\"" (Json.escape "a\nb");
+  Alcotest.(check string) "control" "\"\\u0001\"" (Json.escape "\x01")
+
+let test_json_compact () =
+  let v =
+    Json.Obj
+      [ ("a", Json.Int 1); ("b", Json.List [ Json.Bool true; Json.Null ]) ]
+  in
+  Alcotest.(check string) "compact form" {|{"a":1,"b":[true,null]}|}
+    (Json.to_string ~compact:true v)
+
+let test_json_nonfinite_floats () =
+  Alcotest.(check string) "nan is null" "null" (Json.to_string ~compact:true (Json.Float nan));
+  Alcotest.(check string) "inf is null" "null"
+    (Json.to_string ~compact:true (Json.Float infinity));
+  Alcotest.(check string) "finite kept" "1.5" (Json.to_string ~compact:true (Json.Float 1.5))
+
+let test_json_of_table () =
+  let t = Table.create [ "n"; "median"; "label" ] in
+  Table.add_row t [ "8"; "120.5"; "ok" ];
+  let v = Json.of_table ~title:"demo" t in
+  Alcotest.(check string) "title" {|"demo"|}
+    (Json.to_string ~compact:true (Option.get (Json.member "title" v)));
+  (match Json.member "rows" v with
+  | Some (Json.List [ Json.List [ a; b; c ] ]) ->
+      Alcotest.(check bool) "int cell" true (a = Json.Int 8);
+      Alcotest.(check bool) "float cell" true (b = Json.Float 120.5);
+      Alcotest.(check bool) "string cell" true (c = Json.String "ok")
+  | _ -> Alcotest.fail "rows shape");
+  Alcotest.(check bool) "missing member" true (Json.member "nope" v = None)
+
+let test_json_of_summary () =
+  let v = Json.of_summary (Summary.of_ints [| 1; 2; 3; 4 |]) in
+  Alcotest.(check bool) "count member" true (Json.member "count" v = Some (Json.Int 4));
+  Alcotest.(check bool) "mean member" true (Json.member "mean" v = Some (Json.Float 2.5))
+
+(* A deliberately tiny JSON parser — just enough to round-trip what
+   Json.to_string emits, so the writer is checked against independent
+   logic rather than against itself. *)
+let parse_json (s : string) : Json.t =
+  let pos = ref 0 in
+  let peek () = s.[!pos] in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if !pos < String.length s && (peek () = ' ' || peek () = '\n') then begin
+      advance ();
+      skip_ws ()
+    end
+  in
+  let expect c =
+    if peek () <> c then Alcotest.failf "parse: expected %c at %d" c !pos;
+    advance ()
+  in
+  let literal word v =
+    String.iter (fun c -> expect c) word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+              pos := !pos + 4;
+              Buffer.add_char b (Char.chr code)
+          | c -> Buffer.add_char b c);
+          advance ();
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < String.length s
+      && (match peek () with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    match int_of_string_opt lit with
+    | Some i -> Json.Int i
+    | None -> Json.Float (float_of_string lit)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | 't' -> literal "true" (Json.Bool true)
+    | 'f' -> literal "false" (Json.Bool false)
+    | 'n' -> literal "null" Json.Null
+    | '"' -> Json.String (parse_string ())
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          Json.List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          Json.List (List.rev !items)
+        end
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          Json.Obj []
+        end
+        else begin
+          let parse_member () =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            (key, parse_value ())
+          in
+          let members = ref [ parse_member () ] in
+          skip_ws ();
+          while peek () = ',' do
+            advance ();
+            members := parse_member () :: !members;
+            skip_ws ()
+          done;
+          expect '}';
+          Json.Obj (List.rev !members)
+        end
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> String.length s then Alcotest.failf "parse: trailing input at %d" !pos;
+  v
+
+let roundtrip_value =
+  Json.Obj
+    [
+      ("title", Json.String "sweep over n \"quoted\"\nsecond line");
+      ("count", Json.Int 42);
+      ("negative", Json.Int (-7));
+      ("median", Json.Float 120.5);
+      ("tiny", Json.Float 1e-9);
+      ("nan_becomes_null", Json.Float nan);
+      ("flags", Json.List [ Json.Bool true; Json.Bool false; Json.Null ]);
+      ("empty_list", Json.List []);
+      ("empty_obj", Json.Obj []);
+      ( "nested",
+        Json.List
+          [ Json.Obj [ ("rows", Json.List [ Json.Int 1; Json.Int 2 ]) ] ] );
+    ]
+
+(* Printing then parsing recovers the value (with nan mapped to Null, which
+   is the documented serialization). *)
+let expected_after_roundtrip =
+  Json.Obj
+    (List.map
+       (fun (k, v) -> if k = "nan_becomes_null" then (k, Json.Null) else (k, v))
+       (match roundtrip_value with Json.Obj ms -> ms | _ -> assert false))
+
+let test_json_roundtrip_compact () =
+  let got = parse_json (Json.to_string ~compact:true roundtrip_value) in
+  Alcotest.(check bool) "compact roundtrip" true (got = expected_after_roundtrip)
+
+let test_json_roundtrip_pretty () =
+  let got = parse_json (Json.to_string roundtrip_value) in
+  Alcotest.(check bool) "pretty roundtrip" true (got = expected_after_roundtrip)
+
+let test_json_write_is_parseable () =
+  let path = Filename.temp_file "crn_json" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Json.write ~path roundtrip_value;
+      let ic = open_in path in
+      let content = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check bool) "ends with newline" true
+        (String.length content > 0 && content.[String.length content - 1] = '\n');
+      let got = parse_json (String.trim content) in
+      Alcotest.(check bool) "file roundtrip" true (got = expected_after_roundtrip))
+
 (* --- Series ------------------------------------------------------------ *)
 
 let test_series_exponent () =
@@ -301,6 +514,17 @@ let () =
           Alcotest.test_case "csv escaping" `Quick test_csv_escape;
           Alcotest.test_case "csv of table" `Quick test_csv_of_table;
           Alcotest.test_case "csv write roundtrip" `Quick test_csv_write_roundtrip;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "escaping" `Quick test_json_escape;
+          Alcotest.test_case "compact form" `Quick test_json_compact;
+          Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite_floats;
+          Alcotest.test_case "of_table" `Quick test_json_of_table;
+          Alcotest.test_case "of_summary" `Quick test_json_of_summary;
+          Alcotest.test_case "roundtrip compact" `Quick test_json_roundtrip_compact;
+          Alcotest.test_case "roundtrip pretty" `Quick test_json_roundtrip_pretty;
+          Alcotest.test_case "write is parseable" `Quick test_json_write_is_parseable;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
