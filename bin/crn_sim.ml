@@ -79,10 +79,80 @@ let check_params n c k =
   else if k < 1 || k > c then `Error (false, "need 1 <= k <= c")
   else `Ok ()
 
+(* ---- observability (--trace / --metrics / --check) ---- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record one instrumented run's slot-level event trace and write it \
+           as JSON Lines (one event object per line) to $(docv).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Derive the metrics registry (counters and histograms) from one \
+           instrumented run's trace and write it as JSON to $(docv).")
+
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Replay one instrumented run's trace through the invariant \
+           checkers (one winner per channel per slot, informer precedes \
+           informee, phase-4 conservation). Exits nonzero on violation.")
+
+(* When any of --trace/--metrics/--check was requested, perform one extra
+   instrumented run via [f ~trace] (the statistics trials above stay
+   untraced, so their wall-clock is unaffected) and export/verify its
+   event stream. *)
+let observe ~trace_path ~metrics_path ~check f =
+  if trace_path = None && metrics_path = None && not check then `Ok ()
+  else begin
+    let tr = Crn_radio.Trace.create () in
+    f ~trace:tr;
+    (match trace_path with
+    | Some path ->
+        Crn_radio.Trace.write_jsonl ~path tr;
+        Printf.printf "  wrote trace: %s (%d events)\n" path
+          (Crn_radio.Trace.length tr)
+    | None -> ());
+    (match metrics_path with
+    | Some path ->
+        let reg = Crn_radio.Metrics.Registry.create () in
+        Crn_radio.Metrics.Registry.observe_trace reg tr;
+        Crn_stats.Json.write ~path (Crn_radio.Metrics.Registry.to_json reg);
+        Printf.printf "  wrote metrics: %s\n" path
+    | None -> ());
+    if not check then `Ok ()
+    else begin
+      match Crn_radio.Trace.Check.all tr with
+      | [] ->
+          Printf.printf "  trace invariants: ok (%d events)\n"
+            (Crn_radio.Trace.length tr);
+          `Ok ()
+      | violations ->
+          List.iter
+            (fun v ->
+              Format.eprintf "  violation: %a@." Crn_radio.Trace.Check.pp_violation v)
+            violations;
+          `Error
+            ( false,
+              Printf.sprintf "--check found %d trace invariant violation(s)"
+                (List.length violations) )
+    end
+  end
+
 (* ---- broadcast ---- *)
 
 let broadcast_cmd =
-  let run n c k topology seed trials jobs =
+  let run n c k topology seed trials jobs trace_path metrics_path check =
     match check_params n c k with
     | `Error _ as e -> e
     | `Ok () ->
@@ -102,20 +172,23 @@ let broadcast_cmd =
         Printf.printf "  Theorem 4 shape (unit constant): %.1f; budget used: %d\n"
           (Complexity.cogcast ~factor:1.0 ~n ~c ~k ())
           (Complexity.cogcast_slots ~n ~c ~k ());
-        `Ok ()
+        observe ~trace_path ~metrics_path ~check (fun ~trace ->
+            let rng = Rng.create seed in
+            let assignment = Topology.generate topology rng spec in
+            ignore (Cogcast.run_static ~trace ~source:0 ~assignment ~k ~rng ()))
   in
   let term =
     Term.(
       ret
         (const run $ n_arg $ c_arg $ k_arg $ topology_arg $ seed_arg $ trials_arg
-       $ jobs_arg))
+       $ jobs_arg $ trace_arg $ metrics_arg $ check_arg))
   in
   Cmd.v (Cmd.info "broadcast" ~doc:"Run COGCAST local broadcast (Theorem 4).") term
 
 (* ---- aggregate ---- *)
 
 let aggregate_cmd =
-  let run n c k topology seed trials jobs baseline =
+  let run n c k topology seed trials jobs baseline trace_path metrics_path check =
     match check_params n c k with
     | `Error _ as e -> e
     | `Ok () ->
@@ -152,7 +225,13 @@ let aggregate_cmd =
               Printf.printf "  rendezvous baseline (honest): %s\n"
                 (Summary.to_string (Summary.of_floats base))
             end;
-            `Ok ())
+            observe ~trace_path ~metrics_path ~check (fun ~trace ->
+                let rng = Rng.create seed in
+                let assignment = Topology.generate topology rng spec in
+                let values = Array.init n (fun v -> v) in
+                ignore
+                  (Cogcomp.run ~trace ~monoid:Aggregate.sum ~values ~source:0
+                     ~assignment ~k ~rng ())))
   in
   let baseline_arg =
     Arg.(value & flag & info [ "baseline" ] ~doc:"Also run the rendezvous baseline.")
@@ -161,7 +240,7 @@ let aggregate_cmd =
     Term.(
       ret
         (const run $ n_arg $ c_arg $ k_arg $ topology_arg $ seed_arg $ trials_arg
-       $ jobs_arg $ baseline_arg))
+       $ jobs_arg $ baseline_arg $ trace_arg $ metrics_arg $ check_arg))
   in
   Cmd.v (Cmd.info "aggregate" ~doc:"Run COGCOMP data aggregation (Theorem 10).") term
 
@@ -253,7 +332,7 @@ let backoff_cmd =
 (* ---- jam ---- *)
 
 let jam_cmd =
-  let run n c budget seed trials jobs =
+  let run n c budget seed trials jobs trace_path metrics_path check =
     if budget < 0 || 2 * budget >= c then
       `Error (false, "need jamming budget < c/2 (Theorem 18)")
     else begin
@@ -279,7 +358,14 @@ let jam_cmd =
         budget k;
       Printf.printf "  completion slots: %s\n"
         (Summary.to_string (Summary.of_floats samples));
-      `Ok ()
+      observe ~trace_path ~metrics_path ~check (fun ~trace ->
+          let rng = Rng.create seed in
+          let availability =
+            Crn_radio.Jamming_reduction.availability_of_jammer
+              ~shuffle_labels:(Rng.split rng) ~num_nodes:n ~num_channels:c ~jammer ()
+          in
+          let max_slots = 8 * Complexity.cogcast_slots ~n ~c:(c - budget) ~k () in
+          ignore (Cogcast.run ~trace ~source:0 ~availability ~rng ~max_slots ()))
     end
   in
   let budget_arg =
@@ -288,7 +374,10 @@ let jam_cmd =
       & info [ "budget" ] ~docv:"B" ~doc:"Channels jammed per node per slot.")
   in
   let term =
-    Term.(ret (const run $ n_arg $ c_arg $ budget_arg $ seed_arg $ trials_arg $ jobs_arg))
+    Term.(
+      ret
+        (const run $ n_arg $ c_arg $ budget_arg $ seed_arg $ trials_arg $ jobs_arg
+       $ trace_arg $ metrics_arg $ check_arg))
   in
   Cmd.v
     (Cmd.info "jam" ~doc:"Broadcast under an n-uniform jammer (Theorem 18 reduction).")

@@ -44,7 +44,9 @@ let () =
       let slots =
         match r.Cogcast.completed_at with
         | Some s -> string_of_int s
-        | None -> "FAILED"
+        | None ->
+            Printf.eprintf "broadcast failed under %s\n" (Jammer.name jammer);
+            exit 1
       in
       Printf.printf "%-18s %8d %14d %12s %16d\n" (Jammer.name jammer)
         (Jammer.budget jammer) k slots guarantee)

@@ -79,6 +79,10 @@ let () =
   in
   Printf.printf "  leaked-seed COGCAST: %d/%d informed after %d slots\n"
     stalled.Cogcast.informed_count n stalled.Cogcast.slots_run;
+  if stalled.Cogcast.completed_at <> None then begin
+    Printf.eprintf "  leaked-seed COGCAST completed — the adversary should stall it\n";
+    exit 1
+  end;
   let adversarial2 =
     Adversary.isolate_source ~spec ~source:0
       ~predict_source_label:(Cogcast.label_oracle ~seed ~n ~c ~node:0)
@@ -89,5 +93,7 @@ let () =
   in
   (match free.Cogcast.completed_at with
   | Some s -> Printf.printf "  secret-seed COGCAST: complete in %d slots\n" s
-  | None -> Printf.printf "  secret-seed COGCAST: incomplete (unexpected)\n");
+  | None ->
+      Printf.eprintf "  secret-seed COGCAST: incomplete (unexpected)\n";
+      exit 1);
   Printf.printf "  moral: with k < c, predictability is fatal; randomness is the defense\n"

@@ -23,7 +23,9 @@ let () =
   (match r.Cogcast.completed_at with
   | Some slots ->
       Printf.printf "COGCAST: all %d nodes informed after %d slots\n" r.Cogcast.n slots
-  | None -> Printf.printf "COGCAST: incomplete (%d informed)\n" r.Cogcast.informed_count);
+  | None ->
+      Printf.eprintf "COGCAST: incomplete (%d informed)\n" r.Cogcast.informed_count;
+      exit 1);
   let tree = Disttree.of_result r in
   Printf.printf "distribution tree: height %d, %d clusters, largest cluster %d\n\n"
     (Disttree.height tree)
@@ -33,12 +35,17 @@ let () =
   (* Aggregate: every node holds a reading; node 0 wants the sum. *)
   let readings = Array.init 60 (fun i -> (i * 31) mod 97) in
   let res = Crn.aggregate ~seed:8 net ~monoid:Aggregate.sum ~values:readings in
+  let expected = Array.fold_left ( + ) 0 readings in
   (match res.Cogcomp.root_value with
-  | Some total ->
+  | Some total when total = expected ->
       Printf.printf "COGCOMP: root learned sum = %d (expected %d) in %d slots\n" total
-        (Array.fold_left ( + ) 0 readings)
-        res.Cogcomp.total_slots
-  | None -> Printf.printf "COGCOMP: incomplete\n");
+        expected res.Cogcomp.total_slots
+  | Some total ->
+      Printf.eprintf "COGCOMP: wrong sum %d (expected %d)\n" total expected;
+      exit 1
+  | None ->
+      Printf.eprintf "COGCOMP: incomplete\n";
+      exit 1);
   Printf.printf "  phases: broadcast %d + roster %d + rewind %d + drain %d slots\n"
     res.Cogcomp.phase1_slots res.Cogcomp.phase2_slots res.Cogcomp.phase3_slots
     res.Cogcomp.phase4_slots

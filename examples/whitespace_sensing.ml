@@ -86,13 +86,17 @@ let () =
     Cogcomp.run ~monoid:Aggregate.max_int ~values:readings ~source:0 ~assignment ~k
       ~rng ()
   in
+  let true_max = Array.fold_left max readings.(0) readings in
   match res.Cogcomp.root_value with
-  | Some worst ->
+  | Some worst when worst = true_max ->
       Printf.printf
         "gateway aggregated worst interference = %d dB (true max %d) in %d slots\n"
-        worst
-        (Array.fold_left max readings.(0) readings)
-        res.Cogcomp.total_slots;
+        worst true_max res.Cogcomp.total_slots;
       Printf.printf "  (%d mediators coordinated the per-channel drain)\n"
         (List.length res.Cogcomp.mediators)
-  | None -> Printf.printf "aggregation incomplete — increase the phase-1 budget\n"
+  | Some worst ->
+      Printf.eprintf "gateway got %d dB but the true max is %d dB\n" worst true_max;
+      exit 1
+  | None ->
+      Printf.eprintf "aggregation incomplete — increase the phase-1 budget\n";
+      exit 1

@@ -2,6 +2,7 @@ module Rng = Crn_prng.Rng
 module Dynamic = Crn_channel.Dynamic
 module Action = Crn_radio.Action
 module Engine = Crn_radio.Engine
+module Trace = Crn_radio.Trace
 
 type msg = Init
 
@@ -25,7 +26,7 @@ type result = {
   informed_at : int option array;
   informed_label : int option array;
   logs : slot_log array array option;
-  trace : Crn_radio.Trace.t;
+  counters : Trace.Counters.t;
 }
 
 (* Mutable protocol state shared by the engine-backed and emulation-backed
@@ -42,10 +43,16 @@ type runtime = {
   nodes : msg Engine.node array;
 }
 
-let build_protocol ~record ~source ~availability ~rng ~max_slots =
+let build_protocol ?trace ~record ~source ~availability ~rng ~max_slots () =
   let n = Dynamic.num_nodes availability in
   let c = Dynamic.channels_per_node availability in
   if source < 0 || source >= n then invalid_arg "Cogcast.run: source out of range";
+  (match trace with
+  | Some tr ->
+      let channels = Crn_channel.Assignment.num_channels (Dynamic.at availability 0) in
+      Trace.record tr (Trace.Meta { n; channels; c; source });
+      Trace.record tr (Trace.Phase { name = "cogcast" })
+  | None -> ());
   let informed = Array.make n false in
   informed.(source) <- true;
   let informed_count = ref 1 in
@@ -84,6 +91,12 @@ let build_protocol ~record ~source ~availability ~rng ~max_slots =
         parent.(v) <- Some sender;
         informed_at.(v) <- Some slot;
         informed_label.(v) <- Some current_label.(v);
+        (match trace with
+        | Some tr ->
+            Trace.record tr
+              (Trace.Informed
+                 { slot; node = v; parent = sender; label = current_label.(v) })
+        | None -> ());
         log v ~slot (Got_informed { parent = sender })
     | Action.Silence -> log v ~slot Heard_silence
     | Action.Jammed -> log v ~slot Was_jammed
@@ -101,7 +114,7 @@ let build_protocol ~record ~source ~availability ~rng ~max_slots =
     nodes;
   }
 
-let result_of_runtime rt ~slots_run ~trace =
+let result_of_runtime rt ~slots_run ~counters =
   {
     n = rt.rt_n;
     source = rt.rt_source;
@@ -113,12 +126,12 @@ let result_of_runtime rt ~slots_run ~trace =
     informed_at = rt.informed_at;
     informed_label = rt.informed_label;
     logs = rt.rt_logs;
-    trace;
+    counters;
   }
 
-let run ?jammer ?faults ?metrics ?(record = false) ?(stop_when_complete = true) ~source
-    ~availability ~rng ~max_slots () =
-  let rt = build_protocol ~record ~source ~availability ~rng ~max_slots in
+let run ?jammer ?faults ?metrics ?trace ?(record = false) ?(stop_when_complete = true)
+    ~source ~availability ~rng ~max_slots () =
+  let rt = build_protocol ?trace ~record ~source ~availability ~rng ~max_slots () in
   let n = rt.rt_n in
   let stop =
     if stop_when_complete then Some (fun ~slot:_ -> !(rt.informed_count) = n) else None
@@ -126,35 +139,36 @@ let run ?jammer ?faults ?metrics ?(record = false) ?(stop_when_complete = true) 
   (* A one-node network is complete before the first slot. *)
   let max_slots = if stop_when_complete && !(rt.informed_count) = n then 0 else max_slots in
   let outcome =
-    Engine.run ?jammer ?faults ?metrics ?stop ~availability ~rng ~nodes:rt.nodes
+    Engine.run ?jammer ?faults ?metrics ?trace ?stop ~availability ~rng ~nodes:rt.nodes
       ~max_slots ()
   in
-  result_of_runtime rt ~slots_run:outcome.Engine.slots_run ~trace:outcome.Engine.trace
+  result_of_runtime rt ~slots_run:outcome.Engine.slots_run
+    ~counters:outcome.Engine.counters
 
-let run_emulated ?session_cap ?(record = false) ?(stop_when_complete = true) ~source
-    ~availability ~rng ~max_slots () =
-  let rt = build_protocol ~record ~source ~availability ~rng ~max_slots in
+let run_emulated ?session_cap ?trace ?(record = false) ?(stop_when_complete = true)
+    ~source ~availability ~rng ~max_slots () =
+  let rt = build_protocol ?trace ~record ~source ~availability ~rng ~max_slots () in
   let n = rt.rt_n in
   let stop =
     if stop_when_complete then Some (fun ~slot:_ -> !(rt.informed_count) = n) else None
   in
   let max_slots = if stop_when_complete && !(rt.informed_count) = n then 0 else max_slots in
   let outcome =
-    Crn_radio.Emulation.run ?session_cap ?stop ~availability ~rng ~nodes:rt.nodes
-      ~max_slots ()
+    Crn_radio.Emulation.run ?session_cap ?trace ?stop ~availability ~rng
+      ~nodes:rt.nodes ~max_slots ()
   in
   let result =
     result_of_runtime rt ~slots_run:outcome.Crn_radio.Emulation.slots_run
-      ~trace:(Crn_radio.Trace.create ())
+      ~counters:(Trace.Counters.create ())
   in
   (result, outcome)
 
-let run_static ?jammer ?faults ?metrics ?record ?stop_when_complete ?budget_factor ~source
-    ~assignment ~k ~rng () =
+let run_static ?jammer ?faults ?metrics ?trace ?record ?stop_when_complete
+    ?budget_factor ~source ~assignment ~k ~rng () =
   let n = Crn_channel.Assignment.num_nodes assignment in
   let c = Crn_channel.Assignment.channels_per_node assignment in
   let max_slots = Complexity.cogcast_slots ?factor:budget_factor ~n ~c ~k () in
-  run ?jammer ?faults ?metrics ?record ?stop_when_complete ~source
+  run ?jammer ?faults ?metrics ?trace ?record ?stop_when_complete ~source
     ~availability:(Dynamic.static assignment) ~rng ~max_slots ()
 
 let label_oracle ~seed ~n ~c ~node =

@@ -46,13 +46,15 @@ type result = {
   logs : slot_log array array option;
       (** [logs.(v)] is node [v]'s per-slot log (present iff [~record:true]).
           Entries beyond a stopped run keep their defaults. *)
-  trace : Crn_radio.Trace.t;
+  counters : Crn_radio.Trace.Counters.t;
+      (** Aggregate channel accounting from the engine run. *)
 }
 
 val run :
   ?jammer:Crn_radio.Jammer.t ->
   ?faults:Crn_radio.Faults.t ->
   ?metrics:Crn_radio.Metrics.t ->
+  ?trace:Crn_radio.Trace.t ->
   ?record:bool ->
   ?stop_when_complete:bool ->
   source:int ->
@@ -64,10 +66,14 @@ val run :
 (** [run ~source ~availability ~rng ~max_slots ()] executes COGCAST from
     [source]. By default the run stops as soon as every node is informed
     ([stop_when_complete], default [true]); with [record:true] it keeps full
-    logs (memory [n · slots_run]). *)
+    logs (memory [n · slots_run]). With [?trace] supplied, a
+    {!Crn_radio.Trace.Meta} and a [Phase "cogcast"] marker are recorded up
+    front, the engine streams its slot events into it, and every first
+    reception adds a {!Crn_radio.Trace.Informed} tree edge. *)
 
 val run_emulated :
   ?session_cap:int ->
+  ?trace:Crn_radio.Trace.t ->
   ?record:bool ->
   ?stop_when_complete:bool ->
   source:int ->
@@ -79,14 +85,18 @@ val run_emulated :
 (** The footnote-4 composition: the same protocol executed on the *raw
     collision radio*, each abstract slot realized by per-channel decay
     contention sessions ({!Crn_radio.Emulation}). Returns the usual result
-    (its [trace] is empty — channel accounting lives in the emulation
+    (its [counters] are zero — channel accounting lives in the emulation
     outcome) paired with the emulation outcome carrying the raw-round
-    cost. Experiment E22 measures the overhead ratio. *)
+    cost. Experiment E22 measures the overhead ratio. With [?trace]
+    supplied, the emulation additionally streams per-channel
+    {!Crn_radio.Trace.Session} events recording each contention session's
+    raw-round cost. *)
 
 val run_static :
   ?jammer:Crn_radio.Jammer.t ->
   ?faults:Crn_radio.Faults.t ->
   ?metrics:Crn_radio.Metrics.t ->
+  ?trace:Crn_radio.Trace.t ->
   ?record:bool ->
   ?stop_when_complete:bool ->
   ?budget_factor:float ->

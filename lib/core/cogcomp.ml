@@ -3,6 +3,7 @@ module Assignment = Crn_channel.Assignment
 module Dynamic = Crn_channel.Dynamic
 module Action = Crn_radio.Action
 module Engine = Crn_radio.Engine
+module Trace = Crn_radio.Trace
 
 type 'a result = {
   complete : bool;
@@ -34,19 +35,20 @@ type slot_runner = {
     int;
 }
 
-let engine_runner ~availability ~rng =
+let engine_runner ?trace ~availability ~rng () =
   {
     run_slots =
       (fun ~stop ~nodes ~max_slots ->
-        (Engine.run ?stop ~availability ~rng ~nodes ~max_slots ()).Engine.slots_run);
+        (Engine.run ?trace ?stop ~availability ~rng ~nodes ~max_slots ())
+          .Engine.slots_run);
   }
 
-let emulation_runner ~availability ~rng ~raw_rounds =
+let emulation_runner ?trace ~availability ~rng ~raw_rounds () =
   {
     run_slots =
       (fun ~stop ~nodes ~max_slots ->
         let outcome =
-          Crn_radio.Emulation.run ?stop ~availability ~rng ~nodes ~max_slots ()
+          Crn_radio.Emulation.run ?trace ?stop ~availability ~rng ~nodes ~max_slots ()
         in
         raw_rounds := !raw_rounds + outcome.Crn_radio.Emulation.raw_rounds;
         outcome.Crn_radio.Emulation.slots_run);
@@ -215,11 +217,13 @@ type 'a node_state = {
   mutable med_clusters : (int * int) list;  (* (r, undelivered count), desc r *)
 }
 
-let run_phase4 (type a) ?measure ~mediated ~(monoid : a Aggregate.monoid)
+let run_phase4 (type a) ?measure ?trace ~mediated ~(monoid : a Aggregate.monoid)
     ~(values : a array) ~(cast : Cogcast.result) ~(info : phase2_info array)
     ~(clusters : (int * int * int) list array) ~runner ~max_steps () =
   let n = cast.Cogcast.n in
   let source = cast.Cogcast.source in
+  let emit ev = match trace with Some tr -> Trace.record tr ev | None -> () in
+  let traced = trace <> None in
   let states =
     Array.init n (fun v ->
         let informed = cast.Cogcast.informed.(v) in
@@ -255,19 +259,20 @@ let run_phase4 (type a) ?measure ~mediated ~(monoid : a Aggregate.monoid)
         })
   in
   let done_count = ref (Array.fold_left (fun acc s -> if s.role = Done then acc + 1 else acc) 0 states) in
-  let retire st =
+  let retire ~slot v st =
     st.role <- Done;
-    incr done_count
+    incr done_count;
+    if traced then emit (Trace.Retired { slot; node = v })
   in
   (* Mediator duties are live once the node has left the Collecting role;
      with mediation ablated there are no mediator duties at all. *)
   let mediator_live st =
     mediated && st.is_mediator && st.role <> Collecting && st.role <> Done
   in
-  let finish_sending st =
+  let finish_sending ~slot v st =
     st.sent_done <- true;
     if mediated && st.is_mediator && st.med_clusters <> [] then st.role <- Mediating
-    else retire st
+    else retire ~slot v st
   in
   (* Payload accounting for the §5 message-size discussion. *)
   let max_payload = ref 0 and total_payload = ref 0 in
@@ -279,23 +284,23 @@ let run_phase4 (type a) ?measure ~mediated ~(monoid : a Aggregate.monoid)
         max_payload := max !max_payload size;
         total_payload := !total_payload + size
   in
-  let advance_collecting v st =
+  let advance_collecting ~slot v st =
     match st.to_collect with
     | [] -> assert false
     | _ :: rest ->
         st.to_collect <- rest;
         (match rest with
         | (_, _, size) :: _ -> st.remaining <- size
-        | [] -> if v = source then retire st else st.role <- Sending)
+        | [] -> if v = source then retire ~slot v st else st.role <- Sending)
   in
-  let mediator_note_echo st =
+  let mediator_note_echo ~slot v st =
     match st.med_clusters with
     | [] -> ()
     | (r, count) :: rest ->
         let count = count - 1 in
         if count <= 0 then begin
           st.med_clusters <- rest;
-          if rest = [] && st.role = Mediating then retire st
+          if rest = [] && st.role = Mediating then retire ~slot v st
         end
         else st.med_clusters <- (r, count) :: rest
   in
@@ -323,6 +328,7 @@ let run_phase4 (type a) ?measure ~mediated ~(monoid : a Aggregate.monoid)
         match st.role with
         | Sending when st.announce_matches ->
             account st.acc;
+            if traced then emit (Trace.Sent_value { slot; node = v; r = st.own_r });
             Action.broadcast ~label:st.own_label
               (Values { val_r = st.own_r; val_id = v; payload = st.acc })
         | Sending -> Action.listen ~label:st.own_label
@@ -366,18 +372,23 @@ let run_phase4 (type a) ?measure ~mediated ~(monoid : a Aggregate.monoid)
     | 2, (Action.Won | Action.Lost _) when st.pending_echo <> None ->
         (* Our echo went out (Won is guaranteed: the receiver is the only
            broadcaster on its channel in slot 3). *)
+        (if traced then
+           match (st.pending_echo, st.to_collect) with
+           | Some id, (r, _, _) :: _ ->
+               emit (Trace.Value_delivered { slot; sender = id; receiver = v; r })
+           | _ -> ());
         st.pending_echo <- None;
         st.remaining <- st.remaining - 1;
-        if st.remaining <= 0 then advance_collecting v st
+        if st.remaining <= 0 then advance_collecting ~slot v st
     | 2, Action.Heard { msg = Echo id; _ } -> (
         (* Senders learn their delivery; mediators account for the drain.
            A mediator that is still sending must do both: its own delivery
            also drains one member of the current cluster. *)
         match st.role with
         | Sending ->
-            if mediated && st.is_mediator then mediator_note_echo st;
-            if id = v then finish_sending st
-        | Mediating -> mediator_note_echo st
+            if mediated && st.is_mediator then mediator_note_echo ~slot v st;
+            if id = v then finish_sending ~slot v st
+        | Mediating -> mediator_note_echo ~slot v st
         | Collecting | Done -> ())
     | _ -> ()
   in
@@ -397,13 +408,19 @@ let run_phase4 (type a) ?measure ~mediated ~(monoid : a Aggregate.monoid)
 (* ------------------------------------------------------------------ *)
 
 let run_with ~emulated ~raw_rounds ?budget_factor ?max_phase4_steps
-    ?(mediated = true) ?measure ~monoid ~values ~source ~assignment ~k ~rng () =
+    ?(mediated = true) ?measure ?trace ~monoid ~values ~source ~assignment ~k ~rng ()
+    =
   let n = Assignment.num_nodes assignment in
   if Array.length values <> n then invalid_arg "Cogcomp.run: values length mismatch";
   let availability = Dynamic.static assignment in
+  let mark name =
+    match trace with
+    | Some tr -> Trace.record tr (Trace.Phase { name })
+    | None -> ()
+  in
   let make_runner rng =
-    if emulated then emulation_runner ~availability ~rng ~raw_rounds
-    else engine_runner ~availability ~rng
+    if emulated then emulation_runner ?trace ~availability ~rng ~raw_rounds ()
+    else engine_runner ?trace ~availability ~rng ()
   in
   (* Phase 1: COGCAST with recording; fixed length so that all nodes agree on
      phase boundaries. *)
@@ -412,26 +429,36 @@ let run_with ~emulated ~raw_rounds ?budget_factor ?max_phase4_steps
       let c = Assignment.channels_per_node assignment in
       let max_slots = Complexity.cogcast_slots ?factor:budget_factor ~n ~c ~k () in
       let cast, outcome =
-        Cogcast.run_emulated ~record:true ~stop_when_complete:false ~source
+        Cogcast.run_emulated ?trace ~record:true ~stop_when_complete:false ~source
           ~availability ~rng:(Rng.split rng) ~max_slots ()
       in
       raw_rounds := !raw_rounds + outcome.Crn_radio.Emulation.raw_rounds;
       cast
     end
     else
-      Cogcast.run_static ?budget_factor ~record:true ~stop_when_complete:false
+      Cogcast.run_static ?budget_factor ?trace ~record:true ~stop_when_complete:false
         ~source ~assignment ~k ~rng:(Rng.split rng) ()
   in
   let tree = Disttree.of_result cast in
+  mark "cogcomp-phase2";
   let info, phase2_slots = run_phase2 ~cast ~runner:(make_runner (Rng.split rng)) in
+  (match trace with
+  | Some tr ->
+      Array.iteri
+        (fun v (inf : phase2_info) ->
+          if inf.is_mediator then Trace.record tr (Trace.Mediator { node = v }))
+        info
+  | None -> ());
+  mark "cogcomp-phase3";
   let clusters, phase3_slots =
     run_phase3 ~cast ~info ~runner:(make_runner (Rng.split rng))
   in
+  mark "cogcomp-phase4";
   let max_steps =
     match max_phase4_steps with Some s -> s | None -> (12 * n) + 64
   in
   let root_acc, terminated, phase4_slots, max_payload, total_payload =
-    run_phase4 ?measure ~mediated ~monoid ~values ~cast ~info ~clusters
+    run_phase4 ?measure ?trace ~mediated ~monoid ~values ~cast ~info ~clusters
       ~runner:(make_runner (Rng.split rng)) ~max_steps ()
   in
   let mediators =
@@ -444,6 +471,7 @@ let run_with ~emulated ~raw_rounds ?budget_factor ?max_phase4_steps
   let complete =
     cast.Cogcast.informed_count = n && Array.for_all (fun b -> b) terminated
   in
+  if complete then mark "cogcomp-done";
   {
     complete;
     root_value = (if complete then Some root_acc else None);
@@ -460,16 +488,16 @@ let run_with ~emulated ~raw_rounds ?budget_factor ?max_phase4_steps
     total_payload;
   }
 
-let run ?budget_factor ?max_phase4_steps ?mediated ?measure ~monoid ~values
+let run ?budget_factor ?max_phase4_steps ?mediated ?measure ?trace ~monoid ~values
     ~source ~assignment ~k ~rng () =
   run_with ~emulated:false ~raw_rounds:(ref 0) ?budget_factor ?max_phase4_steps
-    ?mediated ?measure ~monoid ~values ~source ~assignment ~k ~rng ()
+    ?mediated ?measure ?trace ~monoid ~values ~source ~assignment ~k ~rng ()
 
-let run_emulated ?budget_factor ?max_phase4_steps ?mediated ?measure ~monoid
+let run_emulated ?budget_factor ?max_phase4_steps ?mediated ?measure ?trace ~monoid
     ~values ~source ~assignment ~k ~rng () =
   let raw_rounds = ref 0 in
   let result =
     run_with ~emulated:true ~raw_rounds ?budget_factor ?max_phase4_steps ?mediated
-      ?measure ~monoid ~values ~source ~assignment ~k ~rng ()
+      ?measure ?trace ~monoid ~values ~source ~assignment ~k ~rng ()
   in
   (result, !raw_rounds)

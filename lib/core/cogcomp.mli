@@ -56,6 +56,7 @@ val run_emulated :
   ?max_phase4_steps:int ->
   ?mediated:bool ->
   ?measure:('a -> int) ->
+  ?trace:Crn_radio.Trace.t ->
   monoid:'a Aggregate.monoid ->
   values:'a array ->
   source:int ->
@@ -77,6 +78,7 @@ val run :
   ?max_phase4_steps:int ->
   ?mediated:bool ->
   ?measure:('a -> int) ->
+  ?trace:Crn_radio.Trace.t ->
   monoid:'a Aggregate.monoid ->
   values:'a array ->
   source:int ->
@@ -90,4 +92,13 @@ val run :
     node. [budget_factor] scales the phase-1 COGCAST budget
     ({!Complexity.cogcast_slots}); [max_phase4_steps] caps phase 4 (default
     [12·n + 64] steps, far above the [O(n)] the paper proves, so hitting it
-    indicates a genuine failure and yields [complete = false]). *)
+    indicates a genuine failure and yields [complete = false]).
+
+    With [?trace] supplied, the run streams a slot-level event log: the
+    phase-1 COGCAST header and [Informed] tree edges, a
+    {!Crn_radio.Trace.Phase} marker at each phase boundary (slot numbering
+    restarts per phase), {!Crn_radio.Trace.Mediator} elections after phase
+    2, the engine's per-slot events throughout, phase 4's
+    [Sent_value]/[Value_delivered]/[Retired] drain events, and a final
+    [Phase "cogcomp-done"] marker iff the run completed — the stream
+    {!Crn_radio.Trace.Check} validates. *)

@@ -14,7 +14,7 @@ type 'msg channel_state = {
   mutable listeners : int list;
 }
 
-let run ?session_cap ?stop ~availability ~rng ~nodes ~max_slots () =
+let run ?session_cap ?trace ?stop ~availability ~rng ~nodes ~max_slots () =
   let n = Array.length nodes in
   if n = 0 then invalid_arg "Emulation.run: no nodes";
   if Dynamic.num_nodes availability <> n then
@@ -26,6 +26,8 @@ let run ?session_cap ?stop ~availability ~rng ~nodes ~max_slots () =
   let session_cap =
     match session_cap with Some v -> v | None -> Backoff.expected_rounds_bound n
   in
+  let traced = trace <> None in
+  let emit ev = match trace with Some tr -> Trace.record tr ev | None -> () in
   let channels : (int, 'msg channel_state) Hashtbl.t = Hashtbl.create (4 * n) in
   let decisions = Array.make n (Action.listen ~label:0) in
   let tuned = Array.make n 0 in
@@ -45,6 +47,16 @@ let run ?session_cap ?stop ~availability ~rng ~nodes ~max_slots () =
       decisions.(i) <- decision;
       let channel = Assignment.global_of_local assignment ~node:i ~label:decision.Action.label in
       tuned.(i) <- channel;
+      if traced then
+        emit
+          (Trace.Decide
+             {
+               slot = s;
+               node = i;
+               channel;
+               label = decision.Action.label;
+               tx = Action.is_broadcast decision;
+             });
       let state =
         match Hashtbl.find_opt channels channel with
         | Some st -> st
@@ -62,10 +74,13 @@ let run ?session_cap ?stop ~availability ~rng ~nodes ~max_slots () =
        across channels). Idle channels cost one raw round of listening. *)
     let slot_rounds = ref 1 in
     Hashtbl.iter
-      (fun _channel state ->
+      (fun channel state ->
         match state.broadcasters with
         | [] ->
-            List.iter (fun l -> nodes.(l).Engine.feedback ~slot:s Action.Silence)
+            List.iter
+              (fun l ->
+                if traced then emit (Trace.Silent { slot = s; node = l; channel });
+                nodes.(l).Engine.feedback ~slot:s Action.Silence)
               state.listeners
         | broadcasters -> (
             let contenders = List.length broadcasters in
@@ -73,6 +88,12 @@ let run ?session_cap ?stop ~availability ~rng ~nodes ~max_slots () =
             | Some { Backoff.winner; rounds } ->
                 slot_rounds := max !slot_rounds rounds;
                 let winner_id, winner_msg = List.nth broadcasters winner in
+                if traced then begin
+                  emit
+                    (Trace.Session { slot = s; channel; contenders; rounds; ok = true });
+                  emit
+                    (Trace.Win { slot = s; channel; winner = winner_id; contenders })
+                end;
                 List.iter
                   (fun (b, _) ->
                     if b = winner_id then nodes.(b).Engine.feedback ~slot:s Action.Won
@@ -82,16 +103,33 @@ let run ?session_cap ?stop ~availability ~rng ~nodes ~max_slots () =
                   broadcasters;
                 List.iter
                   (fun l ->
+                    if traced then
+                      emit
+                        (Trace.Deliver
+                           { slot = s; channel; sender = winner_id; receiver = l });
                     nodes.(l).Engine.feedback ~slot:s
                       (Action.Heard { sender = winner_id; msg = winner_msg }))
                   state.listeners
             | None ->
                 incr failed_sessions;
                 slot_rounds := max !slot_rounds session_cap;
+                if traced then
+                  emit
+                    (Trace.Session
+                       {
+                         slot = s;
+                         channel;
+                         contenders;
+                         rounds = session_cap;
+                         ok = false;
+                       });
                 List.iter
                   (fun (b, _) -> nodes.(b).Engine.feedback ~slot:s Action.Silence)
                   broadcasters;
-                List.iter (fun l -> nodes.(l).Engine.feedback ~slot:s Action.Silence)
+                List.iter
+                  (fun l ->
+                    if traced then emit (Trace.Silent { slot = s; node = l; channel });
+                    nodes.(l).Engine.feedback ~slot:s Action.Silence)
                   state.listeners))
       channels;
     raw_rounds := !raw_rounds + !slot_rounds;

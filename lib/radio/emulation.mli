@@ -37,6 +37,7 @@ type outcome = {
 
 val run :
   ?session_cap:int ->
+  ?trace:Trace.t ->
   ?stop:(slot:int -> bool) ->
   availability:Crn_channel.Dynamic.t ->
   rng:Crn_prng.Rng.t ->
@@ -48,4 +49,7 @@ val run :
     the abstract layer if needed). [session_cap] bounds each contention
     session in raw rounds (default [4·(⌈lg n⌉+1)²], the
     {!Backoff.expected_rounds_bound}); idle channels and single-listener
-    channels cost one raw round. *)
+    channels cost one raw round. With [?trace] supplied, each slot appends
+    {!Trace.Decide}, {!Trace.Session} (one per active channel, [ok=false]
+    when the session hit the cap), {!Trace.Win}, {!Trace.Deliver} and
+    {!Trace.Silent} events; without it no event is allocated. *)

@@ -8,7 +8,7 @@ type 'msg node = {
   feedback : slot:int -> 'msg Action.feedback -> unit;
 }
 
-type outcome = { slots_run : int; stopped_early : bool; trace : Trace.t }
+type outcome = { slots_run : int; stopped_early : bool; counters : Trace.Counters.t }
 
 let node ~id ~decide ~feedback = { id; decide; feedback }
 
@@ -19,7 +19,7 @@ type 'msg channel_state = {
   mutable listeners : int list;  (* audible listeners *)
 }
 
-let run ?(jammer = Jammer.none) ?(faults = Faults.none) ?metrics ?stop
+let run ?(jammer = Jammer.none) ?(faults = Faults.none) ?metrics ?trace ?stop
     ?on_slot_end ~availability ~rng ~nodes ~max_slots () =
   let n = Array.length nodes in
   if n = 0 then invalid_arg "Engine.run: no nodes";
@@ -39,7 +39,11 @@ let run ?(jammer = Jammer.none) ?(faults = Faults.none) ?metrics ?stop
     | Some m -> (counters m).(i) <- (counters m).(i) + 1
     | None -> ()
   in
-  let trace = Trace.create () in
+  (* Tracing is zero-cost when disabled: every recording site is guarded by
+     this match, so the event is never even allocated. *)
+  let traced = trace <> None in
+  let emit ev = match trace with Some tr -> Trace.record tr ev | None -> () in
+  let counters = Trace.Counters.create () in
   let channels : (int, 'msg channel_state) Hashtbl.t = Hashtbl.create (4 * n) in
   (* Scratch: the decision each node made this slot, and its global channel
      (or -1 when the action was jammed). *)
@@ -56,7 +60,10 @@ let run ?(jammer = Jammer.none) ?(faults = Faults.none) ?metrics ?stop
        down this slot is simply absent: it is not asked for a decision and
        receives no feedback. *)
     for i = 0 to n - 1 do
-      if Faults.down faults ~slot:s ~node:i then tuned.(i) <- -2
+      if Faults.down faults ~slot:s ~node:i then begin
+        tuned.(i) <- -2;
+        if traced then emit (Trace.Down { slot = s; node = i })
+      end
       else begin
       let decision = nodes.(i).decide ~slot:s in
       if decision.Action.label < 0 || decision.Action.label >= c then
@@ -68,11 +75,23 @@ let run ?(jammer = Jammer.none) ?(faults = Faults.none) ?metrics ?stop
       bump (fun m -> m.Metrics.awake_slots) i;
       if Jammer.jams jammer ~slot:s ~node:i ~channel then begin
         tuned.(i) <- -1;
-        trace.Trace.jammed_actions <- trace.Trace.jammed_actions + 1;
+        counters.Trace.Counters.jammed_actions <-
+          counters.Trace.Counters.jammed_actions + 1;
+        if traced then emit (Trace.Jam { slot = s; node = i; channel });
         bump (fun m -> m.Metrics.jammed) i
       end
       else begin
         tuned.(i) <- channel;
+        if traced then
+          emit
+            (Trace.Decide
+               {
+                 slot = s;
+                 node = i;
+                 channel;
+                 label = decision.Action.label;
+                 tx = Action.is_broadcast decision;
+               });
         let state =
           match Hashtbl.find_opt channels channel with
           | Some st -> st
@@ -84,7 +103,8 @@ let run ?(jammer = Jammer.none) ?(faults = Faults.none) ?metrics ?stop
         match decision.Action.intent with
         | Action.Broadcast msg ->
             state.broadcasters <- (i, msg) :: state.broadcasters;
-            trace.Trace.broadcasts <- trace.Trace.broadcasts + 1;
+            counters.Trace.Counters.broadcasts <-
+              counters.Trace.Counters.broadcasts + 1;
             bump (fun m -> m.Metrics.transmissions) i
         | Action.Listen -> state.listeners <- i :: state.listeners
       end
@@ -93,15 +113,20 @@ let run ?(jammer = Jammer.none) ?(faults = Faults.none) ?metrics ?stop
     (* Resolve each channel: one uniformly random winner among audible
        broadcasters; deliver to audible listeners; inform losers. *)
     Hashtbl.iter
-      (fun _channel state ->
+      (fun channel state ->
         match state.broadcasters with
         | [] -> ()
         | broadcasters ->
             let count = List.length broadcasters in
             let widx = if count = 1 then 0 else Rng.int rng count in
             let winner_id, winner_msg = List.nth broadcasters widx in
-            trace.Trace.wins <- trace.Trace.wins + 1;
-            if count > 1 then trace.Trace.contended <- trace.Trace.contended + 1;
+            counters.Trace.Counters.wins <- counters.Trace.Counters.wins + 1;
+            if count > 1 then
+              counters.Trace.Counters.contended <-
+                counters.Trace.Counters.contended + 1;
+            if traced then
+              emit
+                (Trace.Win { slot = s; channel; winner = winner_id; contenders = count });
             List.iter
               (fun (b, _msg) ->
                 if b = winner_id then nodes.(b).feedback ~slot:s Action.Won
@@ -111,7 +136,12 @@ let run ?(jammer = Jammer.none) ?(faults = Faults.none) ?metrics ?stop
               broadcasters;
             List.iter
               (fun l ->
-                trace.Trace.deliveries <- trace.Trace.deliveries + 1;
+                counters.Trace.Counters.deliveries <-
+                  counters.Trace.Counters.deliveries + 1;
+                if traced then
+                  emit
+                    (Trace.Deliver
+                       { slot = s; channel; sender = winner_id; receiver = l });
                 bump (fun m -> m.Metrics.receptions) l;
                 nodes.(l).feedback ~slot:s
                   (Action.Heard { sender = winner_id; msg = winner_msg }))
@@ -127,11 +157,15 @@ let run ?(jammer = Jammer.none) ?(faults = Faults.none) ?metrics ?stop
         | Action.Broadcast _ -> ()  (* already got Won/Lost above *)
         | Action.Listen ->
             let state = Hashtbl.find channels tuned.(i) in
-            if state.broadcasters = [] then nodes.(i).feedback ~slot:s Action.Silence
+            if state.broadcasters = [] then begin
+              if traced then
+                emit (Trace.Silent { slot = s; node = i; channel = tuned.(i) });
+              nodes.(i).feedback ~slot:s Action.Silence
+            end
     done;
-    trace.Trace.slots_run <- trace.Trace.slots_run + 1;
+    counters.Trace.Counters.slots_run <- counters.Trace.Counters.slots_run + 1;
     (match on_slot_end with Some f -> f ~slot:s | None -> ());
     (match stop with Some f -> if f ~slot:s then stopped := true | None -> ());
     incr slot
   done;
-  { slots_run = !slot; stopped_early = !stopped; trace }
+  { slots_run = !slot; stopped_early = !stopped; counters }

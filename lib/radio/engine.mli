@@ -32,13 +32,14 @@ type outcome = {
   slots_run : int;
       (** Number of slots executed (equals [max_slots] unless [stop] fired). *)
   stopped_early : bool;
-  trace : Trace.t;
+  counters : Trace.Counters.t;
 }
 
 val run :
   ?jammer:Jammer.t ->
   ?faults:Faults.t ->
   ?metrics:Metrics.t ->
+  ?trace:Trace.t ->
   ?stop:(slot:int -> bool) ->
   ?on_slot_end:(slot:int -> unit) ->
   availability:Crn_channel.Dynamic.t ->
@@ -50,6 +51,9 @@ val run :
 (** [run ~availability ~rng ~nodes ~max_slots ()] executes up to [max_slots]
     slots. [stop ~slot] is evaluated after each slot (with the 0-based index
     of the slot just completed) and ends the run when it returns [true].
+    With [?trace] supplied, every slot appends {!Trace.Decide}, {!Trace.Win},
+    {!Trace.Deliver}, {!Trace.Silent}, {!Trace.Jam} and {!Trace.Down} events
+    to it; without it no event is allocated.
     Raises [Invalid_argument] if node ids are inconsistent, the node count
     disagrees with [availability], or a node submits an out-of-range label. *)
 

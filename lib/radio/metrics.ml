@@ -28,3 +28,134 @@ let pp fmt t =
     (Array.fold_left ( + ) 0 t.receptions)
     (total_awake t)
     (Array.fold_left ( + ) 0 t.jammed)
+
+module Registry = struct
+  module Json = Crn_stats.Json
+  module Summary = Crn_stats.Summary
+
+  type counter = { c_name : string; mutable c_value : int }
+
+  (* Histograms keep raw samples (growable) and summarize on export; the
+     sample counts here are small (one per win / inform / session). *)
+  type histogram = {
+    h_name : string;
+    mutable h_buf : float array;
+    mutable h_len : int;
+  }
+
+  type registry = {
+    mutable counters : counter list;  (* reversed registration order *)
+    mutable histograms : histogram list;  (* reversed registration order *)
+  }
+
+  let create () = { counters = []; histograms = [] }
+
+  let counter reg name =
+    match List.find_opt (fun c -> c.c_name = name) reg.counters with
+    | Some c -> c
+    | None ->
+        let c = { c_name = name; c_value = 0 } in
+        reg.counters <- c :: reg.counters;
+        c
+
+  let incr ?(by = 1) c = c.c_value <- c.c_value + by
+
+  let value c = c.c_value
+
+  let histogram reg name =
+    match List.find_opt (fun h -> h.h_name = name) reg.histograms with
+    | Some h -> h
+    | None ->
+        let h = { h_name = name; h_buf = Array.make 64 0.0; h_len = 0 } in
+        reg.histograms <- h :: reg.histograms;
+        h
+
+  let observe h x =
+    if h.h_len = Array.length h.h_buf then begin
+      let grown = Array.make (2 * h.h_len) 0.0 in
+      Array.blit h.h_buf 0 grown 0 h.h_len;
+      h.h_buf <- grown
+    end;
+    h.h_buf.(h.h_len) <- x;
+    h.h_len <- h.h_len + 1
+
+  let observe_int h x = observe h (float_of_int x)
+
+  let samples h = h.h_len
+
+  let observe_trace reg tr =
+    let slots = counter reg "slots" in
+    let broadcasts = counter reg "broadcasts" in
+    let listens = counter reg "listens" in
+    let wins = counter reg "wins" in
+    let contended = counter reg "contended_wins" in
+    let deliveries = counter reg "deliveries" in
+    let silences = counter reg "silences" in
+    let jams = counter reg "jammed_actions" in
+    let downs = counter reg "down_slots" in
+    let informs = counter reg "informs" in
+    let sessions = counter reg "emulation_sessions" in
+    let failed = counter reg "emulation_failed_sessions" in
+    let raw_rounds = counter reg "emulation_raw_rounds" in
+    let win_contenders = histogram reg "win_contenders" in
+    let slots_to_informed = histogram reg "slots_to_informed" in
+    let session_rounds = histogram reg "session_rounds" in
+    let per_channel = histogram reg "contended_wins_per_channel" in
+    (* Slot numbering restarts at every Phase marker, so the run's slot
+       count is the sum of per-segment maxima. *)
+    let max_slot = ref (-1) in
+    let flush_segment () =
+      if !max_slot >= 0 then incr ~by:(!max_slot + 1) slots;
+      max_slot := -1
+    in
+    let contended_by_channel : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    Trace.iter
+      (fun ev ->
+        match ev with
+        | Trace.Phase _ -> flush_segment ()
+        | Trace.Meta _ -> ()
+        | Trace.Decide { slot; tx; _ } ->
+            max_slot := max !max_slot slot;
+            incr (if tx then broadcasts else listens)
+        | Trace.Win { channel; contenders; _ } ->
+            incr wins;
+            observe_int win_contenders contenders;
+            if contenders > 1 then begin
+              incr contended;
+              Hashtbl.replace contended_by_channel channel
+                (1 + Option.value ~default:0 (Hashtbl.find_opt contended_by_channel channel))
+            end
+        | Trace.Deliver _ -> incr deliveries
+        | Trace.Silent _ -> incr silences
+        | Trace.Jam _ -> incr jams
+        | Trace.Down _ -> incr downs
+        | Trace.Session { rounds; ok; _ } ->
+            incr sessions;
+            if not ok then incr failed;
+            incr ~by:rounds raw_rounds;
+            observe_int session_rounds rounds
+        | Trace.Informed { slot; _ } ->
+            incr informs;
+            observe_int slots_to_informed slot
+        | Trace.Mediator _ | Trace.Sent_value _ | Trace.Value_delivered _
+        | Trace.Retired _ ->
+            ())
+      tr;
+    flush_segment ();
+    Hashtbl.iter (fun _channel count -> observe_int per_channel count) contended_by_channel
+
+  let summary_json h =
+    if h.h_len = 0 then Json.Null
+    else Json.of_summary (Summary.of_floats (Array.sub h.h_buf 0 h.h_len))
+
+  let to_json reg =
+    Json.Obj
+      [
+        ( "counters",
+          Json.Obj
+            (List.rev_map (fun c -> (c.c_name, Json.Int c.c_value)) reg.counters) );
+        ( "histograms",
+          Json.Obj
+            (List.rev_map (fun h -> (h.h_name, summary_json h)) reg.histograms) );
+      ]
+end

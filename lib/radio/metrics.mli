@@ -1,10 +1,16 @@
-(** Per-node activity counters — the simulator's energy/telemetry surface.
+(** Simulation metrics: per-node activity counters plus a named registry of
+    counters and histograms — the simulator's energy/telemetry surface.
 
-    Radios spend energy per slot awake and (more) per transmission; these
-    counters let experiments compare protocols on that axis (e.g. COGCAST's
-    epidemic transmits far more than the rendezvous baseline even when it
-    finishes sooner). Attach a value to {!Engine.run} via [?metrics]; the
-    engine increments it and never reads it. *)
+    The per-node counters ({!t}) are the original interface: radios spend
+    energy per slot awake and (more) per transmission, and these arrays let
+    experiments compare protocols on that axis. Attach a value to
+    {!Engine.run} via [?metrics]; the engine increments it and never reads
+    it.
+
+    {!Registry} is the aggregated, exportable layer behind [--metrics]:
+    named monotone counters and histograms that serialize to JSON through
+    {!Crn_stats.Json}, either filled directly or derived wholesale from a
+    recorded {!Trace.t} ({!Registry.observe_trace}). *)
 
 type t = {
   transmissions : int array;  (** Broadcast attempts per node (incl. lost). *)
@@ -24,3 +30,50 @@ val total_awake : t -> int
 
 val pp : Format.formatter -> t -> unit
 (** Aggregate one-line rendering. *)
+
+(** {1 The metrics registry} *)
+
+module Registry : sig
+  type counter
+  (** A named monotone integer counter. *)
+
+  type histogram
+  (** A named sample collection summarized on export (count, mean,
+      percentiles). *)
+
+  type registry
+
+  val create : unit -> registry
+
+  val counter : registry -> string -> counter
+  (** Find or register the counter named [name]. Registration order is
+      preserved in the JSON export. *)
+
+  val incr : ?by:int -> counter -> unit
+
+  val value : counter -> int
+
+  val histogram : registry -> string -> histogram
+  (** Find or register the histogram named [name]. *)
+
+  val observe : histogram -> float -> unit
+
+  val observe_int : histogram -> int -> unit
+
+  val samples : histogram -> int
+  (** Number of observations recorded so far. *)
+
+  val observe_trace : registry -> Trace.t -> unit
+  (** Derive the standard metrics from a recorded trace: counters for
+      slots, broadcasts, listens, wins, contended wins, deliveries,
+      silences, jams, downs, informs, emulation sessions/failures and raw
+      rounds; histograms for contenders per win ([win_contenders]), the
+      slots-to-informed distribution ([slots_to_informed]), raw rounds per
+      contention session ([session_rounds]), and contended wins per busy
+      channel ([contended_wins_per_channel]). Cumulative across calls. *)
+
+  val to_json : registry -> Crn_stats.Json.t
+  (** [{"counters": {name: value, …}, "histograms": {name: summary, …}}]
+      with summaries as in {!Crn_stats.Json.of_summary}; empty histograms
+      export as [null]. *)
+end

@@ -1,34 +1,582 @@
-type t = {
-  mutable slots_run : int;
-  mutable broadcasts : int;
-  mutable wins : int;
-  mutable contended : int;
-  mutable deliveries : int;
-  mutable jammed_actions : int;
-}
+module Json = Crn_stats.Json
 
-let create () =
-  {
-    slots_run = 0;
-    broadcasts = 0;
-    wins = 0;
-    contended = 0;
-    deliveries = 0;
-    jammed_actions = 0;
+(* ------------------------------------------------------------------ *)
+(* Aggregate counters (always on).                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Counters = struct
+  type t = {
+    mutable slots_run : int;
+    mutable broadcasts : int;
+    mutable wins : int;
+    mutable contended : int;
+    mutable deliveries : int;
+    mutable jammed_actions : int;
   }
 
-let reset t =
-  t.slots_run <- 0;
-  t.broadcasts <- 0;
-  t.wins <- 0;
-  t.contended <- 0;
-  t.deliveries <- 0;
-  t.jammed_actions <- 0
+  let create () =
+    {
+      slots_run = 0;
+      broadcasts = 0;
+      wins = 0;
+      contended = 0;
+      deliveries = 0;
+      jammed_actions = 0;
+    }
 
-let contention_rate t =
-  if t.wins = 0 then 0.0 else float_of_int t.contended /. float_of_int t.wins
+  let reset t =
+    t.slots_run <- 0;
+    t.broadcasts <- 0;
+    t.wins <- 0;
+    t.contended <- 0;
+    t.deliveries <- 0;
+    t.jammed_actions <- 0
 
-let pp fmt t =
-  Format.fprintf fmt
-    "slots=%d broadcasts=%d wins=%d contended=%d deliveries=%d jammed=%d"
-    t.slots_run t.broadcasts t.wins t.contended t.deliveries t.jammed_actions
+  let contention_rate t =
+    if t.wins = 0 then 0.0 else float_of_int t.contended /. float_of_int t.wins
+
+  let pp fmt t =
+    Format.fprintf fmt
+      "slots=%d broadcasts=%d wins=%d contended=%d deliveries=%d jammed=%d"
+      t.slots_run t.broadcasts t.wins t.contended t.deliveries t.jammed_actions
+end
+
+(* ------------------------------------------------------------------ *)
+(* Events and the trace buffer.                                        *)
+(* ------------------------------------------------------------------ *)
+
+type event =
+  | Meta of { n : int; channels : int; c : int; source : int }
+  | Phase of { name : string }
+  | Decide of { slot : int; node : int; channel : int; label : int; tx : bool }
+  | Win of { slot : int; channel : int; winner : int; contenders : int }
+  | Deliver of { slot : int; channel : int; sender : int; receiver : int }
+  | Silent of { slot : int; node : int; channel : int }
+  | Jam of { slot : int; node : int; channel : int }
+  | Down of { slot : int; node : int }
+  | Session of {
+      slot : int;
+      channel : int;
+      contenders : int;
+      rounds : int;
+      ok : bool;
+    }
+  | Informed of { slot : int; node : int; parent : int; label : int }
+  | Mediator of { node : int }
+  | Sent_value of { slot : int; node : int; r : int }
+  | Value_delivered of { slot : int; sender : int; receiver : int; r : int }
+  | Retired of { slot : int; node : int }
+
+type t = { mutable buf : event array; mutable len : int }
+
+let dummy = Phase { name = "" }
+
+let create ?(capacity = 256) () = { buf = Array.make (max 1 capacity) dummy; len = 0 }
+
+let record t ev =
+  if t.len = Array.length t.buf then begin
+    let grown = Array.make (2 * t.len) dummy in
+    Array.blit t.buf 0 grown 0 t.len;
+    t.buf <- grown
+  end;
+  t.buf.(t.len) <- ev;
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Trace.get: index out of bounds";
+  t.buf.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.buf.(i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun ev -> acc := f !acc ev) t;
+  !acc
+
+let to_list t = List.init t.len (fun i -> t.buf.(i))
+
+let of_list events =
+  let t = create ~capacity:(max 1 (List.length events)) () in
+  List.iter (fun ev -> record t ev) events;
+  t
+
+let clear t = t.len <- 0
+
+(* ------------------------------------------------------------------ *)
+(* JSONL serialization.                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_event ev =
+  let obj tag fields = Json.Obj (("ev", Json.String tag) :: fields) in
+  let i v = Json.Int v in
+  match ev with
+  | Meta { n; channels; c; source } ->
+      obj "meta" [ ("n", i n); ("C", i channels); ("c", i c); ("source", i source) ]
+  | Phase { name } -> obj "phase" [ ("name", Json.String name) ]
+  | Decide { slot; node; channel; label; tx } ->
+      obj "decide"
+        [
+          ("slot", i slot);
+          ("node", i node);
+          ("ch", i channel);
+          ("label", i label);
+          ("tx", Json.Bool tx);
+        ]
+  | Win { slot; channel; winner; contenders } ->
+      obj "win"
+        [
+          ("slot", i slot);
+          ("ch", i channel);
+          ("winner", i winner);
+          ("contenders", i contenders);
+        ]
+  | Deliver { slot; channel; sender; receiver } ->
+      obj "deliver"
+        [
+          ("slot", i slot);
+          ("ch", i channel);
+          ("sender", i sender);
+          ("receiver", i receiver);
+        ]
+  | Silent { slot; node; channel } ->
+      obj "silent" [ ("slot", i slot); ("node", i node); ("ch", i channel) ]
+  | Jam { slot; node; channel } ->
+      obj "jam" [ ("slot", i slot); ("node", i node); ("ch", i channel) ]
+  | Down { slot; node } -> obj "down" [ ("slot", i slot); ("node", i node) ]
+  | Session { slot; channel; contenders; rounds; ok } ->
+      obj "session"
+        [
+          ("slot", i slot);
+          ("ch", i channel);
+          ("contenders", i contenders);
+          ("rounds", i rounds);
+          ("ok", Json.Bool ok);
+        ]
+  | Informed { slot; node; parent; label } ->
+      obj "informed"
+        [ ("slot", i slot); ("node", i node); ("parent", i parent); ("label", i label) ]
+  | Mediator { node } -> obj "mediator" [ ("node", i node) ]
+  | Sent_value { slot; node; r } ->
+      obj "sent_value" [ ("slot", i slot); ("node", i node); ("r", i r) ]
+  | Value_delivered { slot; sender; receiver; r } ->
+      obj "value_delivered"
+        [ ("slot", i slot); ("sender", i sender); ("receiver", i receiver); ("r", i r) ]
+  | Retired { slot; node } -> obj "retired" [ ("slot", i slot); ("node", i node) ]
+
+let event_of_json j =
+  let ( let* ) = Option.bind in
+  let int_m key = match Json.member key j with Some (Json.Int v) -> Some v | _ -> None in
+  let bool_m key =
+    match Json.member key j with Some (Json.Bool v) -> Some v | _ -> None
+  in
+  let str_m key =
+    match Json.member key j with Some (Json.String v) -> Some v | _ -> None
+  in
+  let* tag = str_m "ev" in
+  match tag with
+  | "meta" ->
+      let* n = int_m "n" in
+      let* channels = int_m "C" in
+      let* c = int_m "c" in
+      let* source = int_m "source" in
+      Some (Meta { n; channels; c; source })
+  | "phase" ->
+      let* name = str_m "name" in
+      Some (Phase { name })
+  | "decide" ->
+      let* slot = int_m "slot" in
+      let* node = int_m "node" in
+      let* channel = int_m "ch" in
+      let* label = int_m "label" in
+      let* tx = bool_m "tx" in
+      Some (Decide { slot; node; channel; label; tx })
+  | "win" ->
+      let* slot = int_m "slot" in
+      let* channel = int_m "ch" in
+      let* winner = int_m "winner" in
+      let* contenders = int_m "contenders" in
+      Some (Win { slot; channel; winner; contenders })
+  | "deliver" ->
+      let* slot = int_m "slot" in
+      let* channel = int_m "ch" in
+      let* sender = int_m "sender" in
+      let* receiver = int_m "receiver" in
+      Some (Deliver { slot; channel; sender; receiver })
+  | "silent" ->
+      let* slot = int_m "slot" in
+      let* node = int_m "node" in
+      let* channel = int_m "ch" in
+      Some (Silent { slot; node; channel })
+  | "jam" ->
+      let* slot = int_m "slot" in
+      let* node = int_m "node" in
+      let* channel = int_m "ch" in
+      Some (Jam { slot; node; channel })
+  | "down" ->
+      let* slot = int_m "slot" in
+      let* node = int_m "node" in
+      Some (Down { slot; node })
+  | "session" ->
+      let* slot = int_m "slot" in
+      let* channel = int_m "ch" in
+      let* contenders = int_m "contenders" in
+      let* rounds = int_m "rounds" in
+      let* ok = bool_m "ok" in
+      Some (Session { slot; channel; contenders; rounds; ok })
+  | "informed" ->
+      let* slot = int_m "slot" in
+      let* node = int_m "node" in
+      let* parent = int_m "parent" in
+      let* label = int_m "label" in
+      Some (Informed { slot; node; parent; label })
+  | "mediator" ->
+      let* node = int_m "node" in
+      Some (Mediator { node })
+  | "sent_value" ->
+      let* slot = int_m "slot" in
+      let* node = int_m "node" in
+      let* r = int_m "r" in
+      Some (Sent_value { slot; node; r })
+  | "value_delivered" ->
+      let* slot = int_m "slot" in
+      let* sender = int_m "sender" in
+      let* receiver = int_m "receiver" in
+      let* r = int_m "r" in
+      Some (Value_delivered { slot; sender; receiver; r })
+  | "retired" ->
+      let* slot = int_m "slot" in
+      let* node = int_m "node" in
+      Some (Retired { slot; node })
+  | _ -> None
+
+let to_jsonl t =
+  let buf = Buffer.create (64 * t.len) in
+  iter
+    (fun ev ->
+      Buffer.add_string buf (Json.to_string ~compact:true (json_of_event ev));
+      Buffer.add_char buf '\n')
+    t;
+  Buffer.contents buf
+
+let write_jsonl ~path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_jsonl t))
+
+let of_jsonl s =
+  let lines = String.split_on_char '\n' s in
+  let t = create () in
+  let rec go lineno = function
+    | [] -> Ok t
+    | line :: rest ->
+        if String.trim line = "" then go (lineno + 1) rest
+        else begin
+          match Json.of_string line with
+          | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+          | Ok j -> (
+              match event_of_json j with
+              | None -> Error (Printf.sprintf "line %d: not a trace event" lineno)
+              | Some ev ->
+                  record t ev;
+                  go (lineno + 1) rest)
+        end
+  in
+  go 1 lines
+
+(* ------------------------------------------------------------------ *)
+(* Invariant checking.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Check = struct
+  type violation = { invariant : string; detail : string }
+
+  let pp_violation fmt v = Format.fprintf fmt "[%s] %s" v.invariant v.detail
+
+  let v invariant fmt = Printf.ksprintf (fun detail -> { invariant; detail }) fmt
+
+  (* Split the event stream into phase segments: slot numbering restarts at
+     each [Phase] marker, so per-(slot, channel) grouping is only meaningful
+     within a segment. Returns segments in stream order. *)
+  let segments t =
+    let segs = ref [] and cur = ref [] in
+    iter
+      (fun ev ->
+        match ev with
+        | Phase _ ->
+            if !cur <> [] then segs := List.rev !cur :: !segs;
+            cur := []
+        | ev -> cur := ev :: !cur)
+      t;
+    if !cur <> [] then segs := List.rev !cur :: !segs;
+    List.rev !segs
+
+  let one_winner t =
+    let violations = ref [] in
+    let report vl = violations := vl :: !violations in
+    List.iter
+      (fun seg ->
+        let bcasters : (int * int, int list) Hashtbl.t = Hashtbl.create 64 in
+        let listeners : (int * int, int list) Hashtbl.t = Hashtbl.create 64 in
+        let wins : (int * int, (int * int) list) Hashtbl.t = Hashtbl.create 64 in
+        let failed : (int * int, unit) Hashtbl.t = Hashtbl.create 8 in
+        let delivers = ref [] in
+        let push tbl key x =
+          Hashtbl.replace tbl key (x :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
+        in
+        List.iter
+          (fun ev ->
+            match ev with
+            | Decide { slot; node; channel; tx; _ } ->
+                if tx then push bcasters (slot, channel) node
+                else push listeners (slot, channel) node
+            | Win { slot; channel; winner; contenders } ->
+                push wins (slot, channel) (winner, contenders)
+            | Session { slot; channel; ok = false; _ } ->
+                Hashtbl.replace failed (slot, channel) ()
+            | Deliver { slot; channel; sender; receiver } ->
+                delivers := (slot, channel, sender, receiver) :: !delivers
+            | _ -> ())
+          seg;
+        Hashtbl.iter
+          (fun (slot, channel) ws ->
+            let bs = Option.value ~default:[] (Hashtbl.find_opt bcasters (slot, channel)) in
+            (if List.length ws > 1 then
+               report
+                 (v "one-winner" "slot %d channel %d has %d winners" slot channel
+                    (List.length ws)));
+            List.iter
+              (fun (winner, contenders) ->
+                if not (List.mem winner bs) then
+                  report
+                    (v "one-winner"
+                       "slot %d channel %d: winner %d was not an audible broadcaster"
+                       slot channel winner);
+                if contenders <> List.length bs then
+                  report
+                    (v "one-winner"
+                       "slot %d channel %d: win records %d contenders, trace shows %d"
+                       slot channel contenders (List.length bs)))
+              ws)
+          wins;
+        Hashtbl.iter
+          (fun (slot, channel) _bs ->
+            if
+              (not (Hashtbl.mem wins (slot, channel)))
+              && not (Hashtbl.mem failed (slot, channel))
+            then
+              report
+                (v "one-winner"
+                   "slot %d channel %d has broadcasters but no winner and no failed \
+                    session"
+                   slot channel))
+          bcasters;
+        List.iter
+          (fun (slot, channel, sender, receiver) ->
+            (match Hashtbl.find_opt wins (slot, channel) with
+            | Some [ (winner, _) ] when winner = sender -> ()
+            | Some _ ->
+                report
+                  (v "one-winner"
+                     "slot %d channel %d: delivery from %d does not match the winner"
+                     slot channel sender)
+            | None ->
+                report
+                  (v "one-winner" "slot %d channel %d: delivery from %d without a win"
+                     slot channel sender));
+            let ls =
+              Option.value ~default:[] (Hashtbl.find_opt listeners (slot, channel))
+            in
+            if not (List.mem receiver ls) then
+              report
+                (v "one-winner"
+                   "slot %d channel %d: receiver %d was not listening there" slot
+                   channel receiver))
+          !delivers)
+      (segments t);
+    List.rev !violations
+
+  let informed_tree t =
+    let violations = ref [] in
+    let report vl = violations := vl :: !violations in
+    let meta =
+      fold
+        (fun acc ev ->
+          match ev with Meta { n; source; _ } -> Some (n, source) | _ -> acc)
+        None t
+    in
+    let informs =
+      List.filter_map
+        (function Informed { slot; node; parent; label = _ } -> Some (slot, node, parent) | _ -> None)
+        (to_list t)
+    in
+    (match (informs, meta) with
+    | [], _ -> ()
+    | _ :: _, None ->
+        report (v "informed-tree" "trace has Informed events but no Meta header")
+    | _ :: _, Some (n, source) ->
+        let informed_at = Array.make (max n 1) (-1) in
+        List.iter
+          (fun (slot, node, parent) ->
+            if node < 0 || node >= n then
+              report (v "informed-tree" "informed node %d out of range [0,%d)" node n)
+            else if parent < 0 || parent >= n then
+              report (v "informed-tree" "parent %d of node %d out of range" parent node)
+            else begin
+              if node = source then
+                report (v "informed-tree" "source %d was informed at slot %d" node slot);
+              if parent = node then
+                report (v "informed-tree" "node %d is its own parent" node);
+              if informed_at.(node) >= 0 then
+                report
+                  (v "informed-tree" "node %d informed twice (slots %d and %d)" node
+                     informed_at.(node) slot)
+              else begin
+                (* Informer precedes informee: the parent must already have
+                   the message, i.e. be the source or have been informed in
+                   a strictly earlier slot (an informed node only starts
+                   broadcasting in the slot after it was informed). *)
+                (if parent <> source then
+                   match informed_at.(parent) with
+                   | -1 ->
+                       report
+                         (v "informed-tree"
+                            "node %d informed at slot %d by %d, which was never \
+                             informed before it"
+                            node slot parent)
+                   | ps when ps >= slot ->
+                       report
+                         (v "informed-tree"
+                            "node %d informed at slot %d by %d, informed only at slot \
+                             %d"
+                            node slot parent ps)
+                   | _ -> ());
+                informed_at.(node) <- slot
+              end
+            end)
+          informs;
+        (* Acyclicity and parent-edge validity by walking every chain to the
+           root. Redundant when the slot checks above pass, but catches
+           consistently corrupted traces. *)
+        let parent_of = Array.make (max n 1) (-1) in
+        List.iter
+          (fun (_, node, parent) ->
+            if node >= 0 && node < n && parent_of.(node) = -1 then
+              parent_of.(node) <- parent)
+          informs;
+        Array.iteri
+          (fun node p ->
+            if p >= 0 then begin
+              let steps = ref 0 and cur = ref node and broken = ref false in
+              while (not !broken) && !cur <> source && !steps <= n do
+                incr steps;
+                let p = if !cur >= 0 && !cur < n then parent_of.(!cur) else -1 in
+                if p < 0 then begin
+                  report
+                    (v "informed-tree" "node %d: chain breaks at %d before the source"
+                       node !cur);
+                  broken := true
+                end
+                else cur := p
+              done;
+              if (not !broken) && !steps > n then
+                report (v "informed-tree" "node %d: parent chain has a cycle" node)
+            end)
+          parent_of);
+    List.rev !violations
+
+  let phase4_drain t =
+    let violations = ref [] in
+    let report vl = violations := vl :: !violations in
+    (* Isolate the events between Phase "cogcomp-phase4" and the next phase
+       marker; note whether the run declared completion. *)
+    let in_p4 = ref false in
+    let complete = ref false in
+    let sent : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+    let delivered = ref [] in
+    let retired : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    let informed = ref [] in
+    iter
+      (fun ev ->
+        match ev with
+        | Phase { name } ->
+            in_p4 := name = "cogcomp-phase4";
+            if name = "cogcomp-done" then complete := true
+        | Informed { node; _ } -> informed := node :: !informed
+        | Sent_value { slot; node; r } when !in_p4 -> Hashtbl.replace sent (slot, node) r
+        | Value_delivered { slot; sender; receiver; r } when !in_p4 ->
+            delivered := (slot, sender, receiver, r) :: !delivered
+        | Retired { slot; node } when !in_p4 -> (
+            match Hashtbl.find_opt retired node with
+            | Some prev ->
+                report
+                  (v "phase4-drain" "node %d retired twice (slots %d and %d)" node prev
+                     slot)
+            | None -> Hashtbl.replace retired node slot)
+        | _ -> ())
+      t;
+    let delivered = List.rev !delivered in
+    (* Every delivery matches a send by the sender with the same cluster
+       slot r. The echo confirming a delivery goes out in the slot after
+       the Values broadcast (steps are announce/values/echo triples), so
+       the send is at [slot - 1]. *)
+    List.iter
+      (fun (slot, sender, _receiver, r) ->
+        match Hashtbl.find_opt sent (slot - 1, sender) with
+        | Some r' when r' = r -> ()
+        | Some r' ->
+            report
+              (v "phase4-drain"
+                 "slot %d: delivery credits sender %d with cluster %d but it sent \
+                  cluster %d"
+                 slot sender r r')
+        | None ->
+            report
+              (v "phase4-drain" "slot %d: delivery from %d without a matching send" slot
+                 sender))
+      delivered;
+    (* Conservation: each node's value moves up at most once; exactly once
+       for every informed node when the run completed. *)
+    let delivered_count : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun (_, sender, _, _) ->
+        Hashtbl.replace delivered_count sender
+          (1 + Option.value ~default:0 (Hashtbl.find_opt delivered_count sender)))
+      delivered;
+    Hashtbl.iter
+      (fun sender count ->
+        if count > 1 then
+          report (v "phase4-drain" "node %d's value was delivered %d times" sender count))
+      delivered_count;
+    (if !complete then
+       List.iter
+         (fun node ->
+           if Option.value ~default:0 (Hashtbl.find_opt delivered_count node) = 0 then
+             report
+               (v "phase4-drain"
+                  "run declared complete but informed node %d's value was never \
+                   delivered"
+                  node))
+         !informed);
+    (* Monotone drain: per receiver, delivered cluster slots never increase
+       (clusters are consumed in descending r). *)
+    let last_r : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun (slot, _, receiver, r) ->
+        (match Hashtbl.find_opt last_r receiver with
+        | Some prev when r > prev ->
+            report
+              (v "phase4-drain"
+                 "receiver %d collected cluster %d after cluster %d (slot %d): drain \
+                  not monotone"
+                 receiver r prev slot)
+        | _ -> ());
+        Hashtbl.replace last_r receiver r)
+      delivered;
+    List.rev !violations
+
+  let all t = one_winner t @ informed_tree t @ phase4_drain t
+end

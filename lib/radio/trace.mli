@@ -1,23 +1,163 @@
-(** Aggregate execution statistics collected by the engines. Protocol-level
-    bookkeeping (who informed whom, cluster structure, …) belongs to the
-    protocols themselves; the trace records channel-level facts useful for
-    diagnosing contention. *)
+(** Slot-level execution tracing — the simulator's observability substrate.
 
-type t = {
-  mutable slots_run : int;
-  mutable broadcasts : int;  (** Broadcast attempts (excluding jammed ones). *)
-  mutable wins : int;  (** Slots×channels on which a winner was chosen. *)
-  mutable contended : int;
-      (** Slots×channels with two or more audible broadcasters. *)
-  mutable deliveries : int;  (** Listener receptions. *)
-  mutable jammed_actions : int;  (** Node actions absorbed by jamming. *)
-}
+    The paper's guarantees are statements about per-slot behaviour: one
+    uniformly random winner per contended channel (§2), parent-before-child
+    informing in the COGCAST distribution tree (§4), monotone drain of
+    cluster values in COGCOMP phase 4 (§5). A {!t} records those facts as a
+    stream of {!event}s that {!Engine.run}, {!Emulation.run} and the
+    protocol layers append to when (and only when) a trace is supplied —
+    with tracing disabled the engines pay a single [match] per would-be
+    event and allocate nothing.
 
-val create : unit -> t
+    The stream serializes to JSONL (one compact JSON object per line,
+    schema [crn-trace/1]) via {!write_jsonl}, and {!Check} replays a
+    recorded stream against the paper's invariants, turning any traced run
+    into a self-auditing execution. *)
 
-val reset : t -> unit
+(** {1 Aggregate counters}
 
-val contention_rate : t -> float
-(** Fraction of winning channels that had more than one broadcaster. *)
+    The always-on channel-level accounting the engines have carried since
+    the beginning; cheap enough to maintain unconditionally. *)
 
-val pp : Format.formatter -> t -> unit
+module Counters : sig
+  type t = {
+    mutable slots_run : int;
+    mutable broadcasts : int;  (** Broadcast attempts (excluding jammed ones). *)
+    mutable wins : int;  (** Slots×channels on which a winner was chosen. *)
+    mutable contended : int;
+        (** Slots×channels with two or more audible broadcasters. *)
+    mutable deliveries : int;  (** Listener receptions. *)
+    mutable jammed_actions : int;  (** Node actions absorbed by jamming. *)
+  }
+
+  val create : unit -> t
+  val reset : t -> unit
+
+  val contention_rate : t -> float
+  (** Fraction of winning channels that had more than one broadcaster. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** {1 Events} *)
+
+type event =
+  | Meta of { n : int; channels : int; c : int; source : int }
+      (** Run header emitted by the protocol layer: node count, spectrum
+          size [C], per-node channel count [c], and the broadcast source. *)
+  | Phase of { name : string }
+      (** Phase transition marker. Slot numbering restarts at 0 after each
+          marker (each protocol phase is its own engine run); {!Check}
+          segments the stream accordingly. Names in use: ["cogcast"],
+          ["cogcomp-phase2"], ["cogcomp-phase3"], ["cogcomp-phase4"],
+          ["cogcomp-done"]. *)
+  | Decide of { slot : int; node : int; channel : int; label : int; tx : bool }
+      (** An audible node tuned to [channel] (its local [label]) and either
+          broadcast ([tx]) or listened. Jammed and down nodes emit {!Jam} /
+          {!Down} instead. *)
+  | Win of { slot : int; channel : int; winner : int; contenders : int }
+      (** Contention resolution: [winner] beat [contenders - 1] others. *)
+  | Deliver of { slot : int; channel : int; sender : int; receiver : int }
+      (** A listener heard the slot's winning broadcast. *)
+  | Silent of { slot : int; node : int; channel : int }
+      (** A listener heard nothing (no audible broadcaster / failed
+          session). *)
+  | Jam of { slot : int; node : int; channel : int }
+      (** The node's action was absorbed by a jammer. *)
+  | Down of { slot : int; node : int }  (** The node was faulted out. *)
+  | Session of {
+      slot : int;
+      channel : int;
+      contenders : int;
+      rounds : int;
+      ok : bool;
+    }
+      (** One decay-backoff contention session of the raw-radio emulation:
+          raw rounds consumed and whether a winner was isolated. *)
+  | Informed of { slot : int; node : int; parent : int; label : int }
+      (** COGCAST: [node] first heard the message, from [parent], on its
+          local channel [label] — a distribution-tree edge. *)
+  | Mediator of { node : int }  (** COGCOMP phase 2 elected [node]. *)
+  | Sent_value of { slot : int; node : int; r : int }
+      (** COGCOMP phase 4: a sender broadcast its accumulated value ([r] is
+          its cluster slot). *)
+  | Value_delivered of { slot : int; sender : int; receiver : int; r : int }
+      (** COGCOMP phase 4: [receiver] accepted [sender]'s value and its
+          echo went out — the payload moved one edge up the tree. *)
+  | Retired of { slot : int; node : int }
+      (** COGCOMP phase 4: the node finished all its duties. *)
+
+(** {1 The trace buffer} *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** An empty trace; [capacity] presizes the buffer (default 256). *)
+
+val record : t -> event -> unit
+(** Append one event (amortized O(1)). *)
+
+val length : t -> int
+val get : t -> int -> event
+val iter : (event -> unit) -> t -> unit
+val fold : ('a -> event -> 'a) -> 'a -> t -> 'a
+val to_list : t -> event list
+val of_list : event list -> t
+(** Rebuild a trace from events — the replay path used by tests to check
+    that {!Check} rejects corrupted histories. *)
+
+val clear : t -> unit
+
+(** {1 JSONL serialization} *)
+
+val json_of_event : event -> Crn_stats.Json.t
+(** One compact object per event; the ["ev"] member names the
+    constructor. *)
+
+val event_of_json : Crn_stats.Json.t -> event option
+(** Inverse of {!json_of_event}; [None] on schema mismatch. *)
+
+val to_jsonl : t -> string
+(** All events, one compact JSON object per line, each line terminated by
+    a newline. *)
+
+val write_jsonl : path:string -> t -> unit
+
+val of_jsonl : string -> (t, string) result
+(** Parse a JSONL dump back into a trace; fails on the first line that is
+    not valid JSON or not a known event. *)
+
+(** {1 Invariant checking} *)
+
+module Check : sig
+  type violation = { invariant : string; detail : string }
+
+  val pp_violation : Format.formatter -> violation -> unit
+
+  val one_winner : t -> violation list
+  (** §2 contention semantics, per phase segment: at most one {!Win} per
+      (slot, channel); the winner is one of that slot's broadcasters on the
+      channel; the recorded contender count matches the broadcaster count;
+      every channel with a broadcaster resolves to a win unless a failed
+      emulation {!Session} explains the loss; every {!Deliver} names the
+      winning sender and a node that was listening there. *)
+
+  val informed_tree : t -> violation list
+  (** §4 distribution tree, from {!Informed} events: nodes are informed at
+      most once and never the source; every parent is the source or was
+      itself informed in a strictly earlier slot (informer precedes
+      informee); parent pointers are in range and acyclic. Requires a
+      {!Meta} header when any {!Informed} event is present. *)
+
+  val phase4_drain : t -> violation list
+  (** §5 phase 4, over the segment after [Phase "cogcomp-phase4"]: each
+      delivered value was sent in the same slot by its sender with the same
+      cluster slot [r]; each node's value is delivered at most once and
+      each node retires at most once (payload conservation); per receiver,
+      delivered cluster slots are non-increasing (monotone drain); and when
+      the run declared completion ([Phase "cogcomp-done"]), every informed
+      node's value was delivered exactly once. *)
+
+  val all : t -> violation list
+  (** The concatenation of every checker, in the order above. *)
+end

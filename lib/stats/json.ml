@@ -155,3 +155,227 @@ let of_summary (s : Summary.t) =
 let member key = function
   | Obj kvs -> List.assoc_opt key kvs
   | _ -> None
+
+(* ---- parsing ---------------------------------------------------------- *)
+
+(* A recursive-descent RFC 8259 parser, the inverse of the serializer: it
+   exists so traces and bench reports written by this module can be read
+   back and round-trip-tested without an external dependency. Numbers
+   without '.', 'e' or 'E' parse as [Int]; escape sequences including
+   [\uXXXX] (and surrogate pairs) decode to UTF-8 bytes. *)
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail "offset %d: expected %C, found %C" !pos c c'
+    | None -> fail "offset %d: expected %C, found end of input" !pos c
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail "offset %d: invalid literal" !pos
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "offset %d: truncated \\u escape" !pos;
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match s.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | c -> fail "offset %d: bad hex digit %C in \\u escape" !pos c
+      in
+      v := (!v * 16) + d;
+      advance ()
+    done;
+    !v
+  in
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "offset %d: unterminated string" !pos
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | None -> fail "offset %d: dangling backslash" !pos
+          | Some c ->
+              advance ();
+              (match c with
+              | '"' -> Buffer.add_char buf '"'
+              | '\\' -> Buffer.add_char buf '\\'
+              | '/' -> Buffer.add_char buf '/'
+              | 'b' -> Buffer.add_char buf '\b'
+              | 'f' -> Buffer.add_char buf '\012'
+              | 'n' -> Buffer.add_char buf '\n'
+              | 'r' -> Buffer.add_char buf '\r'
+              | 't' -> Buffer.add_char buf '\t'
+              | 'u' ->
+                  let cp = hex4 () in
+                  if cp >= 0xD800 && cp <= 0xDBFF then begin
+                    (* High surrogate: a low surrogate must follow. *)
+                    if
+                      !pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+                    then begin
+                      pos := !pos + 2;
+                      let lo = hex4 () in
+                      if lo < 0xDC00 || lo > 0xDFFF then
+                        fail "offset %d: invalid low surrogate" !pos;
+                      add_utf8 buf
+                        (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+                    end
+                    else fail "offset %d: lone high surrogate" !pos
+                  end
+                  else if cp >= 0xDC00 && cp <= 0xDFFF then
+                    fail "offset %d: lone low surrogate" !pos
+                  else add_utf8 buf cp
+              | c -> fail "offset %d: unknown escape \\%C" !pos c));
+          go ()
+      | Some c when Char.code c < 0x20 ->
+          fail "offset %d: raw control character in string" !pos
+      | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+        advance ()
+      done;
+      if !pos = d0 then fail "offset %d: expected digits" !pos
+    in
+    let int_start = !pos in
+    digits ();
+    (* RFC 8259: a leading zero may only stand alone ("0", "0.5"). *)
+    if !pos - int_start > 1 && s.[int_start] = '0' then
+      fail "offset %d: leading zero in number" int_start;
+    let is_float = ref false in
+    if peek () = Some '.' then begin
+      is_float := true;
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        is_float := true;
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ());
+    let lit = String.sub s start (!pos - start) in
+    if !is_float then Float (float_of_string lit)
+    else
+      match int_of_string_opt lit with
+      | Some i -> Int i
+      | None -> Float (float_of_string lit)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "offset %d: unexpected end of input" !pos
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let pair () =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (key, v)
+          in
+          let members = ref [ pair () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            members := pair () :: !members;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !members)
+        end
+    | Some c -> fail "offset %d: unexpected character %C" !pos c
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "offset %d: trailing garbage" !pos;
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+  | exception _ -> Error "malformed JSON"

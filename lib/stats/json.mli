@@ -49,3 +49,11 @@ val of_summary : Summary.t -> t
 val member : string -> t -> t option
 (** [member key v] is the value bound to [key] when [v] is an [Obj]
     containing it. *)
+
+val of_string : string -> (t, string) result
+(** Parse one RFC 8259 JSON document (the inverse of {!to_string}): all
+    escape sequences including [\uXXXX] and surrogate pairs decode to
+    UTF-8, numbers without a fraction or exponent become [Int], duplicate
+    object keys are kept in order. Errors carry the byte offset. Values
+    written by {!to_string} round-trip exactly, [Float] modulo the usual
+    non-finite-to-[Null] mapping. *)

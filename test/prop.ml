@@ -1,0 +1,80 @@
+(* A minimal property-based testing harness with greedy shrinking, shared by
+   the test executables.
+
+   A property returns [None] on success and [Some reason] on failure. When a
+   random sample fails, the harness walks the generator's shrink candidates
+   greedily — the first candidate that still fails becomes the new
+   counterexample — until no candidate fails or the step budget runs out,
+   then reports the minimal counterexample through Alcotest.
+
+   The base seed honours CRN_TEST_SEED so CI can re-run the whole suite
+   under a different randomness schedule without a rebuild. *)
+
+module Rng = Crn_prng.Rng
+
+type 'a gen = {
+  sample : Rng.t -> 'a;
+  shrink : 'a -> 'a Seq.t;
+  print : 'a -> string;
+}
+
+let env_seed () =
+  match Option.bind (Sys.getenv_opt "CRN_TEST_SEED") int_of_string_opt with
+  | Some v -> v
+  | None -> 1
+
+(* Integers in [lo, hi], shrinking toward [lo] by binary chop. *)
+let int_range lo hi =
+  if lo > hi then invalid_arg "Prop.int_range: empty range";
+  {
+    sample = (fun rng -> lo + Rng.int rng (hi - lo + 1));
+    shrink =
+      (fun x ->
+        let rec steps d () =
+          if d <= 0 then Seq.Nil else Seq.Cons (x - d, steps (d / 2))
+        in
+        if x <= lo then Seq.empty else steps (x - lo));
+    print = string_of_int;
+  }
+
+(* Sublists of [xs] obtained by removing one element — the standard list
+   shrinker for "fewer elements still fail" arguments. *)
+let shrink_list_drop1 xs =
+  let n = List.length xs in
+  Seq.init n (fun i -> List.filteri (fun j _ -> j <> i) xs)
+
+let max_shrink_steps = 1_000
+
+(* Greedy minimization: from a failing [x], repeatedly move to the first
+   shrink candidate that still fails. Returns the minimal counterexample,
+   its failure reason, and the number of shrink steps taken. *)
+let minimize gen prop x reason =
+  let shrunk = ref x and why = ref reason in
+  let steps = ref 0 and improving = ref true in
+  while !improving && !steps < max_shrink_steps do
+    match
+      Seq.find_map
+        (fun y -> match prop y with Some m -> Some (y, m) | None -> None)
+        (gen.shrink !shrunk)
+    with
+    | Some (y, m) ->
+        shrunk := y;
+        why := m;
+        incr steps
+    | None -> improving := false
+  done;
+  (!shrunk, !why, !steps)
+
+let check ?(count = 200) ?seed ~name gen prop =
+  let seed = match seed with Some s -> s | None -> env_seed () in
+  let rng = Rng.create seed in
+  for i = 1 to count do
+    let x = gen.sample rng in
+    match prop x with
+    | None -> ()
+    | Some reason ->
+        let shrunk, why, steps = minimize gen prop x reason in
+        Alcotest.failf
+          "%s: falsified on sample %d/%d (seed %d)\noriginal: %s\nshrunk (%d steps): %s\nreason: %s"
+          name i count seed (gen.print x) steps (gen.print shrunk) why
+  done

@@ -1,0 +1,237 @@
+(* Property-based tests (with shrinking, via the Prop harness) for the two
+   combinatorial foundations everything else leans on:
+
+   - Topology generators must deliver their advertised minimum pairwise
+     overlap k and a well-formed local-to-global labeling, for every
+     topology kind over random (n, c, k) instances.
+   - Bitset must satisfy the set-algebra laws its users (assignment
+     validation, overlap counting) assume. *)
+
+module Rng = Crn_prng.Rng
+module Topology = Crn_channel.Topology
+module Assignment = Crn_channel.Assignment
+module Bitset = Crn_channel.Bitset
+
+(* --- topology instances ------------------------------------------------ *)
+
+type topo_case = { kind : Topology.kind; n : int; c : int; k : int; tseed : int }
+
+let topo_gen =
+  let n_gen = Prop.int_range 1 40 in
+  let c_gen = Prop.int_range 1 12 in
+  let seed_gen = Prop.int_range 0 1_000_000 in
+  {
+    Prop.sample =
+      (fun rng ->
+        let kind = Rng.pick_list rng Topology.all_kinds in
+        let c = c_gen.Prop.sample rng in
+        {
+          kind;
+          n = n_gen.Prop.sample rng;
+          c;
+          k = 1 + Rng.int rng c;
+          tseed = seed_gen.Prop.sample rng;
+        });
+    Prop.shrink =
+      (fun t ->
+        (* Shrink each numeric field independently; keep k <= c by clamping
+           and the kind and seed fixed (they are part of the reproduction
+           recipe, not of the size). *)
+        Seq.append
+          (Seq.map (fun n -> { t with n }) (n_gen.Prop.shrink t.n))
+          (Seq.append
+             (Seq.map
+                (fun c -> { t with c; k = min t.k c })
+                (c_gen.Prop.shrink t.c))
+             (Seq.map (fun k -> { t with k })
+                ((Prop.int_range 1 t.c).Prop.shrink t.k))));
+    Prop.print =
+      (fun t ->
+        Printf.sprintf "{kind=%s; n=%d; c=%d; k=%d; seed=%d}"
+          (Topology.kind_name t.kind) t.n t.c t.k t.tseed);
+  }
+
+let prop_topology_overlap t =
+  let rng = Rng.create t.tseed in
+  let a = Topology.generate t.kind rng { Topology.n = t.n; c = t.c; k = t.k } in
+  if Assignment.num_nodes a <> t.n then
+    Some (Printf.sprintf "num_nodes = %d" (Assignment.num_nodes a))
+  else if Assignment.channels_per_node a <> t.c then
+    Some (Printf.sprintf "channels_per_node = %d" (Assignment.channels_per_node a))
+  else if t.n >= 2 && Assignment.min_pairwise_overlap a < t.k then
+    Some
+      (Printf.sprintf "min pairwise overlap %d < k" (Assignment.min_pairwise_overlap a))
+  else None
+
+let prop_topology_labels t =
+  let rng = Rng.create t.tseed in
+  let a = Topology.generate t.kind rng { Topology.n = t.n; c = t.c; k = t.k } in
+  let bad = ref None in
+  let cap = Assignment.num_channels a in
+  for v = 0 to t.n - 1 do
+    let seen = Hashtbl.create t.c in
+    for label = 0 to t.c - 1 do
+      let g = Assignment.global_of_local a ~node:v ~label in
+      if g < 0 || g >= cap then
+        bad := Some (Printf.sprintf "node %d label %d -> channel %d out of range" v label g)
+      else if Hashtbl.mem seen g then
+        bad := Some (Printf.sprintf "node %d maps two labels to channel %d" v g)
+      else begin
+        Hashtbl.add seen g ();
+        match Assignment.local_of_global a ~node:v ~channel:g with
+        | Some l when l = label -> ()
+        | Some l ->
+            bad :=
+              Some
+                (Printf.sprintf "node %d: local_of_global inverts label %d to %d" v
+                   label l)
+        | None ->
+            bad :=
+              Some (Printf.sprintf "node %d: channel %d not found by local_of_global" v g)
+      end
+    done
+  done;
+  !bad
+
+(* --- bitset instances --------------------------------------------------- *)
+
+type bitset_case = { cap : int; xs : int list; ys : int list }
+
+let bitset_gen =
+  let cap_gen = Prop.int_range 1 200 in
+  let subset rng cap =
+    (* Expected density 1/4, covering empty through dense sets across the
+       word boundary at 62 bits. *)
+    List.filter (fun _ -> Rng.int rng 4 = 0) (List.init cap Fun.id)
+  in
+  {
+    Prop.sample =
+      (fun rng ->
+        let cap = cap_gen.Prop.sample rng in
+        { cap; xs = subset rng cap; ys = subset rng cap });
+    Prop.shrink =
+      (fun t ->
+        Seq.append
+          (Seq.map (fun xs -> { t with xs }) (Prop.shrink_list_drop1 t.xs))
+          (Seq.map (fun ys -> { t with ys }) (Prop.shrink_list_drop1 t.ys)));
+    Prop.print =
+      (fun t ->
+        Printf.sprintf "{cap=%d; xs=[%s]; ys=[%s]}" t.cap
+          (String.concat ";" (List.map string_of_int t.xs))
+          (String.concat ";" (List.map string_of_int t.ys)));
+  }
+
+let prop_bitset_laws t =
+  let a = Bitset.of_array t.cap (Array.of_list t.xs) in
+  let b = Bitset.of_array t.cap (Array.of_list t.ys) in
+  let module S = Set.Make (Int) in
+  let sa = S.of_list t.xs and sb = S.of_list t.ys in
+  let expect name got want =
+    if got <> want then Some (Printf.sprintf "%s: got %d, want %d" name got want)
+    else None
+  in
+  let checks =
+    [
+      (fun () -> expect "cardinal a" (Bitset.cardinal a) (S.cardinal sa));
+      (fun () ->
+        expect "inter_cardinal" (Bitset.inter_cardinal a b)
+          (S.cardinal (S.inter sa sb)));
+      (fun () ->
+        expect "cardinal (inter)" (Bitset.cardinal (Bitset.inter a b))
+          (S.cardinal (S.inter sa sb)));
+      (fun () ->
+        expect "cardinal (union)" (Bitset.cardinal (Bitset.union a b))
+          (S.cardinal (S.union sa sb)));
+      (fun () ->
+        expect "cardinal (diff)" (Bitset.cardinal (Bitset.diff a b))
+          (S.cardinal (S.diff sa sb)));
+      (fun () ->
+        if Bitset.elements (Bitset.union a b) <> S.elements (S.union sa sb) then
+          Some "union elements mismatch"
+        else None);
+      (fun () ->
+        if Bitset.elements (Bitset.diff a b) <> S.elements (S.diff sa sb) then
+          Some "diff elements mismatch"
+        else None);
+      (fun () ->
+        if not (Bitset.equal (Bitset.inter a b) (Bitset.inter b a)) then
+          Some "inter not commutative"
+        else None);
+      (fun () ->
+        (* De Morgan on the carried sets: a \ (a \ b) = a ∩ b. *)
+        if not (Bitset.equal (Bitset.diff a (Bitset.diff a b)) (Bitset.inter a b))
+        then Some "a \\ (a \\ b) <> a ∩ b"
+        else None);
+      (fun () ->
+        if Bitset.is_empty a <> S.is_empty sa then Some "is_empty mismatch" else None);
+      (fun () ->
+        if Array.to_list (Bitset.to_array a) <> S.elements sa then
+          Some "to_array not sorted members"
+        else None);
+      (fun () ->
+        (* mem agrees pointwise over the whole capacity. *)
+        let bad = ref None in
+        for i = 0 to t.cap - 1 do
+          if Bitset.mem a i <> S.mem i sa then
+            bad := Some (Printf.sprintf "mem %d mismatch" i)
+        done;
+        !bad);
+    ]
+  in
+  List.fold_left
+    (fun acc check -> match acc with Some _ -> acc | None -> check ())
+    None checks
+
+let prop_bitset_mutation t =
+  (* set/clear round-trip on a copy; the original must be unaffected. *)
+  let a = Bitset.of_array t.cap (Array.of_list t.xs) in
+  let before = Bitset.elements a in
+  let c = Bitset.copy a in
+  List.iter (fun i -> Bitset.clear c i) t.xs;
+  if not (Bitset.is_empty c) then Some "clearing every member left residue"
+  else if Bitset.elements a <> before then Some "copy shares state with original"
+  else None
+
+(* --- alcotest wiring ---------------------------------------------------- *)
+
+let test_topology_overlap () =
+  Prop.check ~count:300 ~name:"topology overlap >= k" topo_gen prop_topology_overlap
+
+let test_topology_labels () =
+  Prop.check ~count:150 ~name:"assignment labeling is injective and invertible"
+    topo_gen prop_topology_labels
+
+let test_bitset_laws () =
+  Prop.check ~count:400 ~name:"bitset set-algebra laws" bitset_gen prop_bitset_laws
+
+let test_bitset_mutation () =
+  Prop.check ~count:200 ~name:"bitset copy/clear isolation" bitset_gen
+    prop_bitset_mutation
+
+let test_shrinker_minimizes () =
+  (* The harness itself: a property failing for all n >= 7 must shrink any
+     failing sample down to exactly the boundary 7. *)
+  let gen = Prop.int_range 0 1000 in
+  let prop n = if n >= 7 then Some "n >= 7" else None in
+  List.iter
+    (fun start ->
+      let shrunk, _, _ = Prop.minimize gen prop start "n >= 7" in
+      Alcotest.(check int) (Printf.sprintf "minimized from %d" start) 7 shrunk)
+    [ 7; 8; 100; 873; 1000 ]
+
+let () =
+  Alcotest.run "prop"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "overlap >= k" `Quick test_topology_overlap;
+          Alcotest.test_case "labels invertible" `Quick test_topology_labels;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "set-algebra laws" `Quick test_bitset_laws;
+          Alcotest.test_case "copy/clear isolation" `Quick test_bitset_mutation;
+        ] );
+      ( "harness",
+        [ Alcotest.test_case "shrinker minimizes" `Quick test_shrinker_minimizes ] );
+    ]

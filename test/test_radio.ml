@@ -79,7 +79,7 @@ let test_contention_one_winner () =
       check_int "listener heard winner" winner sender;
       Alcotest.(check string) "right message" expected_msg msg
   | _ -> Alcotest.fail "listener should hear");
-  check_int "trace contended" 1 outcome.Engine.trace.Crn_radio.Trace.contended
+  check_int "trace contended" 1 outcome.Engine.counters.Crn_radio.Trace.Counters.contended
 
 let test_winner_uniform () =
   (* Over many slots, each of two contenders should win about half. *)
@@ -212,7 +212,7 @@ let test_engine_jamming_absorbs () =
   in
   check "broadcaster jammed" true (List.for_all (( = ) Action.Jammed) !log0);
   check "listener jammed" true (List.for_all (( = ) Action.Jammed) !log1);
-  check_int "trace jammed actions" 4 outcome.Engine.trace.Crn_radio.Trace.jammed_actions
+  check_int "trace jammed actions" 4 outcome.Engine.counters.Crn_radio.Trace.Counters.jammed_actions
 
 (* --- Raw radio ----------------------------------------------------------- *)
 
@@ -540,8 +540,8 @@ let prop_trace_matches_observed =
       let outcome =
         Engine.run ~availability:(one_channel n) ~rng ~nodes ~max_slots:slots ()
       in
-      outcome.Engine.trace.Crn_radio.Trace.deliveries = !heard
-      && outcome.Engine.trace.Crn_radio.Trace.wins = !won)
+      outcome.Engine.counters.Crn_radio.Trace.Counters.deliveries = !heard
+      && outcome.Engine.counters.Crn_radio.Trace.Counters.wins = !won)
 
 let prop_emulation_one_feedback_per_slot =
   QCheck.Test.make ~name:"emulation: one feedback per node per slot" ~count:60

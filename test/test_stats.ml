@@ -408,6 +408,109 @@ let test_json_write_is_parseable () =
       let got = parse_json (String.trim content) in
       Alcotest.(check bool) "file roundtrip" true (got = expected_after_roundtrip))
 
+(* --- Json.of_string ----------------------------------------------------- *)
+
+let ok_of_string s =
+  match Json.of_string s with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "of_string %S: %s" s msg
+
+let test_of_string_roundtrip () =
+  List.iter
+    (fun form ->
+      let got = ok_of_string (form roundtrip_value) in
+      Alcotest.(check bool) "of_string roundtrip" true (got = expected_after_roundtrip))
+    [ Json.to_string ~compact:true; Json.to_string ~compact:false ]
+
+let test_of_string_adversarial_strings () =
+  (* Every control character, the JSON specials, DEL and multi-byte UTF-8
+     must survive escape + parse byte-exactly. *)
+  let adversarial =
+    List.init 0x20 (fun i -> Printf.sprintf "a%cb" (Char.chr i))
+    @ [
+        "";
+        "\"";
+        "\\";
+        "\\\"";
+        "a\"b\\c\nd\te";
+        "\x7f";
+        "\xc3\xa9";  (* é *)
+        "\xe2\x82\xac";  (* € *)
+        "\xf0\x9f\x93\xa1";  (* a 4-byte emoji: needs a surrogate pair as \u *)
+        String.init 64 Char.chr;
+      ]
+  in
+  List.iter
+    (fun s ->
+      match ok_of_string (Json.escape s) with
+      | Json.String s' -> Alcotest.(check string) "string survives" s s'
+      | _ -> Alcotest.failf "escape %S did not parse back to a string" s)
+    adversarial
+
+let test_of_string_escapes () =
+  (* Decoding of explicit escape sequences, including surrogate pairs. *)
+  let cases =
+    [
+      ({|"A"|}, "A");
+      ({|"é"|}, "\xc3\xa9");
+      ({|"€"|}, "\xe2\x82\xac");
+      ({|"😀"|}, "\xf0\x9f\x98\x80");
+      ({|"\n\r\t\b\f\/\\\""|}, "\n\r\t\b\012/\\\"");
+      ({|"\u0000"|}, "\x00");
+    ]
+  in
+  List.iter
+    (fun (input, want) ->
+      match ok_of_string input with
+      | Json.String got -> Alcotest.(check string) input want got
+      | _ -> Alcotest.failf "%s did not parse to a string" input)
+    cases
+
+let test_of_string_numbers () =
+  Alcotest.(check bool) "int" true (ok_of_string "42" = Json.Int 42);
+  Alcotest.(check bool) "negative int" true (ok_of_string "-7" = Json.Int (-7));
+  Alcotest.(check bool) "float" true (ok_of_string "1.5" = Json.Float 1.5);
+  Alcotest.(check bool) "exponent is float" true (ok_of_string "1e3" = Json.Float 1000.0);
+  Alcotest.(check bool)
+    "negative exponent" true
+    (ok_of_string "2.5e-1" = Json.Float 0.25)
+
+let test_of_string_rejects () =
+  let rejected =
+    [
+      "";
+      "{";
+      "[1,]";
+      "{\"a\":}";
+      "\"unterminated";
+      "\"\x01\"";  (* raw control char inside a string *)
+      {|"\ud83d"|};  (* lone high surrogate *)
+      {|"\ude00"|};  (* lone low surrogate *)
+      {|"\ud83dx"|};  (* high surrogate not followed by an escape *)
+      "01";  (* leading zero *)
+      "1 2";  (* trailing garbage *)
+      "nul";
+      "+1";
+      "'single'";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok v ->
+          Alcotest.failf "of_string %S unexpectedly parsed: %s" s
+            (Json.to_string ~compact:true v)
+      | Error _ -> ())
+    rejected
+
+let test_of_string_nested () =
+  (* Duplicate keys kept in order; deep nesting; insignificant whitespace. *)
+  match ok_of_string " { \"a\" : [ 1 , { \"a\" : null } ] , \"a\" : true } " with
+  | Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Obj [ ("a", Json.Null) ] ]);
+               ("a", Json.Bool true) ] ->
+      ()
+  | v -> Alcotest.failf "unexpected parse: %s" (Json.to_string ~compact:true v)
+
 (* --- Series ------------------------------------------------------------ *)
 
 let test_series_exponent () =
@@ -525,6 +628,13 @@ let () =
           Alcotest.test_case "roundtrip compact" `Quick test_json_roundtrip_compact;
           Alcotest.test_case "roundtrip pretty" `Quick test_json_roundtrip_pretty;
           Alcotest.test_case "write is parseable" `Quick test_json_write_is_parseable;
+          Alcotest.test_case "of_string roundtrip" `Quick test_of_string_roundtrip;
+          Alcotest.test_case "of_string adversarial strings" `Quick
+            test_of_string_adversarial_strings;
+          Alcotest.test_case "of_string escapes" `Quick test_of_string_escapes;
+          Alcotest.test_case "of_string numbers" `Quick test_of_string_numbers;
+          Alcotest.test_case "of_string rejects" `Quick test_of_string_rejects;
+          Alcotest.test_case "of_string nested" `Quick test_of_string_nested;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
