@@ -18,8 +18,13 @@ module Pool = Crn_exec.Pool
 module Trials = Crn_exec.Trials
 module Topology = Crn_channel.Topology
 module Summary = Crn_stats.Summary
+module Json = Crn_stats.Json
+module Faults = Crn_radio.Faults
+module Jammer = Crn_radio.Jammer
+module Trace = Crn_radio.Trace
 module Cogcast = Crn_core.Cogcast
 module Cogcomp = Crn_core.Cogcomp
+module Cogcomp_robust = Crn_core.Cogcomp_robust
 module Aggregate = Crn_core.Aggregate
 module Complexity = Crn_core.Complexity
 
@@ -78,6 +83,119 @@ let check_params n c k =
   if n < 1 then `Error (false, "n must be at least 1")
   else if k < 1 || k > c then `Error (false, "need 1 <= k <= c")
   else `Ok ()
+
+(* ---- fault schedule mini-language (--faults / --fault-seed) ---- *)
+
+(* '+'-separated atoms; randomized atoms (naps, churn) draw their coins
+   from --fault-seed, so a spec plus a seed is a complete, reproducible
+   schedule. [spare] atoms are collected and applied last so they exempt
+   the node from every other atom regardless of order. *)
+type fault_spec = { text : string; build : seed:int64 -> Faults.t }
+
+let fault_usage =
+  "expected '+'-separated atoms: none | crash:NODE:SLOT | \
+   restart:NODE:SLOT:DUR | naps:RATE | churn:MEAN_UP:MEAN_DOWN | spare:NODE \
+   (e.g. \"naps:0.05+crash:3:40+spare:0\")"
+
+let parse_fault_atom atom =
+  let fail fmt =
+    Printf.ksprintf (fun m -> Error (Printf.sprintf "%s (%s)" m fault_usage)) fmt
+  in
+  let int_field name s f =
+    match int_of_string_opt s with
+    | Some v when v >= 0 -> f v
+    | Some v -> fail "%s in %S must be >= 0, got %d" name atom v
+    | None -> fail "%s in %S is not an integer: %S" name atom s
+  in
+  match String.split_on_char ':' atom with
+  | [ "none" ] -> Ok `None
+  | [ "crash"; node; slot ] ->
+      int_field "NODE" node (fun node ->
+          int_field "SLOT" slot (fun from_slot ->
+              Ok (`Schedule (fun ~seed:_ -> Faults.crash ~node ~from_slot))))
+  | [ "restart"; node; slot; dur ] ->
+      int_field "NODE" node (fun node ->
+          int_field "SLOT" slot (fun from_slot ->
+              int_field "DUR" dur (fun down_for ->
+                  if down_for < 1 then fail "DUR in %S must be >= 1" atom
+                  else
+                    Ok
+                      (`Schedule
+                        (fun ~seed:_ ->
+                          Faults.crash_restart ~node ~from_slot ~down_for)))))
+  | [ "naps"; rate ] -> (
+      match float_of_string_opt rate with
+      | Some r when r >= 0.0 && r < 1.0 ->
+          Ok (`Schedule (fun ~seed -> Faults.random_naps ~seed ~rate:r))
+      | Some r -> fail "RATE in %S must be in [0, 1), got %g" atom r
+      | None -> fail "RATE in %S is not a number: %S" atom rate)
+  | [ "churn"; up; down ] -> (
+      match (float_of_string_opt up, float_of_string_opt down) with
+      | Some mean_up, Some mean_down when mean_up >= 1.0 && mean_down >= 1.0 ->
+          Ok (`Schedule (fun ~seed -> Faults.bernoulli_churn ~seed ~mean_up ~mean_down))
+      | Some _, Some _ ->
+          fail "MEAN_UP and MEAN_DOWN in %S must both be >= 1 (slots)" atom
+      | _ -> fail "MEAN_UP:MEAN_DOWN in %S must be numbers" atom)
+  | [ "spare"; node ] -> int_field "NODE" node (fun node -> Ok (`Spare node))
+  | _ -> fail "unknown fault atom %S" atom
+
+let parse_fault_spec s =
+  let atoms = String.split_on_char '+' s |> List.map String.trim in
+  let rec go schedules spares = function
+    | [] ->
+        let build ~seed =
+          let base =
+            match schedules with
+            | [] -> Faults.none
+            | first :: rest ->
+                List.fold_left
+                  (fun acc b -> Faults.union acc (b ~seed))
+                  (first ~seed) rest
+          in
+          List.fold_left (fun acc node -> Faults.spare acc ~node) base spares
+        in
+        Ok { text = s; build }
+    | atom :: rest -> (
+        match parse_fault_atom atom with
+        | Error _ as e -> e
+        | Ok `None -> go schedules spares rest
+        | Ok (`Schedule b) -> go (b :: schedules) spares rest
+        | Ok (`Spare node) -> go schedules (node :: spares) rest)
+  in
+  go [] [] atoms
+
+let fault_spec_conv =
+  let parse s =
+    match parse_fault_spec s with Ok v -> Ok v | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun fmt spec -> Format.pp_print_string fmt spec.text)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some fault_spec_conv) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Fault schedule: '+'-separated atoms of $(b,none), \
+           $(b,crash:NODE:SLOT), $(b,restart:NODE:SLOT:DUR), $(b,naps:RATE), \
+           $(b,churn:MEAN_UP:MEAN_DOWN) and $(b,spare:NODE) (e.g. \
+           \"naps:0.05+spare:0\"). Randomized atoms draw from --fault-seed. \
+           A faulted source usually makes broadcast trivially incomplete — \
+           spare it unless that is the point.")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed for the randomized fault atoms (naps, churn), independent of \
+           --seed so the same schedule can be replayed against different \
+           protocol randomness.")
+
+let build_faults faults_spec fault_seed =
+  Option.map
+    (fun spec -> spec.build ~seed:(Int64.of_int fault_seed))
+    faults_spec
 
 (* ---- observability (--trace / --metrics / --check) ---- *)
 
@@ -152,15 +270,17 @@ let observe ~trace_path ~metrics_path ~check f =
 (* ---- broadcast ---- *)
 
 let broadcast_cmd =
-  let run n c k topology seed trials jobs trace_path metrics_path check =
+  let run n c k topology seed trials jobs faults_spec fault_seed trace_path
+      metrics_path check =
     match check_params n c k with
     | `Error _ as e -> e
     | `Ok () ->
         let spec = { Topology.n; c; k } in
+        let faults = build_faults faults_spec fault_seed in
         let samples =
           Trials.run_jobs ~jobs ~trials ~seed (fun rng ->
               let assignment = Topology.generate topology rng spec in
-              let r = Cogcast.run_static ~source:0 ~assignment ~k ~rng () in
+              let r = Cogcast.run_static ?faults ~source:0 ~assignment ~k ~rng () in
               match r.Cogcast.completed_at with
               | Some s -> float_of_int s
               | None -> float_of_int r.Cogcast.slots_run)
@@ -168,6 +288,9 @@ let broadcast_cmd =
         let s = Summary.of_floats samples in
         Printf.printf "COGCAST  n=%d c=%d k=%d topology=%s trials=%d\n" n c k
           (Topology.kind_name topology) trials;
+        (match faults with
+        | Some f -> Printf.printf "  faults: %s (seed %d)\n" (Faults.to_string f) fault_seed
+        | None -> ());
         Printf.printf "  completion slots: %s\n" (Summary.to_string s);
         Printf.printf "  Theorem 4 shape (unit constant): %.1f; budget used: %d\n"
           (Complexity.cogcast ~factor:1.0 ~n ~c ~k ())
@@ -175,42 +298,94 @@ let broadcast_cmd =
         observe ~trace_path ~metrics_path ~check (fun ~trace ->
             let rng = Rng.create seed in
             let assignment = Topology.generate topology rng spec in
-            ignore (Cogcast.run_static ~trace ~source:0 ~assignment ~k ~rng ()))
+            ignore (Cogcast.run_static ?faults ~trace ~source:0 ~assignment ~k ~rng ()))
   in
   let term =
     Term.(
       ret
         (const run $ n_arg $ c_arg $ k_arg $ topology_arg $ seed_arg $ trials_arg
-       $ jobs_arg $ trace_arg $ metrics_arg $ check_arg))
+       $ jobs_arg $ faults_arg $ fault_seed_arg $ trace_arg $ metrics_arg
+       $ check_arg))
   in
   Cmd.v (Cmd.info "broadcast" ~doc:"Run COGCAST local broadcast (Theorem 4).") term
 
 (* ---- aggregate ---- *)
 
 let aggregate_cmd =
-  let run n c k topology seed trials jobs baseline trace_path metrics_path check =
+  let run n c k topology seed trials jobs baseline robust faults_spec fault_seed
+      trace_path metrics_path check =
     match check_params n c k with
     | `Error _ as e -> e
     | `Ok () ->
         let spec = { Topology.n; c; k } in
+        let faults = build_faults faults_spec fault_seed in
         Pool.with_pool ~jobs (fun pool ->
-            let runs =
-              Trials.run ~pool ~trials ~seed (fun rng ->
-                  let assignment = Topology.generate topology rng spec in
-                  let values = Array.init n (fun v -> v) in
-                  let r =
-                    Cogcomp.run ~monoid:Aggregate.sum ~values ~source:0 ~assignment
-                      ~k ~rng ()
-                  in
-                  ( float_of_int r.Cogcomp.total_slots,
-                    r.Cogcomp.root_value = Some (n * (n - 1) / 2) ))
+            let header () =
+              Printf.printf "COGCOMP%s  n=%d c=%d k=%d topology=%s trials=%d\n"
+                (if robust then " (robust)" else "")
+                n c k
+                (Topology.kind_name topology) trials;
+              match faults with
+              | Some f ->
+                  Printf.printf "  faults: %s (seed %d)\n" (Faults.to_string f)
+                    fault_seed
+              | None -> ()
             in
-            let totals = Array.map fst runs in
-            let ok = Array.for_all snd runs in
-            Printf.printf "COGCOMP  n=%d c=%d k=%d topology=%s trials=%d\n" n c k
-              (Topology.kind_name topology) trials;
-            Printf.printf "  total slots: %s\n" (Summary.to_string (Summary.of_floats totals));
-            Printf.printf "  all runs aggregated the exact sum: %b\n" ok;
+            if robust then begin
+              let runs =
+                Trials.run ~pool ~trials ~seed (fun rng ->
+                    let assignment = Topology.generate topology rng spec in
+                    let values = Array.init n (fun v -> v) in
+                    let r =
+                      Cogcomp_robust.run ?faults ~monoid:Aggregate.sum ~values
+                        ~source:0 ~assignment ~k ~rng ()
+                    in
+                    ( float_of_int r.Cogcomp_robust.total_slots,
+                      ( r.Cogcomp_robust.complete,
+                        r.Cogcomp_robust.coverage,
+                        List.length r.Cogcomp_robust.lost,
+                        r.Cogcomp_robust.reelections,
+                        r.Cogcomp_robust.retries ) ))
+              in
+              header ();
+              let totals = Array.map fst runs in
+              Printf.printf "  total slots: %s\n"
+                (Summary.to_string (Summary.of_floats totals));
+              let completions =
+                Array.fold_left
+                  (fun acc (_, (c, _, _, _, _)) -> if c then acc + 1 else acc)
+                  0 runs
+              in
+              let sum f = Array.fold_left (fun acc (_, t) -> acc + f t) 0 runs in
+              Printf.printf "  complete: %d/%d\n" completions trials;
+              Printf.printf "  mean coverage: %.1f/%d nodes; values lost: %d total\n"
+                (float_of_int (sum (fun (_, cov, _, _, _) -> cov))
+                /. float_of_int trials)
+                n
+                (sum (fun (_, _, l, _, _) -> l));
+              Printf.printf "  mediator re-elections: %d; value-send retries: %d\n"
+                (sum (fun (_, _, _, re, _) -> re))
+                (sum (fun (_, _, _, _, rt) -> rt))
+            end
+            else begin
+              let runs =
+                Trials.run ~pool ~trials ~seed (fun rng ->
+                    let assignment = Topology.generate topology rng spec in
+                    let values = Array.init n (fun v -> v) in
+                    let r =
+                      Cogcomp.run ?faults ~monoid:Aggregate.sum ~values ~source:0
+                        ~assignment ~k ~rng ()
+                    in
+                    ( float_of_int r.Cogcomp.total_slots,
+                      r.Cogcomp.root_value = Some (n * (n - 1) / 2) ))
+              in
+              header ();
+              let totals = Array.map fst runs in
+              let ok = Array.for_all snd runs in
+              Printf.printf "  total slots: %s\n"
+                (Summary.to_string (Summary.of_floats totals));
+              Printf.printf "  all runs aggregated the exact sum: %b\n" ok
+            end;
             if baseline then begin
               let base =
                 Trials.run ~pool ~trials ~seed:(seed + 1000) (fun rng ->
@@ -229,18 +404,34 @@ let aggregate_cmd =
                 let rng = Rng.create seed in
                 let assignment = Topology.generate topology rng spec in
                 let values = Array.init n (fun v -> v) in
-                ignore
-                  (Cogcomp.run ~trace ~monoid:Aggregate.sum ~values ~source:0
-                     ~assignment ~k ~rng ())))
+                if robust then
+                  ignore
+                    (Cogcomp_robust.run ?faults ~trace ~monoid:Aggregate.sum
+                       ~values ~source:0 ~assignment ~k ~rng ())
+                else
+                  ignore
+                    (Cogcomp.run ?faults ~trace ~monoid:Aggregate.sum ~values
+                       ~source:0 ~assignment ~k ~rng ())))
   in
   let baseline_arg =
     Arg.(value & flag & info [ "baseline" ] ~doc:"Also run the rendezvous baseline.")
+  in
+  let robust_arg =
+    Arg.(
+      value & flag
+      & info [ "robust" ]
+          ~doc:
+            "Run the fault-tolerant COGCOMP variant (watchdogs, mediator \
+             re-election, bounded-retry drain) and report coverage, lost \
+             values, re-elections and retries. Bit-identical to the plain \
+             protocol when no --faults are given.")
   in
   let term =
     Term.(
       ret
         (const run $ n_arg $ c_arg $ k_arg $ topology_arg $ seed_arg $ trials_arg
-       $ jobs_arg $ baseline_arg $ trace_arg $ metrics_arg $ check_arg))
+       $ jobs_arg $ baseline_arg $ robust_arg $ faults_arg $ fault_seed_arg
+       $ trace_arg $ metrics_arg $ check_arg))
   in
   Cmd.v (Cmd.info "aggregate" ~doc:"Run COGCOMP data aggregation (Theorem 10).") term
 
@@ -479,6 +670,325 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Sweep n, c or k and report COGCAST completion scaling.")
     term
 
+(* ---- chaos ---- *)
+
+(* Degradation campaign: sweep {protocol} x {fault rate} for one fault kind,
+   run the trials on the domain pool with a trace per trial, replay every
+   trace through the invariant checkers, and emit the degradation curve
+   (completion rate, coverage, slot inflation vs fault rate) as JSON. *)
+
+type chaos_proto = P_cogcast | P_cogcomp | P_robust
+
+let chaos_proto_name = function
+  | P_cogcast -> "cogcast"
+  | P_cogcomp -> "cogcomp"
+  | P_robust -> "cogcomp-robust"
+
+let chaos_cmd =
+  let run n c k topology seed fault_seed trials jobs kind protocols rates
+      json_path check =
+    let protos =
+      String.split_on_char ',' protocols
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun s ->
+             match s with
+             | "cogcast" -> Ok P_cogcast
+             | "cogcomp" -> Ok P_cogcomp
+             | "cogcomp-robust" | "robust" -> Ok P_robust
+             | _ ->
+                 Error
+                   (Printf.sprintf
+                      "unknown protocol %S (try: cogcast, cogcomp, \
+                       cogcomp-robust)"
+                      s))
+    in
+    let rates =
+      String.split_on_char ',' rates
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun s ->
+             match float_of_string_opt s with
+             | Some r when r >= 0.0 && r < 1.0 -> Ok r
+             | _ -> Error (Printf.sprintf "rate %S must be a float in [0, 1)" s))
+    in
+    let first_error l =
+      List.find_map (function Error m -> Some m | Ok _ -> None) l
+    in
+    match
+      ( check_params n c k,
+        first_error protos,
+        first_error rates,
+        List.mem kind [ "naps"; "churn"; "crash"; "jam" ] )
+    with
+    | (`Error _ as e), _, _, _ -> e
+    | _, Some m, _, _ | _, _, Some m, _ -> `Error (false, m)
+    | _, _, _, false ->
+        `Error (false, "fault kind must be one of naps, churn, crash, jam")
+    | `Ok (), None, None, true ->
+        let protos = List.filter_map Result.to_option protos in
+        let rates = List.filter_map Result.to_option rates in
+        let spec = { Topology.n; c; k } in
+        (* The schedule for one trial: [rate] is the stationary per-slot
+           down probability (naps, churn), the fraction of crashed nodes
+           (crash), or just on/off for the reactive jammer (jam). The
+           source is always spared — a dead source measures nothing. *)
+        let adversary_for ~rate ~fault_seed =
+          if rate <= 0.0 then (None, None)
+          else
+            match kind with
+            | "naps" ->
+                ( Some (Faults.spare (Faults.random_naps ~seed:fault_seed ~rate) ~node:0),
+                  None )
+            | "churn" ->
+                let mean_down = 8.0 in
+                let mean_up = mean_down *. (1.0 -. rate) /. rate in
+                ( Some
+                    (Faults.spare
+                       (Faults.bernoulli_churn ~seed:fault_seed ~mean_up ~mean_down)
+                       ~node:0),
+                  None )
+            | "crash" ->
+                let crashed =
+                  max 1 (int_of_float (Float.round (rate *. float_of_int n)))
+                in
+                let rec build i acc =
+                  if i > crashed then acc
+                  else
+                    build (i + 1)
+                      (Faults.union acc
+                         (Faults.crash ~node:(i mod n) ~from_slot:(2 * i)))
+                in
+                if n < 2 then (None, None)
+                else (Some (Faults.spare (build 1 Faults.none) ~node:0), None)
+            | _ -> (None, Some (Jammer.reactive ()))
+        in
+        let run_trial proto ~rate rng =
+          (* Each trial gets its own fault stream, derived from the trial's
+             RNG so --fault-seed shifts all of them at once. *)
+          let trial_fault_seed =
+            Int64.add (Int64.of_int fault_seed)
+              (Int64.mul 0x9E3779B97F4A7C15L (Rng.bits64 rng))
+          in
+          let faults, jammer = adversary_for ~rate ~fault_seed:trial_fault_seed in
+          let assignment = Topology.generate topology rng spec in
+          let trace = Trace.create () in
+          let complete, coverage, slots =
+            match proto with
+            | P_cogcast ->
+                let r =
+                  Cogcast.run_static ?faults ?jammer ~trace ~source:0 ~assignment
+                    ~k ~rng ()
+                in
+                ( r.Cogcast.completed_at <> None,
+                  float_of_int r.Cogcast.informed_count /. float_of_int n,
+                  r.Cogcast.slots_run )
+            | P_cogcomp ->
+                let values = Array.init n (fun v -> v) in
+                let r =
+                  Cogcomp.run ?faults ?jammer ~trace ~monoid:Aggregate.sum ~values
+                    ~source:0 ~assignment ~k ~rng ()
+                in
+                let terminated =
+                  Array.fold_left
+                    (fun acc t -> if t then acc + 1 else acc)
+                    0 r.Cogcomp.terminated
+                in
+                ( r.Cogcomp.complete,
+                  float_of_int terminated /. float_of_int n,
+                  r.Cogcomp.total_slots )
+            | P_robust ->
+                let values = Array.init n (fun v -> v) in
+                let r =
+                  Cogcomp_robust.run ?faults ?jammer ~trace ~monoid:Aggregate.sum
+                    ~values ~source:0 ~assignment ~k ~rng ()
+                in
+                ( r.Cogcomp_robust.complete,
+                  float_of_int r.Cogcomp_robust.coverage /. float_of_int n,
+                  r.Cogcomp_robust.total_slots )
+          in
+          let violations = Trace.Check.all trace in
+          let dump =
+            if violations = [] then None else Some (Trace.to_jsonl trace)
+          in
+          (complete, coverage, slots, List.length violations, dump)
+        in
+        Pool.with_pool ~jobs (fun pool ->
+            let failures = ref [] in
+            let proto_objs =
+              List.map
+                (fun proto ->
+                  let baseline_slots = ref None in
+                  let points =
+                    List.map
+                      (fun rate ->
+                        let cell =
+                          Trials.run ~pool ~trials
+                            ~seed:(seed + int_of_float (rate *. 1_000_000.))
+                            (run_trial proto ~rate)
+                        in
+                        let mean f =
+                          Array.fold_left (fun acc x -> acc +. f x) 0.0 cell
+                          /. float_of_int (Array.length cell)
+                        in
+                        let completion =
+                          mean (fun (c, _, _, _, _) -> if c then 1.0 else 0.0)
+                        in
+                        let coverage = mean (fun (_, cov, _, _, _) -> cov) in
+                        let slots =
+                          mean (fun (_, _, s, _, _) -> float_of_int s)
+                        in
+                        if rate = 0.0 && !baseline_slots = None then
+                          baseline_slots := Some slots;
+                        let inflation =
+                          match !baseline_slots with
+                          | Some b when b > 0.0 -> slots /. b
+                          | _ -> Float.nan
+                        in
+                        let violations =
+                          Array.fold_left
+                            (fun acc (_, _, _, v, _) -> acc + v)
+                            0 cell
+                        in
+                        (* A violation in a robust cell — or at rate 0 for
+                           any protocol — is a bug, not degradation. Plain
+                           protocols under faults are *expected* to decay;
+                           their counts are recorded as data. *)
+                        let strict = proto = P_robust || rate = 0.0 in
+                        Array.iteri
+                          (fun i (_, _, _, v, dump) ->
+                            match dump with
+                            | Some jsonl when strict ->
+                                let path =
+                                  Printf.sprintf
+                                    "trace_failure_%s_%s_rate%g_trial%d.jsonl"
+                                    kind (chaos_proto_name proto) rate i
+                                in
+                                let oc = open_out path in
+                                output_string oc jsonl;
+                                close_out oc;
+                                failures :=
+                                  Printf.sprintf
+                                    "%s %s rate=%g trial=%d: %d violation(s), \
+                                     trace in %s"
+                                    kind (chaos_proto_name proto) rate i v path
+                                  :: !failures
+                            | _ -> ())
+                          cell;
+                        Printf.printf
+                          "  %-15s rate=%-5g completion=%.2f coverage=%.2f \
+                           slots=%.0f inflation=%.2f violations=%d\n%!"
+                          (chaos_proto_name proto) rate completion coverage slots
+                          inflation violations;
+                        Json.Obj
+                          [
+                            ("rate", Json.Float rate);
+                            ("completion_rate", Json.Float completion);
+                            ("mean_coverage", Json.Float coverage);
+                            ("mean_total_slots", Json.Float slots);
+                            ("slot_inflation", Json.Float inflation);
+                            ("violations", Json.Int violations);
+                          ])
+                      rates
+                  in
+                  Json.Obj
+                    [
+                      ("protocol", Json.String (chaos_proto_name proto));
+                      ("points", Json.List points);
+                    ])
+                protos
+            in
+            Printf.printf
+              "chaos  n=%d c=%d k=%d topology=%s kind=%s trials=%d/point\n" n c k
+              (Topology.kind_name topology) kind trials;
+            let doc =
+              Json.Obj
+                [
+                  ("schema", Json.String "crn-chaos/1");
+                  ("n", Json.Int n);
+                  ("c", Json.Int c);
+                  ("k", Json.Int k);
+                  ("topology", Json.String (Topology.kind_name topology));
+                  ("fault_kind", Json.String kind);
+                  ("trials", Json.Int trials);
+                  ("seed", Json.Int seed);
+                  ("fault_seed", Json.Int fault_seed);
+                  ("protocols", Json.List proto_objs);
+                ]
+            in
+            (match json_path with
+            | Some path ->
+                Json.write ~path doc;
+                Printf.printf "  wrote %s\n" path
+            | None -> ());
+            match !failures with
+            | [] -> `Ok ()
+            | fs when check ->
+                List.iter (Format.eprintf "  violation: %s@.") fs;
+                `Error
+                  ( false,
+                    Printf.sprintf "chaos --check: %d cell(s) violated invariants"
+                      (List.length fs) )
+            | fs ->
+                List.iter (Format.eprintf "  warning: %s@.") fs;
+                `Ok ())
+  in
+  let kind_arg =
+    Arg.(
+      value & opt string "naps"
+      & info [ "fault-kind" ] ~docv:"KIND"
+          ~doc:
+            "Fault family swept over --rates: $(b,naps) (memoryless per-slot \
+             misses), $(b,churn) (up/down Markov chains, rate = stationary \
+             down fraction), $(b,crash) (rate = fraction of nodes crashed \
+             permanently), $(b,jam) (reactive jammer on the busiest channel; \
+             any nonzero rate enables it). The source is always spared.")
+  in
+  let protocols_arg =
+    Arg.(
+      value
+      & opt string "cogcast,cogcomp,cogcomp-robust"
+      & info [ "protocols" ] ~docv:"P,P,..."
+          ~doc:"Comma-separated: cogcast, cogcomp, cogcomp-robust.")
+  in
+  let rates_arg =
+    Arg.(
+      value
+      & opt string "0,0.02,0.05,0.1"
+      & info [ "rates" ] ~docv:"R,R,..."
+          ~doc:"Comma-separated fault rates in [0, 1); include 0 to anchor \
+                the slot-inflation baseline.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the degradation curves as JSON (schema crn-chaos/1).")
+  in
+  let chaos_check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Exit nonzero if any robust-protocol trial (or any rate-0 trial \
+             of any protocol) violates the trace invariants. Violating \
+             traces are dumped to trace_failure_*.jsonl either way.")
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ n_arg $ c_arg $ k_arg $ topology_arg $ seed_arg
+       $ fault_seed_arg $ trials_arg $ jobs_arg $ kind_arg $ protocols_arg
+       $ rates_arg $ json_arg $ chaos_check_arg))
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Sweep protocols across fault rates, check per-trial trace \
+          invariants, and emit degradation curves.")
+    term
+
 let () =
   let info =
     Cmd.info "crn_sim" ~version:"1.0.0"
@@ -486,6 +996,14 @@ let () =
   in
   let group =
     Cmd.group info
-      [ broadcast_cmd; aggregate_cmd; game_cmd; backoff_cmd; jam_cmd; sweep_cmd ]
+      [
+        broadcast_cmd;
+        aggregate_cmd;
+        game_cmd;
+        backoff_cmd;
+        jam_cmd;
+        sweep_cmd;
+        chaos_cmd;
+      ]
   in
   exit (Cmd.eval group)

@@ -35,11 +35,12 @@ type slot_runner = {
     int;
 }
 
-let engine_runner ?trace ~availability ~rng () =
+let engine_runner ?jammer ?faults ?trace ~availability ~rng () =
   {
     run_slots =
       (fun ~stop ~nodes ~max_slots ->
-        (Engine.run ?trace ?stop ~availability ~rng ~nodes ~max_slots ())
+        (Engine.run ?jammer ?faults ?trace ?stop ~availability ~rng ~nodes
+           ~max_slots ())
           .Engine.slots_run);
   }
 
@@ -407,11 +408,13 @@ let run_phase4 (type a) ?measure ?trace ~mediated ~(monoid : a Aggregate.monoid)
 (* The full protocol.                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let run_with ~emulated ~raw_rounds ?budget_factor ?max_phase4_steps
+let run_with ~emulated ~raw_rounds ?jammer ?faults ?budget_factor ?max_phase4_steps
     ?(mediated = true) ?measure ?trace ~monoid ~values ~source ~assignment ~k ~rng ()
     =
   let n = Assignment.num_nodes assignment in
   if Array.length values <> n then invalid_arg "Cogcomp.run: values length mismatch";
+  if emulated && (jammer <> None || faults <> None) then
+    invalid_arg "Cogcomp.run_emulated: jammer/faults not supported on the raw radio";
   let availability = Dynamic.static assignment in
   let mark name =
     match trace with
@@ -420,7 +423,7 @@ let run_with ~emulated ~raw_rounds ?budget_factor ?max_phase4_steps
   in
   let make_runner rng =
     if emulated then emulation_runner ?trace ~availability ~rng ~raw_rounds ()
-    else engine_runner ?trace ~availability ~rng ()
+    else engine_runner ?jammer ?faults ?trace ~availability ~rng ()
   in
   (* Phase 1: COGCAST with recording; fixed length so that all nodes agree on
      phase boundaries. *)
@@ -436,8 +439,8 @@ let run_with ~emulated ~raw_rounds ?budget_factor ?max_phase4_steps
       cast
     end
     else
-      Cogcast.run_static ?budget_factor ?trace ~record:true ~stop_when_complete:false
-        ~source ~assignment ~k ~rng:(Rng.split rng) ()
+      Cogcast.run_static ?jammer ?faults ?budget_factor ?trace ~record:true
+        ~stop_when_complete:false ~source ~assignment ~k ~rng:(Rng.split rng) ()
   in
   let tree = Disttree.of_result cast in
   mark "cogcomp-phase2";
@@ -488,10 +491,11 @@ let run_with ~emulated ~raw_rounds ?budget_factor ?max_phase4_steps
     total_payload;
   }
 
-let run ?budget_factor ?max_phase4_steps ?mediated ?measure ?trace ~monoid ~values
-    ~source ~assignment ~k ~rng () =
-  run_with ~emulated:false ~raw_rounds:(ref 0) ?budget_factor ?max_phase4_steps
-    ?mediated ?measure ?trace ~monoid ~values ~source ~assignment ~k ~rng ()
+let run ?jammer ?faults ?budget_factor ?max_phase4_steps ?mediated ?measure ?trace
+    ~monoid ~values ~source ~assignment ~k ~rng () =
+  run_with ~emulated:false ~raw_rounds:(ref 0) ?jammer ?faults ?budget_factor
+    ?max_phase4_steps ?mediated ?measure ?trace ~monoid ~values ~source ~assignment
+    ~k ~rng ()
 
 let run_emulated ?budget_factor ?max_phase4_steps ?mediated ?measure ?trace ~monoid
     ~values ~source ~assignment ~k ~rng () =

@@ -74,6 +74,8 @@ val run_emulated :
     semantics per slot w.h.p. *)
 
 val run :
+  ?jammer:Crn_radio.Jammer.t ->
+  ?faults:Crn_radio.Faults.t ->
   ?budget_factor:float ->
   ?max_phase4_steps:int ->
   ?mediated:bool ->
@@ -93,6 +95,14 @@ val run :
     ({!Complexity.cogcast_slots}); [max_phase4_steps] caps phase 4 (default
     [12·n + 64] steps, far above the [O(n)] the paper proves, so hitting it
     indicates a genuine failure and yields [complete = false]).
+
+    [?jammer]/[?faults] thread adversaries through every phase's engine run
+    — but the plain protocol makes {e no} attempt to survive them: a missed
+    slot can corrupt rosters, mediator election or the drain, typically
+    yielding [complete = false] (or, for aggressive schedules, a genuinely
+    wrong partial fold). They exist so the chaos harness can measure that
+    degradation; use {!Cogcomp_robust} for runs that should tolerate faults.
+    Unsupported on {!run_emulated}.
 
     With [?trace] supplied, the run streams a slot-level event log: the
     phase-1 COGCAST header and [Informed] tree edges, a

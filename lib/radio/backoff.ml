@@ -15,6 +15,12 @@ let expected_rounds_bound n =
   let e = epoch_length (max 2 n) in
   4 * e * e
 
+let retry_delay ~attempt ~cap =
+  if attempt < 0 then invalid_arg "Backoff.retry_delay: attempt must be >= 0";
+  if cap < 1 then invalid_arg "Backoff.retry_delay: cap must be >= 1";
+  (* 2^attempt, saturating at cap without overflowing for large attempts. *)
+  if attempt >= 62 then cap else min cap (1 lsl attempt)
+
 (* Direct simulation of the decay session: in sub-round r each live
    contender transmits with probability 2^{-(r mod epoch)}; the first
    sub-round with exactly one transmitter ends the session. *)

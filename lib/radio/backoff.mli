@@ -39,3 +39,10 @@ val expected_rounds_bound : int -> int
 (** [expected_rounds_bound n] is the [O(log² n)] budget (with explicit
     constant 4·(⌈lg n⌉+1)²) within which a session succeeds w.h.p.; used to
     size [cap] in benchmarks. *)
+
+val retry_delay : attempt:int -> cap:int -> int
+(** [retry_delay ~attempt ~cap] is the exponential-backoff gap
+    [min cap 2^attempt] (saturating, overflow-safe) — the number of steps a
+    retrying sender waits after its [attempt]-th failed transmission.
+    {!Cogcomp_robust} uses it to pace phase-4 re-sends so a crashed receiver
+    does not keep its whole cluster busy every step. *)

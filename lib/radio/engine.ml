@@ -164,6 +164,19 @@ let run ?(jammer = Jammer.none) ?(faults = Faults.none) ?metrics ?trace ?stop
             end
     done;
     counters.Trace.Counters.slots_run <- counters.Trace.Counters.slots_run + 1;
+    (* Reactive jammers learn from this slot's audible occupancy; the scan is
+       skipped entirely for oblivious jammers. *)
+    if Jammer.observes jammer then begin
+      let occupancy =
+        Hashtbl.fold
+          (fun channel state acc ->
+            match state.broadcasters with
+            | [] -> acc
+            | bs -> (channel, List.length bs) :: acc)
+          channels []
+      in
+      Jammer.observe jammer ~slot:s occupancy
+    end;
     (match on_slot_end with Some f -> f ~slot:s | None -> ());
     (match stop with Some f -> if f ~slot:s then stopped := true | None -> ());
     incr slot

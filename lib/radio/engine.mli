@@ -12,7 +12,9 @@
     is absorbed: the node receives {!Action.Jammed}, a jammed broadcaster is
     not eligible to win, and a jammed listener hears nothing. This is the
     receiver-side interference semantics used by the Theorem 18 reduction
-    experiments.
+    experiments. Reactive jammers ({!Jammer.observes}) additionally receive
+    the slot's audible per-channel broadcaster counts via {!Jammer.observe}
+    at the end of every slot.
 
     With a fault schedule installed, a node that is down in a slot is
     absent from it entirely: no decision is requested, nothing is sent or

@@ -3,6 +3,7 @@ module Splitmix = Crn_prng.Splitmix
 type t = { name : string; down : slot:int -> node:int -> bool }
 
 let name t = t.name
+let to_string t = t.name
 let down t = t.down
 
 let none = { name = "none"; down = (fun ~slot:_ ~node:_ -> false) }
@@ -13,6 +14,15 @@ let crash ~node ~from_slot =
   {
     name = Printf.sprintf "crash(node=%d,slot=%d)" node from_slot;
     down = (fun ~slot ~node:v -> v = node && slot >= from_slot);
+  }
+
+let crash_restart ~node ~from_slot ~down_for =
+  if down_for < 1 then invalid_arg "Faults.crash_restart: down_for must be >= 1";
+  {
+    name = Printf.sprintf "crash-restart(node=%d,at=%d,for=%d)" node from_slot down_for;
+    down =
+      (fun ~slot ~node:v ->
+        v = node && slot >= from_slot && slot < from_slot + down_for);
   }
 
 let random_naps ~seed ~rate =
@@ -32,6 +42,60 @@ let random_naps ~seed ~rate =
         in
         u < rate);
   }
+
+(* Per-node two-state Markov chain over slots: up -> down with probability
+   1/mean_up, down -> up with probability 1/mean_down, coins hashed from
+   (seed, node, slot). The chain is sequential, so states are memoized per
+   node up to the highest slot queried; the memo is guarded by a mutex
+   because parallel trial runners may share a schedule across domains. *)
+let bernoulli_churn ~seed ~mean_up ~mean_down =
+  if mean_up < 1.0 || mean_down < 1.0 then
+    invalid_arg "Faults.bernoulli_churn: mean up/down times must be >= 1 slot";
+  let p_fail = 1.0 /. mean_up and p_heal = 1.0 /. mean_down in
+  let coin ~node ~slot =
+    let h =
+      Splitmix.mix64
+        (Int64.logxor seed
+           (Int64.of_int
+              (((slot * 0x9E3779B1) lxor (node * 0x85EBCA77)) + 0x165667B1)))
+    in
+    Int64.to_float (Int64.shift_right_logical h 11) *. 0x1.0p-53
+  in
+  let lock = Mutex.create () in
+  (* node -> (buf, filled): buf.[i] = '\001' iff down in slot i, for i < filled. *)
+  let memo : (int, Bytes.t ref * int ref) Hashtbl.t = Hashtbl.create 16 in
+  let down ~slot ~node =
+    if slot < 0 then false
+    else begin
+      Mutex.lock lock;
+      let buf, filled =
+        match Hashtbl.find_opt memo node with
+        | Some entry -> entry
+        | None ->
+            let entry = (ref (Bytes.make 64 '\000'), ref 1) in
+            (* Every node starts the run up. *)
+            Hashtbl.add memo node entry;
+            entry
+      in
+      if slot >= Bytes.length !buf then begin
+        let grown = Bytes.make (max (slot + 1) (2 * Bytes.length !buf)) '\000' in
+        Bytes.blit !buf 0 grown 0 !filled;
+        buf := grown
+      end;
+      while !filled <= slot do
+        let i = !filled in
+        let was_down = Bytes.get !buf (i - 1) = '\001' in
+        let u = coin ~node ~slot:i in
+        let is_down = if was_down then u >= p_heal else u < p_fail in
+        Bytes.set !buf i (if is_down then '\001' else '\000');
+        incr filled
+      done;
+      let r = Bytes.get !buf slot = '\001' in
+      Mutex.unlock lock;
+      r
+    end
+  in
+  { name = Printf.sprintf "churn(up=%g,down=%g)" mean_up mean_down; down }
 
 let periodic_nap ~period ~nap ~offset_stride =
   if period < 1 || nap < 0 || nap > period then

@@ -13,6 +13,11 @@ type t
 
 val name : t -> string
 
+val to_string : t -> string
+(** Human-readable rendering of the schedule, used for provenance in trace
+    headers and campaign JSON. Compositions keep both operands:
+    [to_string (union a b)] contains [to_string a] and [to_string b]. *)
+
 val down : t -> slot:int -> node:int -> bool
 (** Whether [node] misses [slot]. *)
 
@@ -22,6 +27,20 @@ val of_fun : name:string -> (slot:int -> node:int -> bool) -> t
 
 val crash : node:int -> from_slot:int -> t
 (** [node] permanently fails at [from_slot]. *)
+
+val crash_restart : node:int -> from_slot:int -> down_for:int -> t
+(** [node] crashes at [from_slot] and comes back [down_for] slots later.
+    The schedule only controls absence; "restart with protocol state reset"
+    is the rejoining protocol's business — {!Cogcomp_robust} detects the
+    slot gap on wake-up and clears its transient per-step state. *)
+
+val bernoulli_churn : seed:int64 -> mean_up:float -> mean_down:float -> t
+(** Seeded per-node up/down Markov chain: an up node goes down with
+    probability [1/mean_up] per slot, a down node recovers with probability
+    [1/mean_down] per slot, so the stationary fraction of down slots is
+    [mean_down /. (mean_up +. mean_down)]. All nodes start up. Coins are
+    hashed from [(seed, node, slot)], so schedules replay; the sequential
+    chain state is memoized internally (thread-safe). *)
 
 val random_naps : seed:int64 -> rate:float -> t
 (** Every node independently misses each slot with probability [rate]

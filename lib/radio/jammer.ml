@@ -5,11 +5,19 @@ type t = {
   name : string;
   budget : int;
   jams : slot:int -> node:int -> channel:int -> bool;
+  (* Reactive jammers learn from the channel occupancy the engine reports at
+     the end of every slot; oblivious jammers leave this [None] and the
+     engine skips the occupancy scan entirely. *)
+  observe : (slot:int -> (int * int) list -> unit) option;
 }
 
 let name t = t.name
 let budget t = t.budget
 let jams t = t.jams
+let observes t = Option.is_some t.observe
+
+let observe t ~slot occupancy =
+  match t.observe with Some f -> f ~slot occupancy | None -> ()
 
 let jammed_set t ~slot ~node ~num_channels =
   let set = Crn_channel.Bitset.create num_channels in
@@ -18,9 +26,42 @@ let jammed_set t ~slot ~node ~num_channels =
   done;
   set
 
-let none = { name = "none"; budget = 0; jams = (fun ~slot:_ ~node:_ ~channel:_ -> false) }
+let none =
+  {
+    name = "none";
+    budget = 0;
+    jams = (fun ~slot:_ ~node:_ ~channel:_ -> false);
+    observe = None;
+  }
 
-let of_fun ~name ~budget jams = { name; budget; jams }
+let of_fun ~name ~budget jams = { name; budget; jams; observe = None }
+
+(* Jams the channel that carried the most audible broadcasters in the
+   previous slot (ties to the smallest channel id), at every node. Stateful:
+   one value per run — sharing an instance across parallel trials would leak
+   occupancy between unrelated runs. *)
+let reactive () =
+  let target = ref (-1) in
+  {
+    name = "reactive";
+    budget = 1;
+    jams = (fun ~slot:_ ~node:_ ~channel -> channel = !target);
+    observe =
+      Some
+        (fun ~slot:_ occupancy ->
+          let best = ref (-1) and best_count = ref 0 in
+          List.iter
+            (fun (channel, count) ->
+              if
+                count > !best_count
+                || (count = !best_count && !best >= 0 && channel < !best)
+              then begin
+                best := channel;
+                best_count := count
+              end)
+            occupancy;
+          target := !best);
+  }
 
 (* Deterministic per-(slot, node) jam set: hash the seed with slot and node,
    memoize the resulting subset. *)
@@ -58,6 +99,7 @@ let random_subset_jammer ~name ~seed ~budget ~num_channels ~per_node =
     jams =
       (fun ~slot ~node ~channel ->
         channel < num_channels && Crn_channel.Bitset.mem (set_for ~slot ~node) channel);
+    observe = None;
   }
 
 let random_per_node ~seed ~budget ~num_channels =
@@ -76,6 +118,7 @@ let sweep ~budget ~num_channels =
         let base = slot * budget mod num_channels in
         let offset = (channel - base + num_channels) mod num_channels in
         offset < budget);
+    observe = None;
   }
 
 let targeted_low ~budget =
@@ -83,4 +126,5 @@ let targeted_low ~budget =
     name = "targeted-low";
     budget;
     jams = (fun ~slot:_ ~node:_ ~channel -> channel < budget);
+    observe = None;
   }

@@ -44,3 +44,20 @@ val sweep : budget:int -> num_channels:int -> t
 val targeted_low : budget:int -> t
 (** Always jams channels [0 .. budget-1] at every node — punishes protocols
     biased toward low channel ids. *)
+
+val reactive : unit -> t
+(** A budget-1 adaptive adversary: jams (at every node) the channel that
+    carried the most audible broadcasters in the previous slot, ties broken
+    toward the smallest channel id; jams nothing until it has observed a
+    non-silent slot. Stateful — create one instance per run and do not share
+    it across parallel trials. *)
+
+val observes : t -> bool
+(** Whether the jammer is reactive, i.e. wants per-slot occupancy reports.
+    The engine skips the occupancy scan for oblivious jammers. *)
+
+val observe : t -> slot:int -> (int * int) list -> unit
+(** [observe t ~slot occupancy] feeds the jammer the audible broadcaster
+    counts [(channel, count), ...] of [slot] (channels with at least one
+    audible broadcaster only). Called by {!Engine.run} at the end of every
+    slot when {!observes} holds; a no-op for oblivious jammers. *)

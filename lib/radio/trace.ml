@@ -495,7 +495,9 @@ module Check = struct
        marker; note whether the run declared completion. *)
     let in_p4 = ref false in
     let complete = ref false in
+    let has_down = ref false in
     let sent : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+    let sent_hist : (int, (int * int) list) Hashtbl.t = Hashtbl.create 64 in
     let delivered = ref [] in
     let retired : (int, int) Hashtbl.t = Hashtbl.create 64 in
     let informed = ref [] in
@@ -505,8 +507,12 @@ module Check = struct
         | Phase { name } ->
             in_p4 := name = "cogcomp-phase4";
             if name = "cogcomp-done" then complete := true
+        | Down _ -> has_down := true
         | Informed { node; _ } -> informed := node :: !informed
-        | Sent_value { slot; node; r } when !in_p4 -> Hashtbl.replace sent (slot, node) r
+        | Sent_value { slot; node; r } when !in_p4 ->
+            Hashtbl.replace sent (slot, node) r;
+            Hashtbl.replace sent_hist node
+              ((slot, r) :: Option.value ~default:[] (Hashtbl.find_opt sent_hist node))
         | Value_delivered { slot; sender; receiver; r } when !in_p4 ->
             delivered := (slot, sender, receiver, r) :: !delivered
         | Retired { slot; node } when !in_p4 -> (
@@ -521,22 +527,38 @@ module Check = struct
     let delivered = List.rev !delivered in
     (* Every delivery matches a send by the sender with the same cluster
        slot r. The echo confirming a delivery goes out in the slot after
-       the Values broadcast (steps are announce/values/echo triples), so
-       the send is at [slot - 1]. *)
+       the Values broadcast (steps are announce/values/echo triples), so in
+       a fault-free run the send is at exactly [slot - 1]. In a faulty run
+       (any [Down] event present) the echo may be deferred — the receiver
+       can miss its echo slot, or re-ack a retried send it already folded —
+       so the strict same-step requirement is relaxed to "some strictly
+       earlier send of the same cluster". *)
     List.iter
       (fun (slot, sender, _receiver, r) ->
-        match Hashtbl.find_opt sent (slot - 1, sender) with
-        | Some r' when r' = r -> ()
-        | Some r' ->
+        if !has_down then begin
+          let sends =
+            Option.value ~default:[] (Hashtbl.find_opt sent_hist sender)
+          in
+          if not (List.exists (fun (s', r') -> s' < slot && r' = r) sends) then
             report
               (v "phase4-drain"
-                 "slot %d: delivery credits sender %d with cluster %d but it sent \
-                  cluster %d"
-                 slot sender r r')
-        | None ->
-            report
-              (v "phase4-drain" "slot %d: delivery from %d without a matching send" slot
-                 sender))
+                 "slot %d: delivery from %d (cluster %d) without any earlier \
+                  matching send"
+                 slot sender r)
+        end
+        else
+          match Hashtbl.find_opt sent (slot - 1, sender) with
+          | Some r' when r' = r -> ()
+          | Some r' ->
+              report
+                (v "phase4-drain"
+                   "slot %d: delivery credits sender %d with cluster %d but it sent \
+                    cluster %d"
+                   slot sender r r')
+          | None ->
+              report
+                (v "phase4-drain" "slot %d: delivery from %d without a matching send"
+                   slot sender))
       delivered;
     (* Conservation: each node's value moves up at most once; exactly once
        for every informed node when the run completed. *)
@@ -578,5 +600,48 @@ module Check = struct
       delivered;
     List.rev !violations
 
-  let all t = one_winner t @ informed_tree t @ phase4_drain t
+  (* No value is ever double-counted, retries or not: at most one
+     [Value_delivered] per sender across the whole phase-4 segment, and
+     every delivery is backed by some strictly earlier send of the same
+     cluster. This is the invariant the robust drain's receiver-side dedup
+     (fold once, re-ack silently) exists to maintain; unlike [phase4_drain]
+     it makes no same-step assumption, so it applies equally to fault-free
+     and faulty traces. *)
+  let exactly_once_drain t =
+    let violations = ref [] in
+    let report vl = violations := vl :: !violations in
+    let in_p4 = ref false in
+    let sent_hist : (int, (int * int) list) Hashtbl.t = Hashtbl.create 64 in
+    let delivered = ref [] in
+    iter
+      (fun ev ->
+        match ev with
+        | Phase { name } -> in_p4 := name = "cogcomp-phase4"
+        | Sent_value { slot; node; r } when !in_p4 ->
+            Hashtbl.replace sent_hist node
+              ((slot, r) :: Option.value ~default:[] (Hashtbl.find_opt sent_hist node))
+        | Value_delivered { slot; sender; receiver = _; r } when !in_p4 ->
+            delivered := (slot, sender, r) :: !delivered
+        | _ -> ())
+      t;
+    let delivered = List.rev !delivered in
+    let counts : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun (slot, sender, r) ->
+        let c = 1 + Option.value ~default:0 (Hashtbl.find_opt counts sender) in
+        Hashtbl.replace counts sender c;
+        if c > 1 then
+          report
+            (v "exactly-once-drain"
+               "node %d's value was counted %d times (latest at slot %d)" sender c slot);
+        let sends = Option.value ~default:[] (Hashtbl.find_opt sent_hist sender) in
+        if not (List.exists (fun (s', r') -> s' < slot && r' = r) sends) then
+          report
+            (v "exactly-once-drain"
+               "slot %d: delivery from %d (cluster %d) without an earlier matching send"
+               slot sender r))
+      delivered;
+    List.rev !violations
+
+  let all t = one_winner t @ informed_tree t @ phase4_drain t @ exactly_once_drain t
 end

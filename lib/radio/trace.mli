@@ -156,7 +156,20 @@ module Check : sig
       each node retires at most once (payload conservation); per receiver,
       delivered cluster slots are non-increasing (monotone drain); and when
       the run declared completion ([Phase "cogcomp-done"]), every informed
-      node's value was delivered exactly once. *)
+      node's value was delivered exactly once.
+
+      On a faulty trace (one containing any {!Down} event) the same-step
+      send/delivery matching is automatically relaxed to "some strictly
+      earlier send of the same cluster" — a node that misses its echo slot
+      acks late, which is legitimate, not a conservation violation. The
+      strict same-step variant still applies to fault-free traces. *)
+
+  val exactly_once_drain : t -> violation list
+  (** No double counting across retries: at most one {!Value_delivered} per
+      sender in the phase-4 segment, each backed by a strictly earlier
+      {!Sent_value} of the same cluster. Holds for plain and robust COGCOMP,
+      fault-free or faulty — a retried send that was already folded must be
+      re-acked without a second delivery event. *)
 
   val all : t -> violation list
   (** The concatenation of every checker, in the order above. *)

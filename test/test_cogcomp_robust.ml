@@ -1,0 +1,309 @@
+(* Tests for the fault-tolerant COGCOMP variant: bit-identical fault-free
+   parity with the plain protocol, bounded termination and honest coverage
+   accounting under crashes, churn and reactive jamming, and exactly-once
+   folding across retries. *)
+
+module Rng = Crn_prng.Rng
+module Topology = Crn_channel.Topology
+module Aggregate = Crn_core.Aggregate
+module Cogcomp = Crn_core.Cogcomp
+module Cogcomp_robust = Crn_core.Cogcomp_robust
+module Faults = Crn_radio.Faults
+module Jammer = Crn_radio.Jammer
+module Trace = Crn_radio.Trace
+
+let check_int = Alcotest.(check int)
+
+let run_pair ?jammer ?faults ~seed ~source kind spec =
+  let values = Array.init spec.Topology.n (fun i -> (i * 13) + 1) in
+  let plain =
+    let rng = Rng.create seed in
+    let assignment = Topology.generate kind rng spec in
+    Cogcomp.run ~monoid:Aggregate.sum ~values ~source ~assignment
+      ~k:spec.Topology.k ~rng ()
+  in
+  let robust =
+    let rng = Rng.create seed in
+    let assignment = Topology.generate kind rng spec in
+    Cogcomp_robust.run ?jammer ?faults ~monoid:Aggregate.sum ~values ~source
+      ~assignment ~k:spec.Topology.k ~rng ()
+  in
+  (plain, robust)
+
+(* --- fault-free parity ----------------------------------------------------- *)
+
+let parity_specs =
+  [
+    { Topology.n = 2; c = 4; k = 2 };
+    { Topology.n = 24; c = 8; k = 2 };
+    { Topology.n = 10; c = 20; k = 5 };
+    { Topology.n = 50; c = 6; k = 1 };
+  ]
+
+let test_faultfree_parity () =
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun spec ->
+          for seed = 1 to 3 do
+            let ctx =
+              Printf.sprintf "%s n=%d c=%d k=%d seed=%d"
+                (Topology.kind_name kind) spec.Topology.n spec.Topology.c
+                spec.Topology.k seed
+            in
+            let plain, robust = run_pair ~seed ~source:0 kind spec in
+            Alcotest.(check bool)
+              (ctx ^ " complete") plain.Cogcomp.complete
+              robust.Cogcomp_robust.complete;
+            Alcotest.(check (option int))
+              (ctx ^ " root") plain.Cogcomp.root_value
+              (Some robust.Cogcomp_robust.root_value);
+            check_int (ctx ^ " p1") plain.Cogcomp.phase1_slots
+              robust.Cogcomp_robust.phase1_slots;
+            check_int (ctx ^ " p2") plain.Cogcomp.phase2_slots
+              robust.Cogcomp_robust.phase2_slots;
+            check_int (ctx ^ " p3") plain.Cogcomp.phase3_slots
+              robust.Cogcomp_robust.phase3_slots;
+            check_int (ctx ^ " p4") plain.Cogcomp.phase4_slots
+              robust.Cogcomp_robust.phase4_slots;
+            check_int (ctx ^ " total") plain.Cogcomp.total_slots
+              robust.Cogcomp_robust.total_slots;
+            Alcotest.(check (list int))
+              (ctx ^ " mediators") plain.Cogcomp.mediators
+              robust.Cogcomp_robust.mediators;
+            check_int (ctx ^ " coverage") spec.Topology.n
+              robust.Cogcomp_robust.coverage;
+            Alcotest.(check (list int)) (ctx ^ " lost") []
+              robust.Cogcomp_robust.lost;
+            check_int (ctx ^ " reelections") 0 robust.Cogcomp_robust.reelections;
+            check_int (ctx ^ " retries") 0 robust.Cogcomp_robust.retries
+          done)
+        parity_specs)
+    Topology.all_kinds
+
+(* The strongest form of parity: the slot-level traces — every decide, win,
+   delivery and drain event the two runs emit — are byte-identical, so the
+   robust machinery provably consumed the same RNG stream and made the same
+   decisions. *)
+let test_faultfree_trace_identical () =
+  List.iter
+    (fun (kind, spec, seed) ->
+      let values = Array.init spec.Topology.n (fun i -> (i * 7) + 3) in
+      let run_traced f =
+        let rng = Rng.create seed in
+        let assignment = Topology.generate kind rng spec in
+        let trace = Trace.create () in
+        f ~trace ~assignment ~rng ~values;
+        Trace.to_jsonl trace
+      in
+      let plain =
+        run_traced (fun ~trace ~assignment ~rng ~values ->
+            ignore
+              (Cogcomp.run ~trace ~monoid:Aggregate.sum ~values ~source:0
+                 ~assignment ~k:spec.Topology.k ~rng ()))
+      in
+      let robust =
+        run_traced (fun ~trace ~assignment ~rng ~values ->
+            ignore
+              (Cogcomp_robust.run ~trace ~monoid:Aggregate.sum ~values ~source:0
+                 ~assignment ~k:spec.Topology.k ~rng ()))
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "trace %s n=%d seed=%d" (Topology.kind_name kind)
+           spec.Topology.n seed)
+        plain robust)
+    [
+      (Topology.Shared_plus_random, { Topology.n = 20; c = 8; k = 2 }, 1);
+      (Topology.Shared_plus_random, { Topology.n = 20; c = 8; k = 2 }, 2);
+      (Topology.Pairwise_private, { Topology.n = 16; c = 10; k = 3 }, 3);
+      (Topology.Clustered, { Topology.n = 30; c = 6; k = 1 }, 4);
+    ]
+
+(* --- crash of a single non-source node ------------------------------------- *)
+
+let test_single_crash () =
+  let spec = { Topology.n = 24; c = 8; k = 2 } in
+  for seed = 1 to 3 do
+    let values = Array.init spec.Topology.n (fun i -> (i * 13) + 1) in
+    let rng = Rng.create seed in
+    let assignment = Topology.generate Topology.Shared_plus_random rng spec in
+    let trace = Trace.create () in
+    let res =
+      Cogcomp_robust.run ~trace
+        ~faults:(Faults.crash ~node:5 ~from_slot:0)
+        ~monoid:Aggregate.sum ~values ~source:0 ~assignment ~k:spec.Topology.k
+        ~rng ()
+    in
+    let ctx = Printf.sprintf "crash seed=%d" seed in
+    check_int (ctx ^ " coverage+lost")
+      spec.Topology.n
+      (res.Cogcomp_robust.coverage + List.length res.Cogcomp_robust.lost);
+    Alcotest.(check bool)
+      (ctx ^ " node 5 lost") true
+      (List.mem 5 res.Cogcomp_robust.lost);
+    (* The fold at the root is exactly the sum over the covered nodes. *)
+    let expect =
+      Array.to_list values
+      |> List.mapi (fun i x -> (i, x))
+      |> List.filter (fun (i, _) -> not (List.mem i res.Cogcomp_robust.lost))
+      |> List.fold_left (fun acc (_, x) -> acc + x) 0
+    in
+    check_int (ctx ^ " root = sum of covered") expect
+      res.Cogcomp_robust.root_value;
+    (match Trace.Check.all trace with
+    | [] -> ()
+    | v :: _ ->
+        Alcotest.failf "%s: %a" ctx Trace.Check.pp_violation v)
+  done
+
+(* --- bernoulli churn ------------------------------------------------------- *)
+
+let test_churn () =
+  let spec = { Topology.n = 20; c = 8; k = 2 } in
+  for seed = 1 to 3 do
+    let values = Array.init spec.Topology.n (fun i -> (i * 11) + 2) in
+    let rng = Rng.create seed in
+    let assignment = Topology.generate Topology.Shared_plus_random rng spec in
+    (* ~9% stationary down fraction, source spared so phase 1 can start. *)
+    let faults =
+      Faults.spare
+        (Faults.bernoulli_churn ~seed:(Int64.of_int (seed * 77)) ~mean_up:100.
+           ~mean_down:10.)
+        ~node:0
+    in
+    let trace = Trace.create () in
+    let res =
+      Cogcomp_robust.run ~trace ~faults ~monoid:Aggregate.sum ~values ~source:0
+        ~assignment ~k:spec.Topology.k ~rng ()
+    in
+    let ctx = Printf.sprintf "churn seed=%d" seed in
+    check_int (ctx ^ " coverage+lost")
+      spec.Topology.n
+      (res.Cogcomp_robust.coverage + List.length res.Cogcomp_robust.lost);
+    let expect =
+      Array.to_list values
+      |> List.mapi (fun i x -> (i, x))
+      |> List.filter (fun (i, _) -> not (List.mem i res.Cogcomp_robust.lost))
+      |> List.fold_left (fun acc (_, x) -> acc + x) 0
+    in
+    check_int (ctx ^ " root = sum of covered") expect
+      res.Cogcomp_robust.root_value;
+    (* Never double-counted, even across retries. *)
+    (match Trace.Check.exactly_once_drain trace with
+    | [] -> ()
+    | v :: _ -> Alcotest.failf "%s: %a" ctx Trace.Check.pp_violation v);
+    (match Trace.Check.one_winner trace with
+    | [] -> ()
+    | v :: _ -> Alcotest.failf "%s: %a" ctx Trace.Check.pp_violation v)
+  done
+
+(* --- crash/restart --------------------------------------------------------- *)
+
+let test_crash_restart_recovers () =
+  let spec = { Topology.n = 16; c = 6; k = 2 } in
+  for seed = 1 to 3 do
+    let values = Array.init spec.Topology.n (fun i -> i + 1) in
+    let rng = Rng.create seed in
+    let assignment = Topology.generate Topology.Shared_plus_random rng spec in
+    (* Node 3 naps briefly in every phase (slot numbering restarts per
+       phase); the gap detector must clear its transient state and the
+       drain must still account for every value exactly once. *)
+    let faults = Faults.crash_restart ~node:3 ~from_slot:4 ~down_for:6 in
+    let trace = Trace.create () in
+    let res =
+      Cogcomp_robust.run ~trace ~faults ~monoid:Aggregate.sum ~values ~source:0
+        ~assignment ~k:spec.Topology.k ~rng ()
+    in
+    let ctx = Printf.sprintf "crash-restart seed=%d" seed in
+    check_int (ctx ^ " coverage+lost")
+      spec.Topology.n
+      (res.Cogcomp_robust.coverage + List.length res.Cogcomp_robust.lost);
+    let expect =
+      Array.to_list values
+      |> List.mapi (fun i x -> (i, x))
+      |> List.filter (fun (i, _) -> not (List.mem i res.Cogcomp_robust.lost))
+      |> List.fold_left (fun acc (_, x) -> acc + x) 0
+    in
+    check_int (ctx ^ " root = sum of covered") expect
+      res.Cogcomp_robust.root_value;
+    (match Trace.Check.exactly_once_drain trace with
+    | [] -> ()
+    | v :: _ -> Alcotest.failf "%s: %a" ctx Trace.Check.pp_violation v)
+  done
+
+(* --- reactive jammer ------------------------------------------------------- *)
+
+let test_reactive_jammer_terminates () =
+  let spec = { Topology.n = 16; c = 8; k = 2 } in
+  for seed = 1 to 2 do
+    let values = Array.init spec.Topology.n (fun i -> i + 1) in
+    let rng = Rng.create seed in
+    let assignment = Topology.generate Topology.Shared_plus_random rng spec in
+    let trace = Trace.create () in
+    let res =
+      Cogcomp_robust.run ~trace ~jammer:(Jammer.reactive ()) ~monoid:Aggregate.sum
+        ~values ~source:0 ~assignment ~k:spec.Topology.k ~rng ()
+    in
+    let ctx = Printf.sprintf "reactive seed=%d" seed in
+    check_int (ctx ^ " coverage+lost")
+      spec.Topology.n
+      (res.Cogcomp_robust.coverage + List.length res.Cogcomp_robust.lost);
+    (match Trace.Check.exactly_once_drain trace with
+    | [] -> ()
+    | v :: _ -> Alcotest.failf "%s: %a" ctx Trace.Check.pp_violation v)
+  done
+
+(* --- degradation is graceful ----------------------------------------------- *)
+
+let test_coverage_degrades_gracefully () =
+  (* More faults should not somehow *increase* what survives by a large
+     margin: with no faults coverage is n; with moderate churn it stays
+     positive (the source is spared, so at minimum the source's own value
+     is covered). *)
+  let spec = { Topology.n = 20; c = 8; k = 2 } in
+  let values = Array.init spec.Topology.n (fun i -> i + 1) in
+  let run faults seed =
+    let rng = Rng.create seed in
+    let assignment = Topology.generate Topology.Shared_plus_random rng spec in
+    Cogcomp_robust.run ?faults ~monoid:Aggregate.sum ~values ~source:0
+      ~assignment ~k:spec.Topology.k ~rng ()
+  in
+  let clean = run None 1 in
+  check_int "fault-free coverage" spec.Topology.n clean.Cogcomp_robust.coverage;
+  let churned =
+    run
+      (Some
+         (Faults.spare
+            (Faults.bernoulli_churn ~seed:9L ~mean_up:50. ~mean_down:10.)
+            ~node:0))
+      1
+  in
+  Alcotest.(check bool)
+    "churned coverage positive" true
+    (churned.Cogcomp_robust.coverage >= 1);
+  Alcotest.(check bool)
+    "churned coverage bounded" true
+    (churned.Cogcomp_robust.coverage <= spec.Topology.n)
+
+let () =
+  Alcotest.run "cogcomp_robust"
+    [
+      ( "parity",
+        [
+          Alcotest.test_case "fault-free results identical to plain" `Quick
+            test_faultfree_parity;
+          Alcotest.test_case "fault-free traces byte-identical" `Quick
+            test_faultfree_trace_identical;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "single non-source crash" `Quick test_single_crash;
+          Alcotest.test_case "bernoulli churn" `Quick test_churn;
+          Alcotest.test_case "crash/restart recovers" `Quick
+            test_crash_restart_recovers;
+          Alcotest.test_case "reactive jammer terminates" `Quick
+            test_reactive_jammer_terminates;
+          Alcotest.test_case "graceful degradation" `Quick
+            test_coverage_degrades_gracefully;
+        ] );
+    ]

@@ -580,6 +580,114 @@ let prop_engine_conserves_feedback =
       ignore (Engine.run ~availability:(one_channel n) ~rng ~nodes ~max_slots:slots ());
       Array.for_all (fun c -> c = slots) counts)
 
+(* --- Fault provenance and the robust-drain building blocks ----------------- *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_faults_to_string_provenance () =
+  let a = Faults.crash ~node:3 ~from_slot:7 in
+  let b = Faults.random_naps ~seed:11L ~rate:0.1 in
+  let u = Faults.union a b in
+  let s = Faults.to_string u in
+  check "union keeps left operand" true (contains ~needle:(Faults.to_string a) s);
+  check "union keeps right operand" true (contains ~needle:(Faults.to_string b) s);
+  let sp = Faults.to_string (Faults.spare u ~node:0) in
+  check "spare keeps inner schedule" true (contains ~needle:s sp);
+  check "none renders" true (String.length (Faults.to_string Faults.none) > 0)
+
+let test_faults_crash_restart () =
+  let f = Faults.crash_restart ~node:4 ~from_slot:10 ~down_for:5 in
+  check "up before window" false (Faults.down f ~slot:9 ~node:4);
+  check "down at start" true (Faults.down f ~slot:10 ~node:4);
+  check "down inside window" true (Faults.down f ~slot:14 ~node:4);
+  check "back up at end" false (Faults.down f ~slot:15 ~node:4);
+  check "up long after" false (Faults.down f ~slot:100 ~node:4);
+  check "others unaffected" false (Faults.down f ~slot:12 ~node:3)
+
+let test_faults_bernoulli_churn () =
+  let mean_up = 40. and mean_down = 10. in
+  let f = Faults.bernoulli_churn ~seed:21L ~mean_up ~mean_down in
+  let g = Faults.bernoulli_churn ~seed:21L ~mean_up ~mean_down in
+  let nodes = 8 and slots = 4000 in
+  (* All nodes start up. *)
+  for v = 0 to nodes - 1 do
+    check "up at slot 0" false (Faults.down f ~slot:0 ~node:v)
+  done;
+  (* Two instances with the same seed replay the same schedule, even when
+     queried in different orders (the chain is memoized internally). *)
+  let downs = ref 0 in
+  for slot = 0 to slots - 1 do
+    for v = 0 to nodes - 1 do
+      let d = Faults.down f ~slot ~node:v in
+      if d then incr downs;
+      check "deterministic across instances" d (Faults.down g ~slot ~node:v)
+    done
+  done;
+  (* Stationary down fraction is mean_down / (mean_up + mean_down) = 0.2. *)
+  let frac = float_of_int !downs /. float_of_int (nodes * slots) in
+  let expected = mean_down /. (mean_up +. mean_down) in
+  check "stationary down fraction"
+    true
+    (Float.abs (frac -. expected) < 0.08)
+
+let test_backoff_retry_delay () =
+  check_int "attempt 0" 1 (Backoff.retry_delay ~attempt:0 ~cap:64);
+  check_int "attempt 3" 8 (Backoff.retry_delay ~attempt:3 ~cap:64);
+  check_int "caps" 64 (Backoff.retry_delay ~attempt:10 ~cap:64);
+  check_int "huge attempt saturates" 4 (Backoff.retry_delay ~attempt:200 ~cap:4);
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check "negative attempt rejected" true
+    (raises (fun () -> Backoff.retry_delay ~attempt:(-1) ~cap:4));
+  check "cap < 1 rejected" true
+    (raises (fun () -> Backoff.retry_delay ~attempt:0 ~cap:0))
+
+let test_jammer_reactive () =
+  let j = Jammer.reactive () in
+  check "reactive observes" true (Jammer.observes j);
+  check "oblivious does not" false (Jammer.observes Jammer.none);
+  check_int "budget 1" 1 (Jammer.budget j);
+  (* Before any observation nothing is jammed. *)
+  for ch = 0 to 3 do
+    check "quiet before first observe" false (Jammer.jams j ~slot:0 ~node:0 ~channel:ch)
+  done;
+  (* After observing, the busiest channel is jammed at every node. *)
+  Jammer.observe j ~slot:0 [ (1, 2); (3, 5) ];
+  check "jams busiest" true (Jammer.jams j ~slot:1 ~node:0 ~channel:3);
+  check "same at every node" true (Jammer.jams j ~slot:1 ~node:7 ~channel:3);
+  check "spares the rest" false (Jammer.jams j ~slot:1 ~node:0 ~channel:1);
+  (* Ties break toward the smallest channel id. *)
+  Jammer.observe j ~slot:1 [ (2, 4); (0, 4) ];
+  check "tie -> low channel" true (Jammer.jams j ~slot:2 ~node:0 ~channel:0);
+  check "tie loser spared" false (Jammer.jams j ~slot:2 ~node:0 ~channel:2)
+
+let test_jammer_reactive_in_engine () =
+  (* End to end: a reactive jammer fed by the engine's occupancy scan jams
+     the broadcaster's channel one slot after hearing it. A jammed
+     broadcaster is inaudible, so the jammer loses its target and the
+     pattern alternates Heard / Jammed. *)
+  let j = Jammer.reactive () in
+  let log = ref [] in
+  let nodes =
+    [|
+      scripted ~id:0 ~decision:(Action.broadcast ~label:0 "x") (ref []);
+      scripted ~id:1 ~decision:(Action.listen ~label:0) log;
+    |]
+  in
+  ignore
+    (Engine.run ~jammer:j ~availability:(one_channel 2) ~rng:(Rng.create 12) ~nodes
+       ~max_slots:4 ());
+  match List.rev !log with
+  | [ s0; s1; s2; s3 ] ->
+      let heard = function Action.Heard _ -> true | _ -> false in
+      check "slot 0 delivered" true (heard s0);
+      check "slot 1 jammed" true (s1 = Action.Jammed);
+      check "slot 2 delivered again" true (heard s2);
+      check "slot 3 jammed again" true (s3 = Action.Jammed)
+  | fb -> Alcotest.failf "expected 4 feedbacks, got %d" (List.length fb)
+
 let () =
   Alcotest.run "crn_radio"
     [
@@ -605,6 +713,8 @@ let () =
           Alcotest.test_case "global uniform" `Quick test_jammer_global_uniform_across_nodes;
           Alcotest.test_case "sweep pattern" `Quick test_sweep_jammer;
           Alcotest.test_case "engine absorbs jammed actions" `Quick test_engine_jamming_absorbs;
+          Alcotest.test_case "reactive" `Quick test_jammer_reactive;
+          Alcotest.test_case "reactive in engine" `Quick test_jammer_reactive_in_engine;
         ] );
       ( "faults",
         [
@@ -615,6 +725,9 @@ let () =
           Alcotest.test_case "spare/union" `Quick test_faults_spare_and_union;
           Alcotest.test_case "engine: down node absent" `Quick test_engine_down_node_absent;
           Alcotest.test_case "staggered activation" `Quick test_staggered_activation;
+          Alcotest.test_case "to_string provenance" `Quick test_faults_to_string_provenance;
+          Alcotest.test_case "crash/restart window" `Quick test_faults_crash_restart;
+          Alcotest.test_case "bernoulli churn" `Quick test_faults_bernoulli_churn;
         ] );
       ( "metrics",
         [
@@ -635,6 +748,7 @@ let () =
           Alcotest.test_case "sessions succeed" `Quick test_backoff_succeeds;
           Alcotest.test_case "mean within O(log^2 n)" `Quick test_backoff_mean_within_bound;
           Alcotest.test_case "raw-radio variant agrees" `Quick test_backoff_on_raw_radio_agrees;
+          Alcotest.test_case "retry delay" `Quick test_backoff_retry_delay;
         ] );
       ( "emulation",
         [

@@ -234,6 +234,77 @@ let test_mutation_phase4 () =
   if violations = [] then
     Alcotest.fail "phase4-drain checker accepted a lost value on a complete run"
 
+let healthy_cogcomp_trace () =
+  let rng = Rng.create (seed + 900) in
+  let tr = Trace.create () in
+  ignore (run_cogcomp ~emulated:false ~n:16 ~c:8 ~k:2 ~rng tr);
+  tr
+
+let test_mutation_exactly_once () =
+  let tr = healthy_cogcomp_trace () in
+  assert_clean ~name:"mutation exactly-once baseline" tr;
+  (* Replay one Value_delivered three slots later — what a receiver without
+     sender-id dedup would record when folding a retry twice. The
+     exactly-once checker must fire even though both events are backed by
+     an earlier matching send. *)
+  let dup = ref false in
+  let events =
+    List.concat_map
+      (fun ev ->
+        match ev with
+        | Trace.Value_delivered { slot; sender; receiver; r } when not !dup ->
+            dup := true;
+            [ ev; Trace.Value_delivered { slot = slot + 3; sender; receiver; r } ]
+        | _ -> [ ev ])
+      (Trace.to_list tr)
+  in
+  if not !dup then Alcotest.fail "no Value_delivered event to duplicate";
+  if Trace.Check.exactly_once_drain (Trace.of_list events) = [] then
+    Alcotest.fail "exactly-once checker accepted a double-counted value"
+
+let test_phase4_down_relaxation () =
+  let tr = healthy_cogcomp_trace () in
+  (* Defer one delivery by a slot — a late ack. On a fault-free trace the
+     strict same-step send/delivery matching must reject it... *)
+  let shifted = ref false in
+  let events =
+    List.map
+      (fun ev ->
+        match ev with
+        | Trace.Value_delivered { slot; sender; receiver; r } when not !shifted ->
+            shifted := true;
+            Trace.Value_delivered { slot = slot + 1; sender; receiver; r }
+        | _ -> ev)
+      (Trace.to_list tr)
+  in
+  if not !shifted then Alcotest.fail "no Value_delivered event to defer";
+  if Trace.Check.phase4_drain (Trace.of_list events) = [] then
+    Alcotest.fail "strict phase4-drain accepted a late ack on a fault-free trace";
+  (* ...but a single Down event marks the trace faulty, and the same late
+     ack becomes legitimate: a node that missed its echo slot acks late. *)
+  let faulty = Trace.Down { slot = 0; node = 1 } :: events in
+  (match Trace.Check.phase4_drain (Trace.of_list faulty) with
+  | [] -> ()
+  | viol :: _ ->
+      Alcotest.failf "down-aware phase4-drain rejected a legitimate late ack: %s"
+        (Format.asprintf "%a" Trace.Check.pp_violation viol));
+  (* The relaxed matcher is not vacuous: a delivery naming a cluster its
+     sender never sent still fires on the faulty trace. *)
+  let bogus = ref false in
+  let corrupt =
+    List.map
+      (fun ev ->
+        match ev with
+        | Trace.Value_delivered { slot; sender; receiver; r } when not !bogus ->
+            bogus := true;
+            Trace.Value_delivered { slot; sender; receiver; r = r + 1000 }
+        | _ -> ev)
+      faulty
+  in
+  if Trace.Check.phase4_drain (Trace.of_list corrupt) = [] then
+    Alcotest.fail
+      "down-aware phase4-drain accepted a delivery with no matching send"
+
 (* --- JSONL round-trip --------------------------------------------------- *)
 
 let test_jsonl_roundtrip () =
@@ -332,6 +403,8 @@ let () =
           Alcotest.test_case "one-winner fires" `Quick test_mutation_one_winner;
           Alcotest.test_case "informed-tree fires" `Quick test_mutation_informed_tree;
           Alcotest.test_case "phase4-drain fires" `Quick test_mutation_phase4;
+          Alcotest.test_case "exactly-once fires" `Quick test_mutation_exactly_once;
+          Alcotest.test_case "down-aware relaxation" `Quick test_phase4_down_relaxation;
         ] );
       ( "jsonl",
         [
