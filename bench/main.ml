@@ -42,6 +42,11 @@ let experiments =
     ("E20", Exp_extensions.e20);
     ("E21", Exp_extensions.e21);
     ("E22", Exp_extensions.e22);
+    (* Not a paper experiment: the engine hot-path micro-benchmark
+       (allocations/slot and ns/slot, rewritten engines vs their reference
+       specifications). `bench/main.exe -- micro --quick --json` is the CI
+       smoke invocation that accumulates per-PR perf data points. *)
+    ("MICRO", Micro.bench_engine);
   ]
 
 let known_ids = List.map fst experiments
@@ -53,6 +58,8 @@ let usage oc =
      options:\n\
      \  --quick         trimmed sweeps and trial counts (seconds, not minutes)\n\
      \  --no-micro      skip the Bechamel micro-benchmark section\n\
+     \                  (the MICRO engine bench is an experiment id instead:\n\
+     \                  `main.exe -- micro --quick --json` for the CI smoke)\n\
      \  --jobs N        run trials on N domains (default: %d, the recommended\n\
      \                  domain count; results are identical at any N)\n\
      \  --json [PATH]   also write results as JSON to PATH (default\n\

@@ -1,5 +1,15 @@
-(* Bechamel micro-benchmarks: wall-clock throughput of the simulator kernels
-   that every experiment rests on — one Test.make per experiment family. *)
+(* Micro-benchmarks.
+
+   [bench_engine] (the MICRO experiment id) measures the engine hot path
+   head-to-head against its executable specification: minor-heap words and
+   wall-clock per slot for {!Crn_radio.Engine.run} / {!Crn_radio.Emulation.run}
+   versus {!Crn_radio.Reference} (the pre-rewrite list-and-hashtable slot
+   loop in canonical order). Results land in the --json report, so the
+   perf trajectory of the engine itself accumulates across PRs.
+
+   [run] holds the original Bechamel kernel-throughput suite: wall-clock of
+   the simulator kernels every experiment rests on — one Test.make per
+   experiment family. *)
 
 open Bechamel
 open Toolkit
@@ -14,6 +24,153 @@ module Hitting_game = Crn_games.Hitting_game
 module Players = Crn_games.Players
 
 let spec = { Topology.n = 64; c = 16; k = 4 }
+
+(* ------------------------------------------------------------------ *)
+(* MICRO: engine hot path, rewritten vs reference.                     *)
+(* ------------------------------------------------------------------ *)
+
+module Engine = Crn_radio.Engine
+module Emulation = Crn_radio.Emulation
+module Reference = Crn_radio.Reference
+module Action = Crn_radio.Action
+module Dynamic = Crn_channel.Dynamic
+
+(* A contention-heavy synthetic protocol with a precomputed cyclic decision
+   schedule: node i replays a random-looking but fully pre-allocated pattern
+   of broadcast/listen choices and labels (period [schedule_period]), so the
+   protocol itself allocates nothing and draws no randomness during the
+   measured run. The minor-heap words measured are therefore the engine
+   layer's own (including its winner draws on contended channels), not the
+   workload's. The message payload is the node id. *)
+let schedule_period = 64
+
+let make_bench_nodes ~n ~c ~seed =
+  let rng = Rng.create seed in
+  let schedule =
+    Array.init n (fun i ->
+        Array.init schedule_period (fun _ ->
+            let label = Rng.int rng c in
+            if Rng.bool rng then Action.broadcast ~label i
+            else Action.listen ~label))
+  in
+  Array.init n (fun i ->
+      Engine.node ~id:i
+        ~decide:(fun ~slot -> schedule.(i).(slot mod schedule_period))
+        ~feedback:(fun ~slot:_ _ -> ()))
+
+(* Run [run_slots ~nodes ~max_slots] once for warmup (steady-state scratch
+   sizing), then measure minor words and wall-clock per slot over a fresh
+   node set with identical streams. *)
+let measure_engine ~n ~c ~seed ~slots run_slots =
+  let warm_nodes = make_bench_nodes ~n ~c ~seed in
+  ignore (run_slots ~nodes:warm_nodes ~max_slots:(min 16 slots));
+  let nodes = make_bench_nodes ~n ~c ~seed in
+  Gc.minor ();
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  ignore (run_slots ~nodes ~max_slots:slots);
+  let wall = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  ( words /. float_of_int slots,
+    wall /. float_of_int slots *. 1e9 (* ns/slot *) )
+
+let bench_engine () =
+  Bench_util.header "MICRO"
+    "Engine hot path: minor-heap words/slot and ns/slot, rewritten vs reference spec";
+  let slots = if !Bench_util.quick then 400 else 2_000 in
+  let configs =
+    if !Bench_util.quick then [ (256, 32, 4) ]
+    else [ (256, 32, 4); (1024, 32, 4); (4096, 32, 4) ]
+  in
+  let t =
+    Crn_stats.Table.create
+      [ "n"; "C"; "impl"; "words/slot"; "ns/slot"; "alloc x"; "wall x" ]
+  in
+  List.iter
+    (fun (n, c, k) ->
+      let topo_spec = { Topology.n; c; k } in
+      let assignment = Topology.shared_core (Rng.create 42) topo_spec in
+      let availability = Dynamic.static assignment in
+      let big_c = Crn_channel.Assignment.num_channels assignment in
+      let engine ~nodes ~max_slots =
+        Engine.run ~availability ~rng:(Rng.create 99) ~nodes ~max_slots ()
+      in
+      let reference ~nodes ~max_slots =
+        Reference.engine_run ~availability ~rng:(Rng.create 99) ~nodes
+          ~max_slots ()
+      in
+      let new_words, new_ns = measure_engine ~n ~c ~seed:(7 * n) ~slots engine in
+      let ref_words, ref_ns =
+        measure_engine ~n ~c ~seed:(7 * n) ~slots reference
+      in
+      let alloc_ratio = ref_words /. Float.max 1.0 new_words in
+      let wall_ratio = ref_ns /. new_ns in
+      let row impl words ns ar wr =
+        Crn_stats.Table.add_row t
+          [
+            string_of_int n;
+            string_of_int big_c;
+            impl;
+            Printf.sprintf "%.1f" words;
+            Printf.sprintf "%.0f" ns;
+            ar;
+            wr;
+          ]
+      in
+      row "reference" ref_words ref_ns "" "";
+      row "engine" new_words new_ns
+        (Printf.sprintf "%.1f" alloc_ratio)
+        (Printf.sprintf "%.2f" wall_ratio);
+      Bench_util.note
+        "n=%-5d engine %.1f words/slot vs reference %.1f (%.1fx fewer); %.0f ns/slot vs %.0f (%.2fx faster)"
+        n new_words ref_words alloc_ratio new_ns ref_ns wall_ratio)
+    configs;
+  (* The emulation layer at one representative point. *)
+  let n, c, k = (256, 32, 4) in
+  let topo_spec = { Topology.n; c; k } in
+  let assignment = Topology.shared_core (Rng.create 43) topo_spec in
+  let availability = Dynamic.static assignment in
+  let big_c = Crn_channel.Assignment.num_channels assignment in
+  let emu_slots = max 100 (slots / 4) in
+  let emulation ~nodes ~max_slots =
+    ignore
+      (Emulation.run ~availability ~rng:(Rng.create 99) ~nodes ~max_slots ());
+    ()
+  in
+  let emu_reference ~nodes ~max_slots =
+    ignore
+      (Reference.emulation_run ~availability ~rng:(Rng.create 99) ~nodes
+         ~max_slots ());
+    ()
+  in
+  let new_words, new_ns =
+    measure_engine ~n ~c ~seed:(7 * n) ~slots:emu_slots emulation
+  in
+  let ref_words, ref_ns =
+    measure_engine ~n ~c ~seed:(7 * n) ~slots:emu_slots emu_reference
+  in
+  let alloc_ratio = ref_words /. Float.max 1.0 new_words in
+  Crn_stats.Table.add_row t
+    [
+      string_of_int n;
+      string_of_int big_c;
+      "emulation-ref";
+      Printf.sprintf "%.1f" ref_words;
+      Printf.sprintf "%.0f" ref_ns;
+      "";
+      "";
+    ];
+  Crn_stats.Table.add_row t
+    [
+      string_of_int n;
+      string_of_int big_c;
+      "emulation";
+      Printf.sprintf "%.1f" new_words;
+      Printf.sprintf "%.0f" new_ns;
+      Printf.sprintf "%.1f" alloc_ratio;
+      Printf.sprintf "%.2f" (ref_ns /. new_ns);
+    ];
+  Bench_util.print_table t
 
 let bench_rng =
   Test.make ~name:"rng/draws-1k"

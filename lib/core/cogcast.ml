@@ -159,7 +159,7 @@ let run_emulated ?session_cap ?trace ?(record = false) ?(stop_when_complete = tr
   in
   let result =
     result_of_runtime rt ~slots_run:outcome.Crn_radio.Emulation.slots_run
-      ~counters:(Trace.Counters.create ())
+      ~counters:outcome.Crn_radio.Emulation.counters
   in
   (result, outcome)
 

@@ -85,12 +85,12 @@ val run_emulated :
 (** The footnote-4 composition: the same protocol executed on the *raw
     collision radio*, each abstract slot realized by per-channel decay
     contention sessions ({!Crn_radio.Emulation}). Returns the usual result
-    (its [counters] are zero — channel accounting lives in the emulation
-    outcome) paired with the emulation outcome carrying the raw-round
-    cost. Experiment E22 measures the overhead ratio. With [?trace]
-    supplied, the emulation additionally streams per-channel
-    {!Crn_radio.Trace.Session} events recording each contention session's
-    raw-round cost. *)
+    — its [counters] are the emulation's real channel accounting (shared
+    with the paired outcome), not zeros — together with the emulation
+    outcome carrying the raw-round cost. Experiment E22 measures the
+    overhead ratio. With [?trace] supplied, the emulation additionally
+    streams per-channel {!Crn_radio.Trace.Session} events recording each
+    contention session's raw-round cost. *)
 
 val run_static :
   ?jammer:Crn_radio.Jammer.t ->

@@ -7,13 +7,16 @@ type outcome = {
   raw_rounds : int;
   failed_sessions : int;
   stopped_early : bool;
+  counters : Trace.Counters.t;
 }
 
-type 'msg channel_state = {
-  mutable broadcasters : (int * 'msg) list;
-  mutable listeners : int list;
-}
-
+(* Same hot-path structure as {!Engine.run}: dense {!Scratch} occupancy
+   reused across slots, channels resolved — and therefore {!Backoff.session}
+   RNG consumed — in ascending global channel id. The previous
+   implementation ran sessions inside [Hashtbl.iter], so session round
+   counts and winners depended on stdlib hash order; the canonical order
+   makes them a function of the seed alone. {!Reference.emulation_run} is
+   the executable specification. *)
 let run ?session_cap ?trace ?stop ~availability ~rng ~nodes ~max_slots () =
   let n = Array.length nodes in
   if n = 0 then invalid_arg "Emulation.run: no nodes";
@@ -28,9 +31,9 @@ let run ?session_cap ?trace ?stop ~availability ~rng ~nodes ~max_slots () =
   in
   let traced = trace <> None in
   let emit ev = match trace with Some tr -> Trace.record tr ev | None -> () in
-  let channels : (int, 'msg channel_state) Hashtbl.t = Hashtbl.create (4 * n) in
+  let counters = Trace.Counters.create () in
+  let scratch = Scratch.create ~num_nodes:n in
   let decisions = Array.make n (Action.listen ~label:0) in
-  let tuned = Array.make n 0 in
   let slot = ref 0 in
   let raw_rounds = ref 0 in
   let failed_sessions = ref 0 in
@@ -39,14 +42,13 @@ let run ?session_cap ?trace ?stop ~availability ~rng ~nodes ~max_slots () =
     let s = !slot in
     let assignment = Dynamic.at availability s in
     let c = Assignment.channels_per_node assignment in
-    Hashtbl.reset channels;
+    Scratch.begin_slot scratch ~num_channels:(Assignment.num_channels assignment);
     for i = 0 to n - 1 do
       let decision = nodes.(i).Engine.decide ~slot:s in
       if decision.Action.label < 0 || decision.Action.label >= c then
         invalid_arg "Emulation.run: label out of range";
       decisions.(i) <- decision;
       let channel = Assignment.global_of_local assignment ~node:i ~label:decision.Action.label in
-      tuned.(i) <- channel;
       if traced then
         emit
           (Trace.Decide
@@ -57,82 +59,103 @@ let run ?session_cap ?trace ?stop ~availability ~rng ~nodes ~max_slots () =
                label = decision.Action.label;
                tx = Action.is_broadcast decision;
              });
-      let state =
-        match Hashtbl.find_opt channels channel with
-        | Some st -> st
-        | None ->
-            let st = { broadcasters = []; listeners = [] } in
-            Hashtbl.replace channels channel st;
-            st
-      in
       match decision.Action.intent with
-      | Action.Broadcast msg -> state.broadcasters <- (i, msg) :: state.broadcasters
-      | Action.Listen -> state.listeners <- i :: state.listeners
+      | Action.Broadcast _ ->
+          Scratch.add_broadcaster scratch ~channel ~node:i;
+          counters.Trace.Counters.broadcasts <-
+            counters.Trace.Counters.broadcasts + 1
+      | Action.Listen -> Scratch.add_listener scratch ~channel ~node:i
     done;
-    (* Resolve every active channel with a decay contention session; the
-       abstract slot costs the longest session (sessions are concurrent
-       across channels). Idle channels cost one raw round of listening. *)
+    (* Resolve every active channel — in ascending global channel id, the
+       canonical order — with a decay contention session; the abstract slot
+       costs the longest session (sessions are concurrent across channels).
+       Idle channels cost one raw round of listening. *)
     let slot_rounds = ref 1 in
-    Hashtbl.iter
-      (fun channel state ->
-        match state.broadcasters with
-        | [] ->
-            List.iter
-              (fun l ->
-                if traced then emit (Trace.Silent { slot = s; node = l; channel });
-                nodes.(l).Engine.feedback ~slot:s Action.Silence)
-              state.listeners
-        | broadcasters -> (
-            let contenders = List.length broadcasters in
-            match Backoff.session ~rng ~contenders ~cap:session_cap with
-            | Some { Backoff.winner; rounds } ->
-                slot_rounds := max !slot_rounds rounds;
-                let winner_id, winner_msg = List.nth broadcasters winner in
-                if traced then begin
-                  emit
-                    (Trace.Session { slot = s; channel; contenders; rounds; ok = true });
-                  emit
-                    (Trace.Win { slot = s; channel; winner = winner_id; contenders })
-                end;
-                List.iter
-                  (fun (b, _) ->
-                    if b = winner_id then nodes.(b).Engine.feedback ~slot:s Action.Won
-                    else
-                      nodes.(b).Engine.feedback ~slot:s
-                        (Action.Lost { winner = winner_id; msg = winner_msg }))
-                  broadcasters;
-                List.iter
-                  (fun l ->
-                    if traced then
-                      emit
-                        (Trace.Deliver
-                           { slot = s; channel; sender = winner_id; receiver = l });
-                    nodes.(l).Engine.feedback ~slot:s
-                      (Action.Heard { sender = winner_id; msg = winner_msg }))
-                  state.listeners
-            | None ->
-                incr failed_sessions;
-                slot_rounds := max !slot_rounds session_cap;
-                if traced then
-                  emit
-                    (Trace.Session
-                       {
-                         slot = s;
-                         channel;
-                         contenders;
-                         rounds = session_cap;
-                         ok = false;
-                       });
-                List.iter
-                  (fun (b, _) -> nodes.(b).Engine.feedback ~slot:s Action.Silence)
-                  broadcasters;
-                List.iter
-                  (fun l ->
-                    if traced then emit (Trace.Silent { slot = s; node = l; channel });
-                    nodes.(l).Engine.feedback ~slot:s Action.Silence)
-                  state.listeners))
-      channels;
+    Scratch.sort_active scratch;
+    for j = 0 to scratch.Scratch.active_len - 1 do
+      let channel = scratch.Scratch.active.(j) in
+      let contenders = scratch.Scratch.bcast_count.(channel) in
+      if contenders = 0 then begin
+        let l = ref scratch.Scratch.listen_head.(channel) in
+        while !l >= 0 do
+          let node = !l in
+          l := scratch.Scratch.next.(node);
+          if traced then emit (Trace.Silent { slot = s; node; channel });
+          nodes.(node).Engine.feedback ~slot:s Action.Silence
+        done
+      end
+      else begin
+        if contenders > 1 then
+          counters.Trace.Counters.contended <-
+            counters.Trace.Counters.contended + 1;
+        match Backoff.session ~rng ~contenders ~cap:session_cap with
+        | Some { Backoff.winner; rounds } ->
+            slot_rounds := max !slot_rounds rounds;
+            let winner_id = Scratch.nth_broadcaster scratch ~channel winner in
+            let winner_msg =
+              match decisions.(winner_id).Action.intent with
+              | Action.Broadcast msg -> msg
+              | Action.Listen -> assert false
+            in
+            counters.Trace.Counters.wins <- counters.Trace.Counters.wins + 1;
+            if traced then begin
+              emit
+                (Trace.Session { slot = s; channel; contenders; rounds; ok = true });
+              emit
+                (Trace.Win { slot = s; channel; winner = winner_id; contenders })
+            end;
+            let b = ref scratch.Scratch.bcast_head.(channel) in
+            while !b >= 0 do
+              let node = !b in
+              b := scratch.Scratch.next.(node);
+              if node = winner_id then nodes.(node).Engine.feedback ~slot:s Action.Won
+              else
+                nodes.(node).Engine.feedback ~slot:s
+                  (Action.Lost { winner = winner_id; msg = winner_msg })
+            done;
+            let l = ref scratch.Scratch.listen_head.(channel) in
+            while !l >= 0 do
+              let node = !l in
+              l := scratch.Scratch.next.(node);
+              counters.Trace.Counters.deliveries <-
+                counters.Trace.Counters.deliveries + 1;
+              if traced then
+                emit
+                  (Trace.Deliver
+                     { slot = s; channel; sender = winner_id; receiver = node });
+              nodes.(node).Engine.feedback ~slot:s
+                (Action.Heard { sender = winner_id; msg = winner_msg })
+            done
+        | None ->
+            incr failed_sessions;
+            slot_rounds := max !slot_rounds session_cap;
+            if traced then
+              emit
+                (Trace.Session
+                   {
+                     slot = s;
+                     channel;
+                     contenders;
+                     rounds = session_cap;
+                     ok = false;
+                   });
+            let b = ref scratch.Scratch.bcast_head.(channel) in
+            while !b >= 0 do
+              let node = !b in
+              b := scratch.Scratch.next.(node);
+              nodes.(node).Engine.feedback ~slot:s Action.Silence
+            done;
+            let l = ref scratch.Scratch.listen_head.(channel) in
+            while !l >= 0 do
+              let node = !l in
+              l := scratch.Scratch.next.(node);
+              if traced then emit (Trace.Silent { slot = s; node; channel });
+              nodes.(node).Engine.feedback ~slot:s Action.Silence
+            done
+      end
+    done;
     raw_rounds := !raw_rounds + !slot_rounds;
+    counters.Trace.Counters.slots_run <- counters.Trace.Counters.slots_run + 1;
     (match stop with Some f -> if f ~slot:s then stopped := true | None -> ());
     incr slot
   done;
@@ -141,4 +164,5 @@ let run ?session_cap ?trace ?stop ~availability ~rng ~nodes ~max_slots () =
     raw_rounds = !raw_rounds;
     failed_sessions = !failed_sessions;
     stopped_early = !stopped;
+    counters;
   }

@@ -33,6 +33,11 @@ type outcome = {
           channels deliver nothing in that slot (all participants receive
           {!Action.Silence}). *)
   stopped_early : bool;
+  counters : Trace.Counters.t;
+      (** The same always-on channel accounting {!Engine.run} maintains:
+          [wins] counts successful sessions, [contended] channels with two
+          or more broadcasters (succeeded or not), [jammed_actions] is
+          always 0 (no jamming at this layer). *)
 }
 
 val run :
@@ -52,4 +57,10 @@ val run :
     channels cost one raw round. With [?trace] supplied, each slot appends
     {!Trace.Decide}, {!Trace.Session} (one per active channel, [ok=false]
     when the session hit the cap), {!Trace.Win}, {!Trace.Deliver} and
-    {!Trace.Silent} events; without it no event is allocated. *)
+    {!Trace.Silent} events; without it no event is allocated.
+
+    Channels are resolved — and the shared [rng] consumed by
+    {!Backoff.session} — in ascending global channel id, the same canonical
+    order as {!Engine.run}, so session lengths and winners are a function of
+    the seed alone. The slot loop is allocation-free in steady state;
+    {!Reference.emulation_run} is its executable specification. *)

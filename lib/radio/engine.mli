@@ -22,7 +22,20 @@
     outage in §1's robustness discussion.
 
     The engine is polymorphic in the message type, so different protocols
-    bring their own message variants without an untyped union. *)
+    bring their own message variants without an untyped union.
+
+    {b Canonical resolution order.} Within a slot, channels are resolved in
+    ascending global channel id. This fixes the order in which the shared
+    [rng] is consumed (one draw per channel with two or more audible
+    broadcasters, none otherwise), so winners — and therefore traces,
+    counters and every downstream result — are a deterministic function of
+    the seed, never of hashtable bucket layout. Within one channel, winner
+    indexing and feedback delivery walk broadcasters and listeners in
+    descending node id (the historical list order). Reactive jammers
+    receive the slot's occupancy in ascending channel order. The slot loop
+    is allocation-free in steady state; {!Reference.engine_run} is the
+    list-based executable specification it is differentially tested
+    against. *)
 
 type 'msg node = {
   id : int;  (** Must equal the node's index in the [nodes] array. *)

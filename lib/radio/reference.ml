@@ -1,0 +1,320 @@
+(* Executable specifications of the slot engines: the original list-and-
+   hashtable implementations, kept verbatim except that channels are
+   resolved in the canonical ascending-global-id order (the pre-rewrite
+   code iterated [Hashtbl.iter], i.e. hash-bucket order — the bug this PR
+   fixes). The optimized {!Engine.run} / {!Emulation.run} must be
+   observationally identical to these: same outcomes, same counters, same
+   feedback sequences, byte-equal traces. The differential tests in
+   [test/test_determinism.ml] enforce that on randomized topologies, and
+   the [MICRO] bench uses these as the allocation/wall-clock baseline. *)
+
+module Rng = Crn_prng.Rng
+module Dynamic = Crn_channel.Dynamic
+module Assignment = Crn_channel.Assignment
+
+type 'msg channel_state = {
+  mutable broadcasters : (int * 'msg) list;  (* audible: (node, msg) *)
+  mutable listeners : int list;  (* audible listeners *)
+}
+
+(* The canonical resolution order over a populated hashtable: materialize
+   and sort. Allocates freely — this is the spec, not the hot path. *)
+let sorted_channels channels =
+  let pairs = Hashtbl.fold (fun ch st acc -> (ch, st) :: acc) channels [] in
+  List.sort (fun (a, _) (b, _) -> compare a b) pairs
+
+let engine_run ?(jammer = Jammer.none) ?(faults = Faults.none) ?metrics ?trace
+    ?stop ?on_slot_end ~availability ~rng ~nodes ~max_slots () =
+  let n = Array.length nodes in
+  if n = 0 then invalid_arg "Reference.engine_run: no nodes";
+  if Dynamic.num_nodes availability <> n then
+    invalid_arg "Reference.engine_run: node count disagrees with availability";
+  Array.iteri
+    (fun i node ->
+      if node.Engine.id <> i then
+        invalid_arg "Reference.engine_run: node id mismatch")
+    nodes;
+  if max_slots < 0 then invalid_arg "Reference.engine_run: negative max_slots";
+  (match metrics with
+  | Some m ->
+      if Array.length m.Metrics.transmissions <> n then
+        invalid_arg "Reference.engine_run: metrics sized for a different node count"
+  | None -> ());
+  let bump counters i =
+    match metrics with
+    | Some m -> (counters m).(i) <- (counters m).(i) + 1
+    | None -> ()
+  in
+  let traced = trace <> None in
+  let emit ev = match trace with Some tr -> Trace.record tr ev | None -> () in
+  let counters = Trace.Counters.create () in
+  let channels : (int, 'msg channel_state) Hashtbl.t = Hashtbl.create (4 * n) in
+  let decisions = Array.make n (Action.listen ~label:0) in
+  let tuned = Array.make n (-1) in
+  let slot = ref 0 in
+  let stopped = ref false in
+  while (not !stopped) && !slot < max_slots do
+    let s = !slot in
+    let assignment = Dynamic.at availability s in
+    let c = Assignment.channels_per_node assignment in
+    Hashtbl.reset channels;
+    for i = 0 to n - 1 do
+      if Faults.down faults ~slot:s ~node:i then begin
+        tuned.(i) <- -2;
+        if traced then emit (Trace.Down { slot = s; node = i })
+      end
+      else begin
+      let decision = nodes.(i).Engine.decide ~slot:s in
+      if decision.Action.label < 0 || decision.Action.label >= c then
+        invalid_arg
+          (Printf.sprintf "Reference.engine_run: node %d chose label %d outside [0,%d)"
+             i decision.Action.label c);
+      decisions.(i) <- decision;
+      let channel = Assignment.global_of_local assignment ~node:i ~label:decision.Action.label in
+      bump (fun m -> m.Metrics.awake_slots) i;
+      if Jammer.jams jammer ~slot:s ~node:i ~channel then begin
+        tuned.(i) <- -1;
+        counters.Trace.Counters.jammed_actions <-
+          counters.Trace.Counters.jammed_actions + 1;
+        if traced then emit (Trace.Jam { slot = s; node = i; channel });
+        bump (fun m -> m.Metrics.jammed) i
+      end
+      else begin
+        tuned.(i) <- channel;
+        if traced then
+          emit
+            (Trace.Decide
+               {
+                 slot = s;
+                 node = i;
+                 channel;
+                 label = decision.Action.label;
+                 tx = Action.is_broadcast decision;
+               });
+        let state =
+          match Hashtbl.find_opt channels channel with
+          | Some st -> st
+          | None ->
+              let st = { broadcasters = []; listeners = [] } in
+              Hashtbl.replace channels channel st;
+              st
+        in
+        match decision.Action.intent with
+        | Action.Broadcast msg ->
+            state.broadcasters <- (i, msg) :: state.broadcasters;
+            counters.Trace.Counters.broadcasts <-
+              counters.Trace.Counters.broadcasts + 1;
+            bump (fun m -> m.Metrics.transmissions) i
+        | Action.Listen -> state.listeners <- i :: state.listeners
+      end
+      end
+    done;
+    let resolved = sorted_channels channels in
+    List.iter
+      (fun (channel, state) ->
+        match state.broadcasters with
+        | [] -> ()
+        | broadcasters ->
+            let count = List.length broadcasters in
+            let widx = if count = 1 then 0 else Rng.int rng count in
+            let winner_id, winner_msg = List.nth broadcasters widx in
+            counters.Trace.Counters.wins <- counters.Trace.Counters.wins + 1;
+            if count > 1 then
+              counters.Trace.Counters.contended <-
+                counters.Trace.Counters.contended + 1;
+            if traced then
+              emit
+                (Trace.Win { slot = s; channel; winner = winner_id; contenders = count });
+            List.iter
+              (fun (b, _msg) ->
+                if b = winner_id then nodes.(b).Engine.feedback ~slot:s Action.Won
+                else
+                  nodes.(b).Engine.feedback ~slot:s
+                    (Action.Lost { winner = winner_id; msg = winner_msg }))
+              broadcasters;
+            List.iter
+              (fun l ->
+                counters.Trace.Counters.deliveries <-
+                  counters.Trace.Counters.deliveries + 1;
+                if traced then
+                  emit
+                    (Trace.Deliver
+                       { slot = s; channel; sender = winner_id; receiver = l });
+                bump (fun m -> m.Metrics.receptions) l;
+                nodes.(l).Engine.feedback ~slot:s
+                  (Action.Heard { sender = winner_id; msg = winner_msg }))
+              state.listeners)
+      resolved;
+    for i = 0 to n - 1 do
+      if tuned.(i) = -2 then ()
+      else if tuned.(i) = -1 then nodes.(i).Engine.feedback ~slot:s Action.Jammed
+      else
+        match decisions.(i).Action.intent with
+        | Action.Broadcast _ -> ()
+        | Action.Listen ->
+            let state = Hashtbl.find channels tuned.(i) in
+            if state.broadcasters = [] then begin
+              if traced then
+                emit (Trace.Silent { slot = s; node = i; channel = tuned.(i) });
+              nodes.(i).Engine.feedback ~slot:s Action.Silence
+            end
+    done;
+    counters.Trace.Counters.slots_run <- counters.Trace.Counters.slots_run + 1;
+    if Jammer.observes jammer then begin
+      let occupancy =
+        List.fold_left
+          (fun acc (channel, state) ->
+            match state.broadcasters with
+            | [] -> acc
+            | bs -> (channel, List.length bs) :: acc)
+          [] (List.rev resolved)
+      in
+      Jammer.observe jammer ~slot:s occupancy
+    end;
+    (match on_slot_end with Some f -> f ~slot:s | None -> ());
+    (match stop with Some f -> if f ~slot:s then stopped := true | None -> ());
+    incr slot
+  done;
+  {
+    Engine.slots_run = !slot;
+    stopped_early = !stopped;
+    counters;
+  }
+
+let emulation_run ?session_cap ?trace ?stop ~availability ~rng ~nodes ~max_slots
+    () =
+  let n = Array.length nodes in
+  if n = 0 then invalid_arg "Reference.emulation_run: no nodes";
+  if Dynamic.num_nodes availability <> n then
+    invalid_arg "Reference.emulation_run: node count disagrees with availability";
+  Array.iteri
+    (fun i node ->
+      if node.Engine.id <> i then
+        invalid_arg "Reference.emulation_run: node id mismatch")
+    nodes;
+  let session_cap =
+    match session_cap with Some v -> v | None -> Backoff.expected_rounds_bound n
+  in
+  let traced = trace <> None in
+  let emit ev = match trace with Some tr -> Trace.record tr ev | None -> () in
+  let counters = Trace.Counters.create () in
+  let channels : (int, 'msg channel_state) Hashtbl.t = Hashtbl.create (4 * n) in
+  let decisions = Array.make n (Action.listen ~label:0) in
+  let slot = ref 0 in
+  let raw_rounds = ref 0 in
+  let failed_sessions = ref 0 in
+  let stopped = ref false in
+  while (not !stopped) && !slot < max_slots do
+    let s = !slot in
+    let assignment = Dynamic.at availability s in
+    let c = Assignment.channels_per_node assignment in
+    Hashtbl.reset channels;
+    for i = 0 to n - 1 do
+      let decision = nodes.(i).Engine.decide ~slot:s in
+      if decision.Action.label < 0 || decision.Action.label >= c then
+        invalid_arg "Reference.emulation_run: label out of range";
+      decisions.(i) <- decision;
+      let channel = Assignment.global_of_local assignment ~node:i ~label:decision.Action.label in
+      if traced then
+        emit
+          (Trace.Decide
+             {
+               slot = s;
+               node = i;
+               channel;
+               label = decision.Action.label;
+               tx = Action.is_broadcast decision;
+             });
+      let state =
+        match Hashtbl.find_opt channels channel with
+        | Some st -> st
+        | None ->
+            let st = { broadcasters = []; listeners = [] } in
+            Hashtbl.replace channels channel st;
+            st
+      in
+      match decision.Action.intent with
+      | Action.Broadcast msg ->
+          state.broadcasters <- (i, msg) :: state.broadcasters;
+          counters.Trace.Counters.broadcasts <-
+            counters.Trace.Counters.broadcasts + 1
+      | Action.Listen -> state.listeners <- i :: state.listeners
+    done;
+    let slot_rounds = ref 1 in
+    List.iter
+      (fun (channel, state) ->
+        match state.broadcasters with
+        | [] ->
+            List.iter
+              (fun l ->
+                if traced then emit (Trace.Silent { slot = s; node = l; channel });
+                nodes.(l).Engine.feedback ~slot:s Action.Silence)
+              state.listeners
+        | broadcasters -> (
+            let contenders = List.length broadcasters in
+            if contenders > 1 then
+              counters.Trace.Counters.contended <-
+                counters.Trace.Counters.contended + 1;
+            match Backoff.session ~rng ~contenders ~cap:session_cap with
+            | Some { Backoff.winner; rounds } ->
+                slot_rounds := max !slot_rounds rounds;
+                let winner_id, winner_msg = List.nth broadcasters winner in
+                counters.Trace.Counters.wins <- counters.Trace.Counters.wins + 1;
+                if traced then begin
+                  emit
+                    (Trace.Session { slot = s; channel; contenders; rounds; ok = true });
+                  emit
+                    (Trace.Win { slot = s; channel; winner = winner_id; contenders })
+                end;
+                List.iter
+                  (fun (b, _) ->
+                    if b = winner_id then nodes.(b).Engine.feedback ~slot:s Action.Won
+                    else
+                      nodes.(b).Engine.feedback ~slot:s
+                        (Action.Lost { winner = winner_id; msg = winner_msg }))
+                  broadcasters;
+                List.iter
+                  (fun l ->
+                    counters.Trace.Counters.deliveries <-
+                      counters.Trace.Counters.deliveries + 1;
+                    if traced then
+                      emit
+                        (Trace.Deliver
+                           { slot = s; channel; sender = winner_id; receiver = l });
+                    nodes.(l).Engine.feedback ~slot:s
+                      (Action.Heard { sender = winner_id; msg = winner_msg }))
+                  state.listeners
+            | None ->
+                incr failed_sessions;
+                slot_rounds := max !slot_rounds session_cap;
+                if traced then
+                  emit
+                    (Trace.Session
+                       {
+                         slot = s;
+                         channel;
+                         contenders;
+                         rounds = session_cap;
+                         ok = false;
+                       });
+                List.iter
+                  (fun (b, _) -> nodes.(b).Engine.feedback ~slot:s Action.Silence)
+                  broadcasters;
+                List.iter
+                  (fun l ->
+                    if traced then emit (Trace.Silent { slot = s; node = l; channel });
+                    nodes.(l).Engine.feedback ~slot:s Action.Silence)
+                  state.listeners))
+      (sorted_channels channels);
+    raw_rounds := !raw_rounds + !slot_rounds;
+    counters.Trace.Counters.slots_run <- counters.Trace.Counters.slots_run + 1;
+    (match stop with Some f -> if f ~slot:s then stopped := true | None -> ());
+    incr slot
+  done;
+  {
+    Emulation.slots_run = !slot;
+    raw_rounds = !raw_rounds;
+    failed_sessions = !failed_sessions;
+    stopped_early = !stopped;
+    counters;
+  }

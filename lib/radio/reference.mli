@@ -1,0 +1,42 @@
+(** Executable specifications of {!Engine.run} and {!Emulation.run}.
+
+    These are the original list-and-hashtable slot loops, retained verbatim
+    except for one deliberate change: channels are resolved in the canonical
+    ascending-global-channel-id order instead of [Hashtbl.iter] bucket order
+    (the order-dependence bug this layer exists to pin down). The optimized
+    engines must be observationally identical to these on every input —
+    same outcome structs and counters, same per-node feedback sequences,
+    byte-equal JSONL traces — which [test/test_determinism.ml] verifies
+    differentially over randomized topologies, jammers, faults and dynamic
+    availabilities.
+
+    Keep these slow and obvious: they allocate per slot and per channel on
+    purpose, and double as the baseline the [MICRO] benchmark measures the
+    rewritten engines against. Not intended for production use. *)
+
+val engine_run :
+  ?jammer:Jammer.t ->
+  ?faults:Faults.t ->
+  ?metrics:Metrics.t ->
+  ?trace:Trace.t ->
+  ?stop:(slot:int -> bool) ->
+  ?on_slot_end:(slot:int -> unit) ->
+  availability:Crn_channel.Dynamic.t ->
+  rng:Crn_prng.Rng.t ->
+  nodes:'msg Engine.node array ->
+  max_slots:int ->
+  unit ->
+  Engine.outcome
+(** Specification twin of {!Engine.run}; identical contract. *)
+
+val emulation_run :
+  ?session_cap:int ->
+  ?trace:Trace.t ->
+  ?stop:(slot:int -> bool) ->
+  availability:Crn_channel.Dynamic.t ->
+  rng:Crn_prng.Rng.t ->
+  nodes:'msg Engine.node array ->
+  max_slots:int ->
+  unit ->
+  Emulation.outcome
+(** Specification twin of {!Emulation.run}; identical contract. *)

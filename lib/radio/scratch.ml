@@ -1,0 +1,110 @@
+(* Dense per-slot channel occupancy, reused across slots so the engine hot
+   loops allocate nothing in steady state.
+
+   Channel chains are intrusive: a node appears on exactly one channel per
+   slot, so a single [next] array of node indices threads every chain, and a
+   channel is just a pair of head indices (broadcasters, listeners) plus a
+   broadcaster count. Heads live in arrays indexed by *global* channel id;
+   only the channels touched this slot (collected in [active]) are reset
+   between slots, so per-slot cost is proportional to the occupancy, not to
+   the spectrum size.
+
+   Chains are built by prepending while nodes are scanned in ascending id
+   order, so walking a chain yields descending node ids — the same order the
+   original list-based engine produced, which keeps winner indexing and
+   feedback order identical to the executable specification in
+   {!Reference}. *)
+
+type t = {
+  mutable num_channels : int;  (* capacity of the per-channel arrays *)
+  mutable bcast_head : int array;  (* channel -> first broadcaster node, or -1 *)
+  mutable listen_head : int array;  (* channel -> first listener node, or -1 *)
+  mutable bcast_count : int array;  (* channel -> audible broadcasters *)
+  next : int array;  (* node -> next node on the same chain, or -1 *)
+  active : int array;  (* channels touched this slot, discovery order *)
+  mutable active_len : int;
+}
+
+let create ~num_nodes =
+  {
+    num_channels = 0;
+    bcast_head = [||];
+    listen_head = [||];
+    bcast_count = [||];
+    next = Array.make (max 1 num_nodes) (-1);
+    active = Array.make (max 1 num_nodes) 0;
+    active_len = 0;
+  }
+
+(* Reset for a new slot. Growing the spectrum reallocates (fresh arrays are
+   already clean); otherwise only the previously touched channels are
+   walked. Dynamic availabilities keep the spectrum size constant in
+   practice, so steady state never reallocates. *)
+let begin_slot t ~num_channels =
+  if num_channels > t.num_channels then begin
+    t.bcast_head <- Array.make num_channels (-1);
+    t.listen_head <- Array.make num_channels (-1);
+    t.bcast_count <- Array.make num_channels 0;
+    t.num_channels <- num_channels
+  end
+  else
+    for j = 0 to t.active_len - 1 do
+      let ch = t.active.(j) in
+      t.bcast_head.(ch) <- -1;
+      t.listen_head.(ch) <- -1;
+      t.bcast_count.(ch) <- 0
+    done;
+  t.active_len <- 0
+
+let touch t channel =
+  if t.bcast_head.(channel) < 0 && t.listen_head.(channel) < 0 then begin
+    t.active.(t.active_len) <- channel;
+    t.active_len <- t.active_len + 1
+  end
+
+let add_broadcaster t ~channel ~node =
+  touch t channel;
+  t.next.(node) <- t.bcast_head.(channel);
+  t.bcast_head.(channel) <- node;
+  t.bcast_count.(channel) <- t.bcast_count.(channel) + 1
+
+let add_listener t ~channel ~node =
+  touch t channel;
+  t.next.(node) <- t.listen_head.(channel);
+  t.listen_head.(channel) <- node
+
+(* In-place heapsort of active[0 .. active_len-1], ascending: O(m log m),
+   no allocation, and — unlike the hashtable iteration it replaces — a
+   canonical order independent of stdlib hashing. *)
+let sort_active t =
+  let a = t.active and len = t.active_len in
+  if len > 1 then begin
+    let swap i j =
+      let x = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- x
+    in
+    let rec sift i stop =
+      let l = (2 * i) + 1 in
+      if l < stop then begin
+        let c = if l + 1 < stop && a.(l + 1) > a.(l) then l + 1 else l in
+        if a.(c) > a.(i) then begin
+          swap c i;
+          sift c stop
+        end
+      end
+    in
+    for i = (len / 2) - 1 downto 0 do
+      sift i len
+    done;
+    for last = len - 1 downto 1 do
+      swap 0 last;
+      sift 0 last
+    done
+  end
+
+(* The [idx]-th broadcaster in chain order (descending node id, matching the
+   reference's list order), for winner selection. *)
+let nth_broadcaster t ~channel idx =
+  let rec go node i = if i = 0 then node else go t.next.(node) (i - 1) in
+  go t.bcast_head.(channel) idx

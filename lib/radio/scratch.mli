@@ -1,0 +1,43 @@
+(** Internal: dense, allocation-free per-slot channel occupancy shared by
+    {!Engine} and {!Emulation}.
+
+    One value is created per run and reused across slots. Per slot: call
+    {!begin_slot}, register every audible node with {!add_broadcaster} /
+    {!add_listener} in ascending node-id order, then {!sort_active} and
+    resolve the channels [active.(0 .. active_len-1)] — now in ascending
+    global channel id, the canonical resolution order documented in
+    {!Engine.run}. Broadcaster/listener chains are threaded through a single
+    intrusive [next] array (a node is on at most one channel per slot) and
+    walk in descending node id, matching the list order of the executable
+    specification in {!Reference}.
+
+    Not part of the simulator's public surface; exposed only so the engines
+    and the micro-benchmarks in [bench/] can share it. *)
+
+type t = {
+  mutable num_channels : int;
+  mutable bcast_head : int array;
+  mutable listen_head : int array;
+  mutable bcast_count : int array;
+  next : int array;
+  active : int array;
+  mutable active_len : int;
+}
+
+val create : num_nodes:int -> t
+(** Scratch for up to [num_nodes] nodes; channel arrays grow on demand. *)
+
+val begin_slot : t -> num_channels:int -> unit
+(** Reset for a new slot: clears only the channels touched last slot (or
+    reallocates when the spectrum grew past capacity). *)
+
+val add_broadcaster : t -> channel:int -> node:int -> unit
+val add_listener : t -> channel:int -> node:int -> unit
+
+val sort_active : t -> unit
+(** In-place ascending sort of the touched-channel list — establishes the
+    canonical resolution order. Allocation-free. *)
+
+val nth_broadcaster : t -> channel:int -> int -> int
+(** [nth_broadcaster t ~channel idx] walks the broadcaster chain [idx]
+    steps; [idx] must be in [0, bcast_count.(channel)). *)
