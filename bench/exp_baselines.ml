@@ -9,10 +9,23 @@ module Cogcast = Crn_core.Cogcast
 module Cogcomp = Crn_core.Cogcomp
 module Aggregate = Crn_core.Aggregate
 module Complexity = Crn_core.Complexity
-module Broadcast_baseline = Crn_rendezvous.Broadcast_baseline
-module Aggregation_baseline = Crn_rendezvous.Aggregation_baseline
-module Seq_scan = Crn_rendezvous.Seq_scan
 module Table = Crn_stats.Table
+module Dynamic = Crn_channel.Dynamic
+module Protocol = Crn_proto.Protocol
+module Registry = Crn_proto.Registry
+
+(* Every baseline below is dispatched through the protocol registry — the
+   same path as `crn_sim run` — so the bench doubles as a regression check
+   on the protocol layer. The registry's default budgets reproduce the
+   original experiments' sizing (8x the rendezvous bound; 8x C for the
+   scan), so the numbers are unchanged. *)
+let registry_summary name ~k ~assignment ~rng =
+  Protocol.run (Registry.find_exn name)
+    (Protocol.env ~k ~availability:(Dynamic.static assignment) ~rng ())
+
+let registry_slots name ~k ~assignment ~rng =
+  let s = registry_summary name ~k ~assignment ~rng in
+  Option.value ~default:s.Protocol.slots_run s.Protocol.completed_at
 
 (* E4: local broadcast, epidemic vs rendezvous (§1: factor Theta(c) for
    n >= c). *)
@@ -36,9 +49,7 @@ let e4 () =
       let base =
         median_of ~trials ~base_seed:(8000 + c) (fun rng ->
             let assignment = Topology.shared_core rng spec in
-            let r = Broadcast_baseline.run_static ~source:0 ~assignment ~k ~rng () in
-            Option.value ~default:r.Broadcast_baseline.slots_run
-              r.Broadcast_baseline.completed_at)
+            registry_slots "broadcast_baseline" ~k ~assignment ~rng)
       in
       Table.add_row t
         [ string_of_int c; fmt_f cog; fmt_f base; fmt_f2 (base /. cog); string_of_int c ])
@@ -69,12 +80,10 @@ let e7 () =
       let trials = trials ~full:5 in
       let run_baseline ~ack rng =
         let assignment = Topology.shared_core rng spec in
-        let values = Array.init n (fun i -> i) in
-        let r =
-          Aggregation_baseline.run_static ~ack ~monoid:Aggregate.sum ~values
-            ~source:0 ~assignment ~k ~rng ()
+        let name =
+          if ack then "aggregation_baseline" else "aggregation_baseline_honest"
         in
-        r.Aggregation_baseline.slots_run
+        (registry_summary name ~k ~assignment ~rng).Protocol.slots_run
       in
       (* Keep total slots and the phase-4 share of the same runs together,
          then take the medians of each — the old sequential code relied on
@@ -133,10 +142,9 @@ let e10 () =
               Assignment.permute_channels perm_rng
                 (Topology.shared_core ~global_labels:true topo_rng spec)
             in
-            let r =
-              Seq_scan.run ~source:0 ~assignment ~rng ~max_slots:(8 * big_c) ()
-            in
-            Option.value ~default:r.Seq_scan.slots_run r.Seq_scan.completed_at)
+            (* The registry's default seq_scan budget is 8 x C = [8 * big_c],
+               the same horizon the direct call used here. *)
+            registry_slots "seq_scan" ~k ~assignment ~rng)
       in
       let cog =
         median_of ~trials ~base_seed:(11_000 + n) (fun rng ->

@@ -308,7 +308,8 @@ let e20 () =
   note "the source stays isolated forever; fresh secret randomness completes fast"
 
 module Metrics = Crn_radio.Metrics
-module Broadcast_baseline = Crn_rendezvous.Broadcast_baseline
+module Protocol = Crn_proto.Protocol
+module Registry = Crn_proto.Registry
 
 (* E21 (library extension, not a paper claim): the energy side of the
    time/energy trade — the epidemic finishes much sooner but transmits far
@@ -342,13 +343,17 @@ let e21 () =
           fmt_f2 (float_of_int (Metrics.total_awake m) /. float_of_int n);
         ];
       let m2 = Metrics.create n in
+      (* Baseline via the registry: per-node metrics flow through the
+         protocol layer's engine driver just as for a direct call. *)
       let r2 =
-        Broadcast_baseline.run_static ~metrics:m2 ~source:0 ~assignment ~k
-          ~rng:(Rng.create (28_200 + n)) ()
+        Protocol.run
+          (Registry.find_exn "broadcast_baseline")
+          (Protocol.env ~k ~metrics:m2
+             ~availability:(Crn_channel.Dynamic.static assignment)
+             ~rng:(Rng.create (28_200 + n)) ())
       in
       let slots2 =
-        Option.value ~default:r2.Broadcast_baseline.slots_run
-          r2.Broadcast_baseline.completed_at
+        Option.value ~default:r2.Protocol.slots_run r2.Protocol.completed_at
       in
       Table.add_row t
         [

@@ -1,12 +1,20 @@
 (* crn_sim: command-line front end for the cognitive radio network simulator.
 
    Subcommands:
+     protocols  — list every protocol in the registry
+     run        — run any registered protocol by name, uniformly
      broadcast  — run COGCAST and report completion statistics
      aggregate  — run COGCOMP (and optionally the rendezvous baseline)
      game       — play the §6 hitting games against the closed-form bounds
      backoff    — measure the decay-backoff realization of the slot model
      jam        — broadcast under an n-uniform jammer (Theorem 18 reduction)
      sweep      — sweep n, c or k and report completion scaling
+     chaos      — sweep registry protocols across fault rates
+
+   The broadcast/aggregate/game/... subcommands keep their protocol-specific
+   reporting; `run` and `chaos` dispatch through Crn_proto.Registry, so any
+   newly registered protocol is immediately drivable with --faults, --trace,
+   --metrics, --check and --jobs without touching this file.
 
    Every run is reproducible from --seed: trials execute on a domain pool
    sized by --jobs, with one RNG stream split off per trial up front, so
@@ -17,6 +25,7 @@ module Rng = Crn_prng.Rng
 module Pool = Crn_exec.Pool
 module Trials = Crn_exec.Trials
 module Topology = Crn_channel.Topology
+module Dynamic = Crn_channel.Dynamic
 module Summary = Crn_stats.Summary
 module Json = Crn_stats.Json
 module Faults = Crn_radio.Faults
@@ -27,6 +36,8 @@ module Cogcomp = Crn_core.Cogcomp
 module Cogcomp_robust = Crn_core.Cogcomp_robust
 module Aggregate = Crn_core.Aggregate
 module Complexity = Crn_core.Complexity
+module Protocol = Crn_proto.Protocol
+module Registry = Crn_proto.Registry
 
 (* ---- shared arguments ---- *)
 
@@ -267,11 +278,97 @@ let observe ~trace_path ~metrics_path ~check f =
     end
   end
 
+(* ---- protocols / run: the registry-driven front end ---- *)
+
+let protocols_cmd =
+  let run () =
+    List.iter
+      (fun p -> Printf.printf "%-28s %s\n" (Protocol.name p) (Protocol.synopsis p))
+      Registry.all
+  in
+  Cmd.v
+    (Cmd.info "protocols" ~doc:"List every protocol in the registry.")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let run name n c k topology seed trials jobs faults_spec fault_seed trace_path
+      metrics_path check =
+    match (check_params n c k, Registry.find name) with
+    | (`Error _ as e), _ -> e
+    | `Ok (), None ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown protocol %S (try: %s)" name
+              (String.concat ", " (Registry.names ())) )
+    | `Ok (), Some proto ->
+        let spec = { Topology.n; c; k } in
+        let faults = build_faults faults_spec fault_seed in
+        let env ?trace ~rng () =
+          let assignment = Topology.generate topology rng spec in
+          Protocol.env ?faults ?trace ~k
+            ~availability:(Dynamic.static assignment) ~rng ()
+        in
+        let runs =
+          Trials.run_jobs ~jobs ~trials ~seed (fun rng ->
+              let s = Protocol.run proto (env ~rng ()) in
+              let slots =
+                match s.Protocol.completed_at with
+                | Some v -> float_of_int v
+                | None -> float_of_int s.Protocol.slots_run
+              in
+              (slots, s.Protocol.completed, s.Protocol.coverage))
+        in
+        Printf.printf "%s  n=%d c=%d k=%d topology=%s trials=%d\n"
+          (Protocol.name proto) n c k
+          (Topology.kind_name topology) trials;
+        Printf.printf "  %s\n" (Protocol.synopsis proto);
+        (match faults with
+        | Some f ->
+            Printf.printf "  faults: %s (seed %d)\n" (Faults.to_string f) fault_seed
+        | None -> ());
+        Printf.printf "  completion slots: %s\n"
+          (Summary.to_string (Summary.of_floats (Array.map (fun (s, _, _) -> s) runs)));
+        let completions =
+          Array.fold_left (fun acc (_, c, _) -> if c then acc + 1 else acc) 0 runs
+        in
+        let mean_coverage =
+          Array.fold_left (fun acc (_, _, cov) -> acc +. cov) 0.0 runs
+          /. float_of_int (max 1 trials)
+        in
+        Printf.printf "  complete: %d/%d; mean coverage: %.3f\n" completions trials
+          mean_coverage;
+        observe ~trace_path ~metrics_path ~check (fun ~trace ->
+            let rng = Rng.create seed in
+            ignore (Protocol.run proto (env ~trace ~rng ())))
+  in
+  let protocol_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "p"; "protocol" ] ~docv:"NAME"
+          ~doc:
+            "Protocol to run; any name listed by $(b,crn_sim protocols) \
+             (case-insensitive, '-' and '_' interchangeable).")
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ protocol_arg $ n_arg $ c_arg $ k_arg $ topology_arg
+       $ seed_arg $ trials_arg $ jobs_arg $ faults_arg $ fault_seed_arg
+       $ trace_arg $ metrics_arg $ check_arg))
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run any registered protocol by name with the uniform trial, fault \
+          and observability machinery.")
+    term
+
 (* ---- broadcast ---- *)
 
 let broadcast_cmd =
-  let run n c k topology seed trials jobs faults_spec fault_seed trace_path
-      metrics_path check =
+  let run n c k topology seed trials jobs baseline faults_spec fault_seed
+      trace_path metrics_path check =
     match check_params n c k with
     | `Error _ as e -> e
     | `Ok () ->
@@ -295,17 +392,43 @@ let broadcast_cmd =
         Printf.printf "  Theorem 4 shape (unit constant): %.1f; budget used: %d\n"
           (Complexity.cogcast ~factor:1.0 ~n ~c ~k ())
           (Complexity.cogcast_slots ~n ~c ~k ());
+        if baseline then begin
+          let proto = Registry.find_exn "broadcast_baseline" in
+          let base =
+            Trials.run_jobs ~jobs ~trials ~seed:(seed + 1000) (fun rng ->
+                let assignment = Topology.generate topology rng spec in
+                let s =
+                  Protocol.run proto
+                    (Protocol.env ?faults ~k
+                       ~availability:(Dynamic.static assignment) ~rng ())
+                in
+                match s.Protocol.completed_at with
+                | Some v -> float_of_int v
+                | None -> float_of_int s.Protocol.slots_run)
+          in
+          Printf.printf "  rendezvous baseline: %s\n"
+            (Summary.to_string (Summary.of_floats base))
+        end;
         observe ~trace_path ~metrics_path ~check (fun ~trace ->
             let rng = Rng.create seed in
             let assignment = Topology.generate topology rng spec in
             ignore (Cogcast.run_static ?faults ~trace ~source:0 ~assignment ~k ~rng ()))
   in
+  let baseline_arg =
+    Arg.(
+      value & flag
+      & info [ "baseline" ]
+          ~doc:
+            "Also run the straw-man rendezvous broadcast baseline (registry \
+             protocol $(b,broadcast_baseline)) on an independent seed for \
+             comparison.")
+  in
   let term =
     Term.(
       ret
         (const run $ n_arg $ c_arg $ k_arg $ topology_arg $ seed_arg $ trials_arg
-       $ jobs_arg $ faults_arg $ fault_seed_arg $ trace_arg $ metrics_arg
-       $ check_arg))
+       $ jobs_arg $ baseline_arg $ faults_arg $ fault_seed_arg $ trace_arg
+       $ metrics_arg $ check_arg))
   in
   Cmd.v (Cmd.info "broadcast" ~doc:"Run COGCAST local broadcast (Theorem 4).") term
 
@@ -387,15 +510,16 @@ let aggregate_cmd =
               Printf.printf "  all runs aggregated the exact sum: %b\n" ok
             end;
             if baseline then begin
+              let proto = Registry.find_exn "aggregation_baseline_honest" in
               let base =
                 Trials.run ~pool ~trials ~seed:(seed + 1000) (fun rng ->
                     let assignment = Topology.generate topology rng spec in
-                    let values = Array.init n (fun v -> v) in
-                    let r =
-                      Crn_rendezvous.Aggregation_baseline.run_static ~ack:false
-                        ~monoid:Aggregate.sum ~values ~source:0 ~assignment ~k ~rng ()
+                    let s =
+                      Protocol.run proto
+                        (Protocol.env ~k
+                           ~availability:(Dynamic.static assignment) ~rng ())
                     in
-                    float_of_int r.Crn_rendezvous.Aggregation_baseline.slots_run)
+                    float_of_int s.Protocol.slots_run)
               in
               Printf.printf "  rendezvous baseline (honest): %s\n"
                 (Summary.to_string (Summary.of_floats base))
@@ -675,14 +799,9 @@ let sweep_cmd =
 (* Degradation campaign: sweep {protocol} x {fault rate} for one fault kind,
    run the trials on the domain pool with a trace per trial, replay every
    trace through the invariant checkers, and emit the degradation curve
-   (completion rate, coverage, slot inflation vs fault rate) as JSON. *)
-
-type chaos_proto = P_cogcast | P_cogcomp | P_robust
-
-let chaos_proto_name = function
-  | P_cogcast -> "cogcast"
-  | P_cogcomp -> "cogcomp"
-  | P_robust -> "cogcomp-robust"
+   (completion rate, coverage, slot inflation vs fault rate) as JSON.
+   Protocols are resolved through the registry, so any registered protocol —
+   the baselines included — can be put on the same curve. *)
 
 let chaos_cmd =
   let run n c k topology seed fault_seed trials jobs kind protocols rates
@@ -692,16 +811,15 @@ let chaos_cmd =
       |> List.map String.trim
       |> List.filter (fun s -> s <> "")
       |> List.map (fun s ->
-             match s with
-             | "cogcast" -> Ok P_cogcast
-             | "cogcomp" -> Ok P_cogcomp
-             | "cogcomp-robust" | "robust" -> Ok P_robust
-             | _ ->
+             let name =
+               if String.lowercase_ascii s = "robust" then "cogcomp_robust" else s
+             in
+             match Registry.find name with
+             | Some p -> Ok p
+             | None ->
                  Error
-                   (Printf.sprintf
-                      "unknown protocol %S (try: cogcast, cogcomp, \
-                       cogcomp-robust)"
-                      s))
+                   (Printf.sprintf "unknown protocol %S (try: %s)" s
+                      (String.concat ", " (Registry.names ()))))
     in
     let rates =
       String.split_on_char ',' rates
@@ -773,45 +891,20 @@ let chaos_cmd =
           let faults, jammer = adversary_for ~rate ~fault_seed:trial_fault_seed in
           let assignment = Topology.generate topology rng spec in
           let trace = Trace.create () in
-          let complete, coverage, slots =
-            match proto with
-            | P_cogcast ->
-                let r =
-                  Cogcast.run_static ?faults ?jammer ~trace ~source:0 ~assignment
-                    ~k ~rng ()
-                in
-                ( r.Cogcast.completed_at <> None,
-                  float_of_int r.Cogcast.informed_count /. float_of_int n,
-                  r.Cogcast.slots_run )
-            | P_cogcomp ->
-                let values = Array.init n (fun v -> v) in
-                let r =
-                  Cogcomp.run ?faults ?jammer ~trace ~monoid:Aggregate.sum ~values
-                    ~source:0 ~assignment ~k ~rng ()
-                in
-                let terminated =
-                  Array.fold_left
-                    (fun acc t -> if t then acc + 1 else acc)
-                    0 r.Cogcomp.terminated
-                in
-                ( r.Cogcomp.complete,
-                  float_of_int terminated /. float_of_int n,
-                  r.Cogcomp.total_slots )
-            | P_robust ->
-                let values = Array.init n (fun v -> v) in
-                let r =
-                  Cogcomp_robust.run ?faults ?jammer ~trace ~monoid:Aggregate.sum
-                    ~values ~source:0 ~assignment ~k ~rng ()
-                in
-                ( r.Cogcomp_robust.complete,
-                  float_of_int r.Cogcomp_robust.coverage /. float_of_int n,
-                  r.Cogcomp_robust.total_slots )
+          let s =
+            Protocol.run proto
+              (Protocol.env ?faults ?jammer ~trace ~k
+                 ~availability:(Dynamic.static assignment) ~rng ())
           in
           let violations = Trace.Check.all trace in
           let dump =
             if violations = [] then None else Some (Trace.to_jsonl trace)
           in
-          (complete, coverage, slots, List.length violations, dump)
+          ( s.Protocol.completed,
+            s.Protocol.coverage,
+            s.Protocol.slots_run,
+            List.length violations,
+            dump )
         in
         Pool.with_pool ~jobs (fun pool ->
             let failures = ref [] in
@@ -854,7 +947,9 @@ let chaos_cmd =
                            any protocol — is a bug, not degradation. Plain
                            protocols under faults are *expected* to decay;
                            their counts are recorded as data. *)
-                        let strict = proto = P_robust || rate = 0.0 in
+                        let strict =
+                          Protocol.name proto = "cogcomp_robust" || rate = 0.0
+                        in
                         Array.iteri
                           (fun i (_, _, _, v, dump) ->
                             match dump with
@@ -862,7 +957,7 @@ let chaos_cmd =
                                 let path =
                                   Printf.sprintf
                                     "trace_failure_%s_%s_rate%g_trial%d.jsonl"
-                                    kind (chaos_proto_name proto) rate i
+                                    kind (Protocol.name proto) rate i
                                 in
                                 let oc = open_out path in
                                 output_string oc jsonl;
@@ -871,14 +966,14 @@ let chaos_cmd =
                                   Printf.sprintf
                                     "%s %s rate=%g trial=%d: %d violation(s), \
                                      trace in %s"
-                                    kind (chaos_proto_name proto) rate i v path
+                                    kind (Protocol.name proto) rate i v path
                                   :: !failures
                             | _ -> ())
                           cell;
                         Printf.printf
                           "  %-15s rate=%-5g completion=%.2f coverage=%.2f \
                            slots=%.0f inflation=%.2f violations=%d\n%!"
-                          (chaos_proto_name proto) rate completion coverage slots
+                          (Protocol.name proto) rate completion coverage slots
                           inflation violations;
                         Json.Obj
                           [
@@ -893,7 +988,7 @@ let chaos_cmd =
                   in
                   Json.Obj
                     [
-                      ("protocol", Json.String (chaos_proto_name proto));
+                      ("protocol", Json.String (Protocol.name proto));
                       ("points", Json.List points);
                     ])
                 protos
@@ -997,6 +1092,8 @@ let () =
   let group =
     Cmd.group info
       [
+        protocols_cmd;
+        run_cmd;
         broadcast_cmd;
         aggregate_cmd;
         game_cmd;

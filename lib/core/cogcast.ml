@@ -2,6 +2,7 @@ module Rng = Crn_prng.Rng
 module Dynamic = Crn_channel.Dynamic
 module Action = Crn_radio.Action
 module Engine = Crn_radio.Engine
+module Runner = Crn_radio.Runner
 module Trace = Crn_radio.Trace
 
 type msg = Init
@@ -129,8 +130,8 @@ let result_of_runtime rt ~slots_run ~counters =
     counters;
   }
 
-let run ?jammer ?faults ?metrics ?trace ?(record = false) ?(stop_when_complete = true)
-    ~source ~availability ~rng ~max_slots () =
+let run ?jammer ?faults ?metrics ?trace ?backend ?(record = false)
+    ?(stop_when_complete = true) ~source ~availability ~rng ~max_slots () =
   let rt = build_protocol ?trace ~record ~source ~availability ~rng ~max_slots () in
   let n = rt.rt_n in
   let stop =
@@ -138,12 +139,12 @@ let run ?jammer ?faults ?metrics ?trace ?(record = false) ?(stop_when_complete =
   in
   (* A one-node network is complete before the first slot. *)
   let max_slots = if stop_when_complete && !(rt.informed_count) = n then 0 else max_slots in
-  let outcome =
-    Engine.run ?jammer ?faults ?metrics ?trace ?stop ~availability ~rng ~nodes:rt.nodes
-      ~max_slots ()
+  let runner =
+    Runner.make ?jammer ?faults ?metrics ?trace ?backend ~availability ~rng ()
   in
-  result_of_runtime rt ~slots_run:outcome.Engine.slots_run
-    ~counters:outcome.Engine.counters
+  let outcome = runner.Runner.run ?stop ~nodes:rt.nodes ~max_slots () in
+  result_of_runtime rt ~slots_run:outcome.Runner.slots_run
+    ~counters:outcome.Runner.counters
 
 let run_emulated ?session_cap ?trace ?(record = false) ?(stop_when_complete = true)
     ~source ~availability ~rng ~max_slots () =
@@ -153,15 +154,16 @@ let run_emulated ?session_cap ?trace ?(record = false) ?(stop_when_complete = tr
     if stop_when_complete then Some (fun ~slot:_ -> !(rt.informed_count) = n) else None
   in
   let max_slots = if stop_when_complete && !(rt.informed_count) = n then 0 else max_slots in
-  let outcome =
-    Crn_radio.Emulation.run ?session_cap ?trace ?stop ~availability ~rng
-      ~nodes:rt.nodes ~max_slots ()
+  let runner =
+    Runner.make ?trace ~backend:(Runner.Emulation { session_cap }) ~availability
+      ~rng ()
   in
+  let outcome = runner.Runner.run ?stop ~nodes:rt.nodes ~max_slots () in
   let result =
-    result_of_runtime rt ~slots_run:outcome.Crn_radio.Emulation.slots_run
-      ~counters:outcome.Crn_radio.Emulation.counters
+    result_of_runtime rt ~slots_run:outcome.Runner.slots_run
+      ~counters:outcome.Runner.counters
   in
-  (result, outcome)
+  (result, Runner.emulation_outcome outcome)
 
 let run_static ?jammer ?faults ?metrics ?trace ?record ?stop_when_complete
     ?budget_factor ~source ~assignment ~k ~rng () =

@@ -55,6 +55,7 @@ val run :
   ?faults:Crn_radio.Faults.t ->
   ?metrics:Crn_radio.Metrics.t ->
   ?trace:Crn_radio.Trace.t ->
+  ?backend:Crn_radio.Runner.backend ->
   ?record:bool ->
   ?stop_when_complete:bool ->
   source:int ->
@@ -69,7 +70,10 @@ val run :
     logs (memory [n · slots_run]). With [?trace] supplied, a
     {!Crn_radio.Trace.Meta} and a [Phase "cogcast"] marker are recorded up
     front, the engine streams its slot events into it, and every first
-    reception adds a {!Crn_radio.Trace.Informed} tree edge. *)
+    reception adds a {!Crn_radio.Trace.Informed} tree edge. [?backend]
+    selects the slot-loop implementation through {!Crn_radio.Runner}
+    (default {!Crn_radio.Runner.Engine}); use {!run_emulated} instead when
+    the raw-round cost of the footnote-4 composition is wanted. *)
 
 val run_emulated :
   ?session_cap:int ->

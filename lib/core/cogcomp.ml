@@ -22,38 +22,25 @@ type 'a result = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* Slot runner: phases 2-4 run either on the abstract one-winner engine
-   or on the raw-radio emulation (footnote 4), behind one interface.    *)
+(* Phases 2-4 run either on the abstract one-winner engine or on the
+   raw-radio emulation (footnote 4), behind the shared backend-selecting
+   {!Crn_radio.Runner}. [accumulating] wraps a runner so the raw-round
+   cost of every phase lands in one counter.                            *)
 (* ------------------------------------------------------------------ *)
 
-type slot_runner = {
-  run_slots :
-    'msg.
-    stop:(slot:int -> bool) option ->
-    nodes:'msg Engine.node array ->
-    max_slots:int ->
-    int;
-}
+module Runner = Crn_radio.Runner
 
-let engine_runner ?jammer ?faults ?trace ~availability ~rng () =
+let accumulating runner ~raw_rounds =
   {
-    run_slots =
-      (fun ~stop ~nodes ~max_slots ->
-        (Engine.run ?jammer ?faults ?trace ?stop ~availability ~rng ~nodes
-           ~max_slots ())
-          .Engine.slots_run);
+    Runner.run =
+      (fun ?stop ~nodes ~max_slots () ->
+        let outcome = runner.Runner.run ?stop ~nodes ~max_slots () in
+        raw_rounds := !raw_rounds + outcome.Runner.raw_rounds;
+        outcome);
   }
 
-let emulation_runner ?trace ~availability ~rng ~raw_rounds () =
-  {
-    run_slots =
-      (fun ~stop ~nodes ~max_slots ->
-        let outcome =
-          Crn_radio.Emulation.run ?trace ?stop ~availability ~rng ~nodes ~max_slots ()
-        in
-        raw_rounds := !raw_rounds + outcome.Crn_radio.Emulation.raw_rounds;
-        outcome.Crn_radio.Emulation.slots_run);
-  }
+let run_slots runner ?stop ~nodes ~max_slots () =
+  (runner.Runner.run ?stop ~nodes ~max_slots ()).Runner.slots_run
 
 (* ------------------------------------------------------------------ *)
 (* Phase 2: cluster sizes and mediator election.                       *)
@@ -103,7 +90,7 @@ let run_phase2 ~(cast : Cogcast.result) ~runner =
   let nodes =
     Array.init n (fun v -> Engine.node ~id:v ~decide:(decide v) ~feedback:(feedback v))
   in
-  let slots_run = runner.run_slots ~stop:None ~nodes ~max_slots:n in
+  let slots_run = run_slots runner ~nodes ~max_slots:n () in
   let info =
     Array.init n (fun v ->
         match participant.(v) with
@@ -181,7 +168,7 @@ let run_phase3 ~(cast : Cogcast.result) ~(info : phase2_info array) ~runner =
   let nodes =
     Array.init n (fun v -> Engine.node ~id:v ~decide:(decide v) ~feedback:(feedback v))
   in
-  let slots_run = runner.run_slots ~stop:None ~nodes ~max_slots:l in
+  let slots_run = run_slots runner ~nodes ~max_slots:l () in
   (* Descending r, as phase 4 consumes them. *)
   let clusters =
     Array.map (fun cs -> List.sort (fun (a, _, _) (b, _, _) -> compare b a) cs)
@@ -399,7 +386,7 @@ let run_phase4 (type a) ?measure ?trace ~mediated ~(monoid : a Aggregate.monoid)
   let stop ~slot = slot mod 3 = 2 && !done_count = n in
   (* Nothing to drain (e.g. a one-node network): phase 4 is empty. *)
   let max_slots = if !done_count = n then 0 else 3 * max_steps in
-  let slots_run = runner.run_slots ~stop:(Some stop) ~nodes ~max_slots in
+  let slots_run = run_slots runner ~stop ~nodes ~max_slots () in
   let root_acc = states.(source).acc in
   let terminated = Array.map (fun st -> st.role = Done) states in
   (root_acc, terminated, slots_run, !max_payload, !total_payload)
@@ -422,8 +409,11 @@ let run_with ~emulated ~raw_rounds ?jammer ?faults ?budget_factor ?max_phase4_st
     | None -> ()
   in
   let make_runner rng =
-    if emulated then emulation_runner ?trace ~availability ~rng ~raw_rounds ()
-    else engine_runner ?jammer ?faults ?trace ~availability ~rng ()
+    let backend =
+      if emulated then Runner.Emulation { session_cap = None } else Runner.Engine
+    in
+    accumulating ~raw_rounds
+      (Runner.make ?jammer ?faults ?trace ~backend ~availability ~rng ())
   in
   (* Phase 1: COGCAST with recording; fixed length so that all nodes agree on
      phase boundaries. *)

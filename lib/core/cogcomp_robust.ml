@@ -40,23 +40,13 @@ type 'a result = {
 let backoff_cap = 4
 let grace_slots = 96
 
-type slot_runner = {
-  run_slots :
-    'msg.
-    stop:(slot:int -> bool) option ->
-    nodes:'msg Engine.node array ->
-    max_slots:int ->
-    int;
-}
+(* Phases 2-4 execute on the shared backend-selecting runner; the robust
+   variant only ever uses the abstract engine backend (the raw radio has no
+   fault model to be robust against). *)
+module Runner = Crn_radio.Runner
 
-let engine_runner ?jammer ?faults ?trace ~availability ~rng () =
-  {
-    run_slots =
-      (fun ~stop ~nodes ~max_slots ->
-        (Engine.run ?jammer ?faults ?trace ?stop ~availability ~rng ~nodes
-           ~max_slots ())
-          .Engine.slots_run);
-  }
+let run_slots runner ?stop ~nodes ~max_slots () =
+  (runner.Runner.run ?stop ~nodes ~max_slots ()).Runner.slots_run
 
 (* ------------------------------------------------------------------ *)
 (* Phase 2 with a watchdog: the phase keeps running past the plain n
@@ -130,7 +120,7 @@ let run_phase2 ~(cast : Cogcast.result) ~watchdog_retries ~runner =
      is gone. *)
   let stop ~slot = slot >= n - 1 && !pending = 0 in
   let max_slots = n * (1 + max 0 watchdog_retries) in
-  let slots_run = runner.run_slots ~stop:(Some stop) ~nodes ~max_slots in
+  let slots_run = run_slots runner ~stop ~nodes ~max_slots () in
   let info =
     Array.init n (fun v ->
         match participant.(v) with
@@ -229,7 +219,7 @@ let run_phase3 ~(cast : Cogcast.result) ~(info : phase2_info array) ~runner =
   let nodes =
     Array.init n (fun v -> Engine.node ~id:v ~decide:(decide v) ~feedback:(feedback v))
   in
-  let slots_run = runner.run_slots ~stop:None ~nodes ~max_slots:l in
+  let slots_run = run_slots runner ~nodes ~max_slots:l () in
   let clusters =
     Array.map
       (fun cs -> List.sort (fun (a, _, _) (b, _, _) -> compare b a) cs)
@@ -639,7 +629,7 @@ let run_phase4 (type a) ?trace ~faulty ~timeout ~max_retries ~patience
                (Array.init n (fun v -> v)))
   in
   let max_slots = if !done_count = n then 0 else 3 * max_steps in
-  let slots_run = runner.run_slots ~stop:(Some stop) ~nodes ~max_slots in
+  let slots_run = run_slots runner ~stop ~nodes ~max_slots () in
   (* Coverage: v's value reached the source iff its chain of fresh
      deliveries does. Values folded into a node that was then lost are lost
      with it. *)
@@ -676,7 +666,7 @@ let run ?jammer ?faults ?budget_factor ?max_phase4_steps ?(watchdog_retries = 2)
     | Some tr -> Trace.record tr (Trace.Phase { name })
     | None -> ()
   in
-  let make_runner rng = engine_runner ?jammer ?faults ?trace ~availability ~rng () in
+  let make_runner rng = Runner.make ?jammer ?faults ?trace ~availability ~rng () in
   let cast =
     Cogcast.run_static ?jammer ?faults ?budget_factor ?trace ~record:true
       ~stop_when_complete:false ~source ~assignment ~k ~rng:(Rng.split rng) ()

@@ -1,0 +1,133 @@
+module Dynamic = Crn_channel.Dynamic
+module Assignment = Crn_channel.Assignment
+module Engine = Crn_radio.Engine
+module Runner = Crn_radio.Runner
+module Trace = Crn_radio.Trace
+module Json = Crn_stats.Json
+
+type env = {
+  availability : Dynamic.t;
+  rng : Crn_prng.Rng.t;
+  source : int;
+  k : int;
+  budget_factor : float option;
+  max_slots : int option;
+  jammer : Crn_radio.Jammer.t option;
+  faults : Crn_radio.Faults.t option;
+  metrics : Crn_radio.Metrics.t option;
+  trace : Trace.t option;
+  backend : Runner.backend;
+}
+
+let env ?(source = 0) ?(k = 1) ?budget_factor ?max_slots ?jammer ?faults ?metrics
+    ?trace ?(backend = Runner.Engine) ~availability ~rng () =
+  {
+    availability;
+    rng;
+    source;
+    k;
+    budget_factor;
+    max_slots;
+    jammer;
+    faults;
+    metrics;
+    trace;
+    backend;
+  }
+
+type summary = {
+  protocol : string;
+  slots_run : int;
+  completed : bool;
+  completed_at : int option;
+  coverage : float;
+  raw_rounds : int;
+  counters : Trace.Counters.t;
+  detail : Json.t;
+}
+
+let summary_json s =
+  let c = s.counters in
+  Json.Obj
+    [
+      ("protocol", Json.String s.protocol);
+      ("slots_run", Json.Int s.slots_run);
+      ("completed", Json.Bool s.completed);
+      ( "completed_at",
+        match s.completed_at with Some v -> Json.Int v | None -> Json.Null );
+      ("coverage", Json.Float s.coverage);
+      ("raw_rounds", Json.Int s.raw_rounds);
+      ( "counters",
+        Json.Obj
+          [
+            ("slots_run", Json.Int c.Trace.Counters.slots_run);
+            ("broadcasts", Json.Int c.Trace.Counters.broadcasts);
+            ("wins", Json.Int c.Trace.Counters.wins);
+            ("contended", Json.Int c.Trace.Counters.contended);
+            ("deliveries", Json.Int c.Trace.Counters.deliveries);
+            ("jammed_actions", Json.Int c.Trace.Counters.jammed_actions);
+          ] );
+      ("detail", s.detail);
+    ]
+
+module type S = sig
+  val name : string
+  val synopsis : string
+
+  type msg
+  type state
+  type result
+
+  val budget : env -> int
+  val init : env -> state
+  val decide : state -> node:int -> slot:int -> msg Crn_radio.Action.decision
+  val feedback : state -> node:int -> slot:int -> msg Crn_radio.Action.feedback -> unit
+  val finished : state -> bool
+  val project : state -> outcome:Runner.outcome -> result
+  val summarize : env -> result -> summary
+end
+
+type t = { p_name : string; p_synopsis : string; p_exec : env -> summary }
+
+let name t = t.p_name
+let synopsis t = t.p_synopsis
+let run t env = t.p_exec env
+
+let of_run ~name ~synopsis exec = { p_name = name; p_synopsis = synopsis; p_exec = exec }
+
+(* The generic driver: machine -> engine nodes -> Runner -> projection. The
+   trace preamble (Meta header, then a phase marker named after the
+   protocol) matches what Cogcast.run emits, so registry traces are
+   uniform regardless of how the protocol entered the layer. *)
+let exec_machine (module P : S) env =
+  let n = Dynamic.num_nodes env.availability in
+  let c = Dynamic.channels_per_node env.availability in
+  (match env.trace with
+  | Some tr ->
+      let channels = Assignment.num_channels (Dynamic.at env.availability 0) in
+      Trace.record tr (Trace.Meta { n; channels; c; source = env.source });
+      Trace.record tr (Trace.Phase { name = P.name })
+  | None -> ());
+  let st = P.init env in
+  let nodes =
+    Array.init n (fun v ->
+        Engine.node ~id:v
+          ~decide:(fun ~slot -> P.decide st ~node:v ~slot)
+          ~feedback:(fun ~slot fb -> P.feedback st ~node:v ~slot fb))
+  in
+  let max_slots =
+    match env.max_slots with Some m -> m | None -> P.budget env
+  in
+  (* A machine that is complete before the first slot runs zero slots. *)
+  let max_slots = if P.finished st then 0 else max_slots in
+  let stop ~slot:_ = P.finished st in
+  let runner =
+    Runner.make ?jammer:env.jammer ?faults:env.faults ?metrics:env.metrics
+      ?trace:env.trace ~backend:env.backend ~availability:env.availability
+      ~rng:env.rng ()
+  in
+  let outcome = runner.Runner.run ~stop ~nodes ~max_slots () in
+  P.summarize env (P.project st ~outcome)
+
+let of_machine (module P : S) =
+  { p_name = P.name; p_synopsis = P.synopsis; p_exec = exec_machine (module P) }

@@ -1,0 +1,121 @@
+(** The uniform protocol layer: one environment record describing a run, one
+    summary record every protocol reports in, one module interface for
+    protocols expressed as per-node state machines, and one existential
+    wrapper the {!Registry} stores.
+
+    Two ways into the layer:
+    {ul
+    {- {!of_machine} packs a {!module-type-S} — a per-node
+       [init]/[decide]/[feedback]/[finished] state machine over
+       ['msg Crn_radio.Engine.node] semantics — and drives it through
+       {!Crn_radio.Runner} (so any backend, jammer, fault schedule, metrics
+       sink or trace applies uniformly). The five rendezvous modules enter
+       this way, through the machine builders they export.}
+    {- {!of_run} packs an opaque [env -> summary] function for protocols
+       whose structure does not fit a single engine run — COGCOMP's four
+       phases, for example — delegating to their direct APIs so that a
+       registry-dispatched run is byte-identical to a direct call.}} *)
+
+type env = {
+  availability : Crn_channel.Dynamic.t;
+  rng : Crn_prng.Rng.t;  (** The run's randomness; one stream per run. *)
+  source : int;
+  k : int;  (** Caller-declared pairwise overlap, used to size budgets. *)
+  budget_factor : float option;
+      (** Scales the protocol's default slot budget; [None] uses each
+          protocol's own default constant. *)
+  max_slots : int option;
+      (** Explicit slot budget, overriding the protocol's default. Rejected
+          by multi-phase protocols whose budget is not one number. *)
+  jammer : Crn_radio.Jammer.t option;
+  faults : Crn_radio.Faults.t option;
+  metrics : Crn_radio.Metrics.t option;
+  trace : Crn_radio.Trace.t option;
+  backend : Crn_radio.Runner.backend;
+}
+
+val env :
+  ?source:int ->
+  ?k:int ->
+  ?budget_factor:float ->
+  ?max_slots:int ->
+  ?jammer:Crn_radio.Jammer.t ->
+  ?faults:Crn_radio.Faults.t ->
+  ?metrics:Crn_radio.Metrics.t ->
+  ?trace:Crn_radio.Trace.t ->
+  ?backend:Crn_radio.Runner.backend ->
+  availability:Crn_channel.Dynamic.t ->
+  rng:Crn_prng.Rng.t ->
+  unit ->
+  env
+(** Environment constructor; defaults: [source = 0], [k = 1], backend
+    {!Crn_radio.Runner.Engine}, everything else off. *)
+
+type summary = {
+  protocol : string;
+  slots_run : int;  (** Abstract slots consumed (all phases). *)
+  completed : bool;  (** The protocol's own notion of full success. *)
+  completed_at : int option;  (** Slot count at completion, when complete. *)
+  coverage : float;
+      (** Fraction of nodes the run served (informed / met / value
+          delivered, per protocol); [1.0] iff [completed] for most. *)
+  raw_rounds : int;
+      (** Raw radio rounds, when the run used the emulation backend. *)
+  counters : Crn_radio.Trace.Counters.t;
+      (** Engine channel accounting where the protocol surfaces it; a zero
+          record for multi-phase protocols that do not. *)
+  detail : Crn_stats.Json.t;  (** Protocol-specific result fields. *)
+}
+
+val summary_json : summary -> Crn_stats.Json.t
+(** The uniform JSON view: every {!summary} field, with [counters]
+    flattened into an object. *)
+
+(** A protocol as a per-node state machine. [init] builds the whole-network
+    state from the environment (splitting whatever randomness it needs off
+    [env.rng] before the runner consumes it); the driver then polls
+    [decide]/[feedback] per node and slot exactly as {!Crn_radio.Engine}
+    specifies, stops as soon as [finished] holds (a machine finished before
+    the first slot runs zero slots), and projects the typed [result] which
+    [summarize] renders into the uniform view. *)
+module type S = sig
+  val name : string
+  val synopsis : string
+
+  type msg
+  type state
+  type result
+
+  val budget : env -> int
+  (** Default [max_slots] for the environment's dimensions, honoring
+      [env.budget_factor]. *)
+
+  val init : env -> state
+  val decide : state -> node:int -> slot:int -> msg Crn_radio.Action.decision
+  val feedback : state -> node:int -> slot:int -> msg Crn_radio.Action.feedback -> unit
+  val finished : state -> bool
+  val project : state -> outcome:Crn_radio.Runner.outcome -> result
+  val summarize : env -> result -> summary
+end
+
+type t
+(** A packed protocol: what the {!Registry} stores and the CLI/bench
+    dispatch on. *)
+
+val of_machine : (module S) -> t
+(** Packs a state machine behind the engine-backed driver. With [env.trace]
+    supplied the driver records a {!Crn_radio.Trace.Meta} header and a
+    [Phase name] marker before the run, mirroring what COGCAST's direct API
+    does, so every registry trace starts with the same preamble. *)
+
+val of_run : name:string -> synopsis:string -> (env -> summary) -> t
+(** Packs an opaque runner for protocols that orchestrate their own engine
+    runs. *)
+
+val name : t -> string
+val synopsis : t -> string
+
+val run : t -> env -> summary
+(** Executes the protocol in the environment. Raises [Invalid_argument] for
+    environment features the protocol cannot honor (e.g. an emulation
+    backend with faults, or [max_slots] on a multi-phase protocol). *)

@@ -1,0 +1,403 @@
+module Dynamic = Crn_channel.Dynamic
+module Assignment = Crn_channel.Assignment
+module Runner = Crn_radio.Runner
+module Trace = Crn_radio.Trace
+module Json = Crn_stats.Json
+module Cogcast = Crn_core.Cogcast
+module Cogcomp = Crn_core.Cogcomp
+module Cogcomp_robust = Crn_core.Cogcomp_robust
+module Aggregate = Crn_core.Aggregate
+module Complexity = Crn_core.Complexity
+
+let dims (env : Protocol.env) =
+  (Dynamic.num_nodes env.availability, Dynamic.channels_per_node env.availability)
+
+(* Identical to the rendezvous modules' [run_static] sizing, so a registry
+   run and a direct [run_static] call agree on the budget. *)
+let scaled_budget (env : Protocol.env) base =
+  let factor = Option.value env.budget_factor ~default:8.0 in
+  max 1 (int_of_float (Float.ceil (factor *. base)))
+
+let frac num den = float_of_int num /. float_of_int den
+
+(* The CLI/bench aggregation payload: every aggregation protocol folds the
+   integer sum of the node ids 0..n-1, so completeness is checkable against
+   the closed form n(n-1)/2. *)
+let id_values n = Array.init n (fun v -> v)
+
+(* Environment features the multi-phase delegating entries cannot honor are
+   rejected loudly rather than silently dropped. *)
+let require_plain ~name (env : Protocol.env) =
+  (match env.backend with
+  | Runner.Engine -> ()
+  | Runner.Emulation _ | Runner.Reference ->
+      invalid_arg (name ^ ": only the engine backend is supported"));
+  if env.metrics <> None then
+    invalid_arg
+      (name
+     ^ ": per-node metrics are not plumbed through this protocol; derive \
+        metrics from the trace instead");
+  if env.max_slots <> None then
+    invalid_arg
+      (name ^ ": max_slots does not apply to a multi-phase protocol; use \
+              budget_factor")
+
+(* ---- the paper's protocols: delegate to the direct APIs so that a
+   registry-dispatched run is byte-identical to a direct call ---- *)
+
+let cogcast =
+  Protocol.of_run ~name:"cogcast"
+    ~synopsis:"Epidemic local broadcast in O((c/k) max{1,c/n} lg n) slots (S4, Thm 4)"
+    (fun env ->
+      let n, c = dims env in
+      let max_slots =
+        match env.max_slots with
+        | Some m -> m
+        | None ->
+            Complexity.cogcast_slots ?factor:env.budget_factor ~n ~c ~k:env.k ()
+      in
+      let r =
+        Cogcast.run ?jammer:env.jammer ?faults:env.faults ?metrics:env.metrics
+          ?trace:env.trace ~backend:env.backend ~source:env.source
+          ~availability:env.availability ~rng:env.rng ~max_slots ()
+      in
+      {
+        Protocol.protocol = "cogcast";
+        slots_run = r.Cogcast.slots_run;
+        completed = r.Cogcast.completed_at <> None;
+        completed_at = r.Cogcast.completed_at;
+        coverage = frac r.Cogcast.informed_count n;
+        raw_rounds = 0;
+        counters = r.Cogcast.counters;
+        detail = Json.Obj [ ("informed_count", Json.Int r.Cogcast.informed_count) ];
+      })
+
+let cogcomp =
+  Protocol.of_run ~name:"cogcomp"
+    ~synopsis:"Four-phase data aggregation in O((c/k) max{1,c/n} lg n + n) slots (S5, Thm 10)"
+    (fun env ->
+      require_plain ~name:"cogcomp" env;
+      let n, _ = dims env in
+      let assignment = Dynamic.at env.availability 0 in
+      let r =
+        Cogcomp.run ?jammer:env.jammer ?faults:env.faults
+          ?budget_factor:env.budget_factor ?trace:env.trace
+          ~monoid:Aggregate.sum ~values:(id_values n) ~source:env.source
+          ~assignment ~k:env.k ~rng:env.rng ()
+      in
+      let terminated =
+        Array.fold_left (fun acc t -> if t then acc + 1 else acc) 0 r.Cogcomp.terminated
+      in
+      {
+        Protocol.protocol = "cogcomp";
+        slots_run = r.Cogcomp.total_slots;
+        completed = r.Cogcomp.complete;
+        completed_at =
+          (if r.Cogcomp.complete then Some r.Cogcomp.total_slots else None);
+        coverage = frac terminated n;
+        raw_rounds = 0;
+        counters = Trace.Counters.create ();
+        detail =
+          Json.Obj
+            [
+              ( "root_value",
+                match r.Cogcomp.root_value with
+                | Some v -> Json.Int v
+                | None -> Json.Null );
+              ("phase1_slots", Json.Int r.Cogcomp.phase1_slots);
+              ("phase2_slots", Json.Int r.Cogcomp.phase2_slots);
+              ("phase3_slots", Json.Int r.Cogcomp.phase3_slots);
+              ("phase4_slots", Json.Int r.Cogcomp.phase4_slots);
+              ("mediators", Json.Int (List.length r.Cogcomp.mediators));
+            ];
+      })
+
+let cogcomp_robust =
+  Protocol.of_run ~name:"cogcomp_robust"
+    ~synopsis:"Fault-tolerant COGCOMP: watchdogs, mediator re-election, acked drain"
+    (fun env ->
+      require_plain ~name:"cogcomp_robust" env;
+      let n, _ = dims env in
+      let assignment = Dynamic.at env.availability 0 in
+      let r =
+        Cogcomp_robust.run ?jammer:env.jammer ?faults:env.faults
+          ?budget_factor:env.budget_factor ?trace:env.trace
+          ~monoid:Aggregate.sum ~values:(id_values n) ~source:env.source
+          ~assignment ~k:env.k ~rng:env.rng ()
+      in
+      {
+        Protocol.protocol = "cogcomp_robust";
+        slots_run = r.Cogcomp_robust.total_slots;
+        completed = r.Cogcomp_robust.complete;
+        completed_at =
+          (if r.Cogcomp_robust.complete then Some r.Cogcomp_robust.total_slots
+           else None);
+        coverage = frac r.Cogcomp_robust.coverage n;
+        raw_rounds = 0;
+        counters = Trace.Counters.create ();
+        detail =
+          Json.Obj
+            [
+              ("root_value", Json.Int r.Cogcomp_robust.root_value);
+              ("lost", Json.Int (List.length r.Cogcomp_robust.lost));
+              ("reelections", Json.Int r.Cogcomp_robust.reelections);
+              ("retries", Json.Int r.Cogcomp_robust.retries);
+              ("phase1_slots", Json.Int r.Cogcomp_robust.phase1_slots);
+              ("phase4_slots", Json.Int r.Cogcomp_robust.phase4_slots);
+            ];
+      })
+
+(* ---- the rendezvous baselines: state machines behind the generic
+   driver ---- *)
+
+module Broadcast_baseline_p = struct
+  module B = Crn_rendezvous.Broadcast_baseline
+
+  let name = "broadcast_baseline"
+  let synopsis = "Straw-man broadcast: rendezvous against a transmitting source (S1)"
+
+  type msg = B.msg
+  type state = B.machine
+  type result = B.result
+
+  let budget env =
+    let n, c = dims env in
+    scaled_budget env (Complexity.rendezvous_broadcast ~n ~c ~k:env.Protocol.k)
+
+  let init (env : Protocol.env) =
+    B.machine ~source:env.source ~availability:env.availability ~rng:env.rng
+
+  let decide (st : state) = st.B.decide
+  let feedback (st : state) = st.B.feedback
+  let finished (st : state) = st.B.finished ()
+
+  let project (st : state) ~(outcome : Runner.outcome) =
+    st.B.snapshot ~slots_run:outcome.Runner.slots_run
+
+  let summarize env (r : result) =
+    let n, _ = dims env in
+    {
+      Protocol.protocol = name;
+      slots_run = r.B.slots_run;
+      completed = r.B.completed_at <> None;
+      completed_at = r.B.completed_at;
+      coverage = frac r.B.informed_count n;
+      raw_rounds = 0;
+      counters = Trace.Counters.create ();
+      detail = Json.Obj [ ("informed_count", Json.Int r.B.informed_count) ];
+    }
+end
+
+module Aggregation_baseline_p (Variant : sig
+  val name : string
+  val synopsis : string
+  val ack : bool
+end) =
+struct
+  module A = Crn_rendezvous.Aggregation_baseline
+
+  let name = Variant.name
+  let synopsis = Variant.synopsis
+
+  type msg = int A.msg
+  type state = int A.machine
+  type result = int A.result
+
+  let budget env =
+    let n, c = dims env in
+    scaled_budget env (Complexity.rendezvous_aggregation ~n ~c ~k:env.Protocol.k)
+
+  let init (env : Protocol.env) =
+    let n, _ = dims env in
+    A.machine ~ack:Variant.ack ~monoid:Aggregate.sum ~values:(id_values n)
+      ~source:env.source ~availability:env.availability ~rng:env.rng ()
+
+  let decide (st : state) = st.A.decide
+  let feedback (st : state) = st.A.feedback
+  let finished (st : state) = st.A.finished ()
+
+  let project (st : state) ~(outcome : Runner.outcome) =
+    st.A.snapshot ~slots_run:outcome.Runner.slots_run
+
+  let summarize env (r : result) =
+    let n, _ = dims env in
+    {
+      Protocol.protocol = name;
+      slots_run = r.A.slots_run;
+      completed = r.A.completed_at <> None;
+      completed_at = r.A.completed_at;
+      coverage = frac r.A.received_count n;
+      raw_rounds = 0;
+      counters = Trace.Counters.create ();
+      detail =
+        Json.Obj
+          [
+            ("received_count", Json.Int r.A.received_count);
+            ( "root_value",
+              match r.A.root_value with Some v -> Json.Int v | None -> Json.Null );
+          ];
+    }
+end
+
+module Aggregation_ack_p = Aggregation_baseline_p (struct
+  let name = "aggregation_baseline"
+  let synopsis = "Straw-man aggregation with free ACKs: fair-contention lower bound (S1)"
+  let ack = true
+end)
+
+module Aggregation_honest_p = Aggregation_baseline_p (struct
+  let name = "aggregation_baseline_honest"
+  let synopsis = "Straw-man aggregation, no ACKs: source coupon-collects all values (S1)"
+  let ack = false
+end)
+
+module Random_hop_p = struct
+  module R = Crn_rendezvous.Random_hop
+
+  let name = "random_hop"
+  let synopsis = "Uniform random hopping: the source beacons until it has met every node (S1)"
+
+  type msg = R.msg
+  type state = R.machine
+  type result = R.result
+
+  let budget env =
+    let n, c = dims env in
+    scaled_budget env (Complexity.rendezvous_broadcast ~n ~c ~k:env.Protocol.k)
+
+  let init (env : Protocol.env) =
+    R.machine ~source:env.source ~availability:env.availability ~rng:env.rng
+
+  let decide (st : state) = st.R.decide
+  let feedback (st : state) = st.R.feedback
+  let finished (st : state) = st.R.finished ()
+
+  let project (st : state) ~(outcome : Runner.outcome) =
+    st.R.snapshot ~slots_run:outcome.Runner.slots_run
+
+  let summarize env (r : result) =
+    let n, _ = dims env in
+    {
+      Protocol.protocol = name;
+      slots_run = r.R.slots_run;
+      completed = r.R.completed_at <> None;
+      completed_at = r.R.completed_at;
+      coverage = frac r.R.met_count n;
+      raw_rounds = 0;
+      counters = Trace.Counters.create ();
+      detail = Json.Obj [ ("met_count", Json.Int r.R.met_count) ];
+    }
+end
+
+module Seq_scan_p = struct
+  module S = Crn_rendezvous.Seq_scan
+
+  let name = "seq_scan"
+  let synopsis = "Hop-together sequential scan over the global spectrum, O(C/k) (S6)"
+
+  type msg = S.msg
+  type state = S.machine
+  type result = S.result
+
+  (* E10's budget: 8 x C (the spectrum size), i.e. budget_factor x C. *)
+  let budget (env : Protocol.env) =
+    let big_c = Assignment.num_channels (Dynamic.at env.availability 0) in
+    scaled_budget env (float_of_int big_c)
+
+  let init (env : Protocol.env) =
+    S.machine ~source:env.source ~assignment:(Dynamic.at env.availability 0)
+
+  let decide (st : state) = st.S.decide
+  let feedback (st : state) = st.S.feedback
+  let finished (st : state) = st.S.finished ()
+
+  let project (st : state) ~(outcome : Runner.outcome) =
+    st.S.snapshot ~slots_run:outcome.Runner.slots_run
+
+  let summarize env (r : result) =
+    let n, _ = dims env in
+    {
+      Protocol.protocol = name;
+      slots_run = r.S.slots_run;
+      completed = r.S.completed_at <> None;
+      completed_at = r.S.completed_at;
+      coverage = frac r.S.informed_count n;
+      raw_rounds = 0;
+      counters = Trace.Counters.create ();
+      detail = Json.Obj [ ("informed_count", Json.Int r.S.informed_count) ];
+    }
+end
+
+module Deterministic_p = struct
+  module D = Crn_rendezvous.Deterministic
+
+  let name = "deterministic"
+  let synopsis = "Jump-stay deterministic hopping schedule driving an epidemic broadcast (S3)"
+
+  type msg = D.msg
+  type state = D.machine
+  type result = D.broadcast_result
+
+  (* Pair rendezvous under jump-stay needs O(P) slots within a round of 3P
+     (P the smallest prime >= C); the epidemic chain multiplies by the
+     spread depth, bounded by lg n in expectation. *)
+  let budget (env : Protocol.env) =
+    let n, _ = dims env in
+    let big_c = Assignment.num_channels (Dynamic.at env.availability 0) in
+    let p = D.smallest_prime_geq big_c in
+    scaled_budget env (float_of_int (3 * p) *. Complexity.lg (float_of_int n))
+
+  let init (env : Protocol.env) =
+    D.machine ~make_schedule:D.jump_stay ~source:env.source
+      ~assignment:(Dynamic.at env.availability 0)
+
+  let decide (st : state) = st.D.decide
+  let feedback (st : state) = st.D.feedback
+  let finished (st : state) = st.D.finished ()
+
+  let project (st : state) ~(outcome : Runner.outcome) =
+    st.D.snapshot ~slots_run:outcome.Runner.slots_run
+
+  let summarize env (r : result) =
+    let n, _ = dims env in
+    {
+      Protocol.protocol = name;
+      slots_run = r.D.slots_run;
+      completed = r.D.completed_at <> None;
+      completed_at = r.D.completed_at;
+      coverage = frac r.D.informed_count n;
+      raw_rounds = 0;
+      counters = Trace.Counters.create ();
+      detail = Json.Obj [ ("informed_count", Json.Int r.D.informed_count) ];
+    }
+end
+
+let all =
+  [
+    cogcast;
+    cogcomp;
+    cogcomp_robust;
+    Protocol.of_machine (module Broadcast_baseline_p);
+    Protocol.of_machine (module Aggregation_ack_p);
+    Protocol.of_machine (module Aggregation_honest_p);
+    Protocol.of_machine (module Random_hop_p);
+    Protocol.of_machine (module Seq_scan_p);
+    Protocol.of_machine (module Deterministic_p);
+  ]
+
+let names () = List.map Protocol.name all
+
+let normalize s =
+  String.map (fun ch -> if ch = '-' then '_' else ch) (String.lowercase_ascii s)
+
+let find s =
+  let s = normalize s in
+  List.find_opt (fun p -> Protocol.name p = s) all
+
+let find_exn s =
+  match find s with
+  | Some p -> p
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown protocol %S (try: %s)" s
+           (String.concat ", " (names ())))

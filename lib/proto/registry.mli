@@ -1,0 +1,21 @@
+(** The central protocol registry: every protocol in the repository —
+    COGCAST, COGCOMP, fault-tolerant COGCOMP and all five rendezvous
+    baselines — packed behind the {!Protocol} interface under a stable
+    name, in one list the CLI and the bench harness dispatch on.
+
+    Names are matched case-insensitively with ['-'] and ['_']
+    interchangeable, so [crn_sim run --protocol cogcomp-robust] and
+    [--protocol cogcomp_robust] find the same entry. *)
+
+val all : Protocol.t list
+(** Every registered protocol, in presentation order: the paper's own
+    protocols first, then the baselines they are measured against. *)
+
+val names : unit -> string list
+(** Canonical names of {!all}, in the same order. *)
+
+val find : string -> Protocol.t option
+(** Lookup by (normalized) name. *)
+
+val find_exn : string -> Protocol.t
+(** Like {!find} but raises [Invalid_argument] listing the valid names. *)

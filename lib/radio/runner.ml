@@ -1,0 +1,80 @@
+type backend =
+  | Engine
+  | Emulation of { session_cap : int option }
+  | Reference
+
+type outcome = {
+  slots_run : int;
+  stopped_early : bool;
+  counters : Trace.Counters.t;
+  raw_rounds : int;
+  failed_sessions : int;
+}
+
+type t = {
+  run :
+    'msg.
+    ?stop:(slot:int -> bool) ->
+    nodes:'msg Engine.node array ->
+    max_slots:int ->
+    unit ->
+    outcome;
+}
+
+let of_engine (o : Engine.outcome) =
+  {
+    slots_run = o.Engine.slots_run;
+    stopped_early = o.Engine.stopped_early;
+    counters = o.Engine.counters;
+    raw_rounds = 0;
+    failed_sessions = 0;
+  }
+
+let of_emulation (o : Emulation.outcome) =
+  {
+    slots_run = o.Emulation.slots_run;
+    stopped_early = o.Emulation.stopped_early;
+    counters = o.Emulation.counters;
+    raw_rounds = o.Emulation.raw_rounds;
+    failed_sessions = o.Emulation.failed_sessions;
+  }
+
+let emulation_outcome o =
+  {
+    Emulation.slots_run = o.slots_run;
+    stopped_early = o.stopped_early;
+    counters = o.counters;
+    raw_rounds = o.raw_rounds;
+    failed_sessions = o.failed_sessions;
+  }
+
+let make ?jammer ?faults ?metrics ?trace ?(backend = Engine) ~availability ~rng () =
+  match backend with
+  | Engine ->
+      {
+        run =
+          (fun ?stop ~nodes ~max_slots () ->
+            of_engine
+              (Engine.run ?jammer ?faults ?metrics ?trace ?stop ~availability
+                 ~rng ~nodes ~max_slots ()));
+      }
+  | Reference ->
+      {
+        run =
+          (fun ?stop ~nodes ~max_slots () ->
+            of_engine
+              (Reference.engine_run ?jammer ?faults ?metrics ?trace ?stop
+                 ~availability ~rng ~nodes ~max_slots ()));
+      }
+  | Emulation { session_cap } ->
+      if jammer <> None || faults <> None || metrics <> None then
+        invalid_arg
+          "Runner.make: jammer/faults/metrics are not supported on the raw \
+           radio emulation";
+      {
+        run =
+          (fun ?stop ~nodes ~max_slots () ->
+            of_emulation
+              (Emulation.run ?session_cap ?trace ?stop ~availability ~rng
+                 ~nodes ~max_slots ()));
+      }

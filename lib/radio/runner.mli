@@ -1,0 +1,74 @@
+(** One shared slot-loop runner for every protocol layer — the single place
+    where a protocol phase picks its execution backend.
+
+    Before this module existed, COGCAST, COGCOMP and robust COGCOMP each
+    carried a private "engine or emulation" shim ([slot_runner] records with
+    an [engine_runner]/[emulation_runner] pair per module). This is that
+    shim, once: a {!t} closes over the availability, generator, adversary
+    and observability of a run, and its polymorphic {!field-run} executes
+    any ['msg Engine.node] array on the selected {!backend}:
+
+    {ul
+    {- {!Engine} — the optimized abstract one-winner engine
+       ({!Engine.run}), the default;}
+    {- {!Emulation} — the footnote-4 raw collision radio
+       ({!Emulation.run}), reporting raw-round cost;}
+    {- {!Reference} — the list-based executable specification
+       ({!Reference.engine_run}), for differential tests.}}
+
+    The runner adds no semantics of its own: each backend receives exactly
+    the arguments the caller supplied, so a protocol run through a {!t} is
+    byte-identical (outcomes, counters, RNG consumption, traces) to one
+    calling the backend directly. *)
+
+type backend =
+  | Engine  (** {!Engine.run}; supports jamming, faults and metrics. *)
+  | Emulation of { session_cap : int option }
+      (** {!Emulation.run}; jamming/faults/metrics are not available on the
+          raw radio ({!make} rejects the combination). *)
+  | Reference
+      (** {!Reference.engine_run}, the slow specification twin of
+          {!Engine}; same feature set. *)
+
+type outcome = {
+  slots_run : int;
+  stopped_early : bool;
+  counters : Trace.Counters.t;
+  raw_rounds : int;
+      (** Raw radio rounds consumed; [0] on the abstract backends. *)
+  failed_sessions : int;
+      (** Emulation contention sessions that hit the cap; [0] on the
+          abstract backends. *)
+}
+
+type t = {
+  run :
+    'msg.
+    ?stop:(slot:int -> bool) ->
+    nodes:'msg Engine.node array ->
+    max_slots:int ->
+    unit ->
+    outcome;
+}
+(** The polymorphic slot loop: one runner serves every message type a
+    multi-phase protocol uses, which is why this is a record field rather
+    than a plain function. *)
+
+val make :
+  ?jammer:Jammer.t ->
+  ?faults:Faults.t ->
+  ?metrics:Metrics.t ->
+  ?trace:Trace.t ->
+  ?backend:backend ->
+  availability:Crn_channel.Dynamic.t ->
+  rng:Crn_prng.Rng.t ->
+  unit ->
+  t
+(** [make ~availability ~rng ()] is a runner on the default {!Engine}
+    backend. Raises [Invalid_argument] if [backend] is {!Emulation} and a
+    jammer, fault schedule or metrics sink was supplied — the raw radio
+    does not implement them (compose at the abstract layer instead). *)
+
+val emulation_outcome : outcome -> Emulation.outcome
+(** Repackage a runner outcome as the {!Emulation.outcome} the footnote-4
+    APIs return; meaningful for runs on the {!Emulation} backend. *)

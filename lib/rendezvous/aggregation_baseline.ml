@@ -12,27 +12,33 @@ type 'a result = {
   root_value : 'a option;
 }
 
-let run (type a) ?(stop_when_complete = true) ?(ack = true)
-    ~(monoid : a Crn_core.Aggregate.monoid) ~(values : a array) ~source
-    ~availability ~rng ~max_slots () =
+type 'a machine = {
+  decide : node:int -> slot:int -> 'a msg Action.decision;
+  feedback : node:int -> slot:int -> 'a msg Action.feedback -> unit;
+  finished : unit -> bool;
+  snapshot : slots_run:int -> 'a result;
+}
+
+let machine (type a) ?(ack = true) ~(monoid : a Crn_core.Aggregate.monoid)
+    ~(values : a array) ~source ~availability ~rng () =
   let n = Dynamic.num_nodes availability in
   let c = Dynamic.channels_per_node availability in
   if Array.length values <> n then
-    invalid_arg "Aggregation_baseline.run: values length mismatch";
+    invalid_arg "Aggregation_baseline.machine: values length mismatch";
   if source < 0 || source >= n then
-    invalid_arg "Aggregation_baseline.run: source out of range";
+    invalid_arg "Aggregation_baseline.machine: source out of range";
   let received = Array.make n false in
   received.(source) <- true;
   let received_count = ref 1 in
   let acc = ref values.(source) in
   let node_rngs = Rng.split_n rng n in
-  let decide v ~slot:_ =
+  let decide ~node:v ~slot:_ =
     let label = Rng.int node_rngs.(v) c in
     if v = source then Action.listen ~label
     else if ack && received.(v) then Action.listen ~label (* idealized ACK *)
     else Action.broadcast ~label { from = v; value = values.(v) }
   in
-  let feedback v ~slot:_ fb =
+  let feedback ~node:v ~slot:_ fb =
     if v = source then
       match fb with
       | Action.Heard { msg = { from; value }; _ } ->
@@ -43,21 +49,31 @@ let run (type a) ?(stop_when_complete = true) ?(ack = true)
           end
       | Action.Won | Action.Lost _ | Action.Silence | Action.Jammed -> ()
   in
+  let finished () = !received_count = n in
+  let snapshot ~slots_run =
+    let complete = !received_count = n in
+    {
+      completed_at = (if complete then Some slots_run else None);
+      slots_run;
+      received_count = !received_count;
+      root_value = (if complete then Some !acc else None);
+    }
+  in
+  { decide; feedback; finished; snapshot }
+
+let run ?(stop_when_complete = true) ?ack ~monoid ~values ~source ~availability
+    ~rng ~max_slots () =
+  let m = machine ?ack ~monoid ~values ~source ~availability ~rng () in
+  let n = Dynamic.num_nodes availability in
   let nodes =
-    Array.init n (fun v -> Engine.node ~id:v ~decide:(decide v) ~feedback:(feedback v))
+    Array.init n (fun v ->
+        Engine.node ~id:v
+          ~decide:(fun ~slot -> m.decide ~node:v ~slot)
+          ~feedback:(fun ~slot fb -> m.feedback ~node:v ~slot fb))
   in
-  let stop =
-    if stop_when_complete then Some (fun ~slot:_ -> !received_count = n) else None
-  in
+  let stop = if stop_when_complete then Some (fun ~slot:_ -> m.finished ()) else None in
   let outcome = Engine.run ?stop ~availability ~rng ~nodes ~max_slots () in
-  let slots_run = outcome.Engine.slots_run in
-  let complete = !received_count = n in
-  {
-    completed_at = (if complete then Some slots_run else None);
-    slots_run;
-    received_count = !received_count;
-    root_value = (if complete then Some !acc else None);
-  }
+  m.snapshot ~slots_run:outcome.Engine.slots_run
 
 let run_static ?stop_when_complete ?ack ?(budget_factor = 8.0) ~monoid ~values
     ~source ~assignment ~k ~rng () =

@@ -15,6 +15,8 @@
        [n-1] distinct values, the behavior an unmodified rendezvous layer
        actually exhibits.}} *)
 
+type 'a msg = { from : int; value : 'a }
+
 type 'a result = {
   completed_at : int option;
       (** Slots until the source held every node's value. *)
@@ -22,6 +24,29 @@ type 'a result = {
   received_count : int;  (** Distinct non-source values received. *)
   root_value : 'a option;
 }
+
+type 'a machine = {
+  decide : node:int -> slot:int -> 'a msg Crn_radio.Action.decision;
+  feedback : node:int -> slot:int -> 'a msg Crn_radio.Action.feedback -> unit;
+  finished : unit -> bool;
+  snapshot : slots_run:int -> 'a result;
+}
+(** The per-node state machine behind {!run}, exposed so the
+    {!Crn_proto.Protocol} layer can drive the identical logic through its
+    own runner. *)
+
+val machine :
+  ?ack:bool ->
+  monoid:'a Crn_core.Aggregate.monoid ->
+  values:'a array ->
+  source:int ->
+  availability:Crn_channel.Dynamic.t ->
+  rng:Crn_prng.Rng.t ->
+  unit ->
+  'a machine
+(** Builds the state machine: splits one label stream per node off [rng]
+    (the same split {!run} performs) and seeds the accumulator with the
+    source's own value. *)
 
 val run :
   ?stop_when_complete:bool ->

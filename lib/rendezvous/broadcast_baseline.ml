@@ -12,22 +12,32 @@ type result = {
   informed : bool array;
 }
 
-let run ?metrics ?(stop_when_complete = true) ~source ~availability ~rng ~max_slots () =
+type machine = {
+  decide : node:int -> slot:int -> msg Action.decision;
+  feedback : node:int -> slot:int -> msg Action.feedback -> unit;
+  finished : unit -> bool;
+  snapshot : slots_run:int -> result;
+}
+
+let machine ~source ~availability ~rng =
   let n = Dynamic.num_nodes availability in
   let c = Dynamic.channels_per_node availability in
   if source < 0 || source >= n then
-    invalid_arg "Broadcast_baseline.run: source out of range";
+    invalid_arg "Broadcast_baseline.machine: source out of range";
   let informed = Array.make n false in
   informed.(source) <- true;
   let informed_count = ref 1 in
   let node_rngs = Rng.split_n rng n in
-  let decide v ~slot:_ =
+  let decide ~node:v ~slot:_ =
     let label = Rng.int node_rngs.(v) c in
-    if v = source then Action.broadcast ~label Payload
-    else if informed.(v) then Action.listen ~label (* silent; already served *)
-    else Action.listen ~label
+    (* Only the source ever transmits. An informed non-source node behaves
+       exactly like an uninformed one — it keeps hopping and listening —
+       because the straw man has no epidemic relay to serve; keeping served
+       nodes on the common draw-then-listen path also keeps every node's rng
+       stream independent of when it was informed. *)
+    if v = source then Action.broadcast ~label Payload else Action.listen ~label
   in
-  let feedback v ~slot:_ = function
+  let feedback ~node:v ~slot:_ = function
     | Action.Heard { sender; msg = Payload } ->
         (* Only the source transmits, so any reception is the real message. *)
         if sender = source && not informed.(v) then begin
@@ -36,20 +46,29 @@ let run ?metrics ?(stop_when_complete = true) ~source ~availability ~rng ~max_sl
         end
     | Action.Won | Action.Lost _ | Action.Silence | Action.Jammed -> ()
   in
+  let finished () = !informed_count = n in
+  let snapshot ~slots_run =
+    {
+      completed_at = (if !informed_count = n then Some slots_run else None);
+      slots_run;
+      informed_count = !informed_count;
+      informed;
+    }
+  in
+  { decide; feedback; finished; snapshot }
+
+let run ?metrics ?(stop_when_complete = true) ~source ~availability ~rng ~max_slots () =
+  let m = machine ~source ~availability ~rng in
+  let n = Dynamic.num_nodes availability in
   let nodes =
-    Array.init n (fun v -> Engine.node ~id:v ~decide:(decide v) ~feedback:(feedback v))
+    Array.init n (fun v ->
+        Engine.node ~id:v
+          ~decide:(fun ~slot -> m.decide ~node:v ~slot)
+          ~feedback:(fun ~slot fb -> m.feedback ~node:v ~slot fb))
   in
-  let stop =
-    if stop_when_complete then Some (fun ~slot:_ -> !informed_count = n) else None
-  in
+  let stop = if stop_when_complete then Some (fun ~slot:_ -> m.finished ()) else None in
   let outcome = Engine.run ?metrics ?stop ~availability ~rng ~nodes ~max_slots () in
-  let slots_run = outcome.Engine.slots_run in
-  {
-    completed_at = (if !informed_count = n then Some slots_run else None);
-    slots_run;
-    informed_count = !informed_count;
-    informed;
-  }
+  m.snapshot ~slots_run:outcome.Engine.slots_run
 
 let run_static ?metrics ?stop_when_complete ?(budget_factor = 8.0) ~source ~assignment ~k
     ~rng () =

@@ -1,8 +1,8 @@
 (** The straw-man local broadcast from §1: every node runs randomized
     rendezvous against the source, which transmits its message in every
-    slot. Informed non-source nodes fall silent — there is no epidemic
-    relay, which is precisely what COGCAST adds and what this baseline is
-    measured against in experiment E4.
+    slot. Informed non-source nodes keep hopping and listening — there is no
+    epidemic relay, which is precisely what COGCAST adds and what this
+    baseline is measured against in experiment E4.
 
     Expected completion is [O((c²/k)·lg n)]: each uninformed node meets the
     source with probability at least [k/c²] per slot.
@@ -10,12 +10,35 @@
     Runs on the same {!Crn_radio.Engine} as COGCAST so that contention and
     label semantics are identical. *)
 
+type msg = Payload
+
 type result = {
   completed_at : int option;
   slots_run : int;
   informed_count : int;
   informed : bool array;
 }
+
+type machine = {
+  decide : node:int -> slot:int -> msg Crn_radio.Action.decision;
+  feedback : node:int -> slot:int -> msg Crn_radio.Action.feedback -> unit;
+  finished : unit -> bool;
+  snapshot : slots_run:int -> result;
+}
+(** The per-node state machine behind {!run}, exposed so the
+    {!Crn_proto.Protocol} layer can drive the identical logic through its
+    own runner: [decide]/[feedback] are queried by the engine per node and
+    slot, [finished] is the completion predicate, and [snapshot] projects
+    the final {!result}. *)
+
+val machine :
+  source:int ->
+  availability:Crn_channel.Dynamic.t ->
+  rng:Crn_prng.Rng.t ->
+  machine
+(** Builds the state machine: splits one label stream per node off [rng]
+    (the same split {!run} performs) and starts with only [source]
+    informed. *)
 
 val run :
   ?metrics:Crn_radio.Metrics.t ->

@@ -102,15 +102,28 @@ let pair_rendezvous assignment ~u ~v ~max_slots =
 
 type msg = Payload
 
-let broadcast ~make_schedule ~source ~assignment ~rng ~max_slots () =
+type broadcast_result = {
+  completed_at : int option;
+  slots_run : int;
+  informed_count : int;
+}
+
+type machine = {
+  decide : node:int -> slot:int -> msg Action.decision;
+  feedback : node:int -> slot:int -> msg Action.feedback -> unit;
+  finished : unit -> bool;
+  snapshot : slots_run:int -> broadcast_result;
+}
+
+let machine ~make_schedule ~source ~assignment =
   let n = Assignment.num_nodes assignment in
   if source < 0 || source >= n then
-    invalid_arg "Deterministic.broadcast: source out of range";
+    invalid_arg "Deterministic.machine: source out of range";
   let schedules = Array.init n (fun node -> make_schedule assignment ~node) in
   let informed = Array.make n false in
   informed.(source) <- true;
   let informed_count = ref 1 in
-  let decide v ~slot =
+  let decide ~node:v ~slot =
     let channel = schedules.(v).channel_at ~slot in
     let label =
       match Assignment.local_of_global assignment ~node:v ~channel with
@@ -122,7 +135,7 @@ let broadcast ~make_schedule ~source ~assignment ~rng ~max_slots () =
     in
     if informed.(v) then Action.broadcast ~label Payload else Action.listen ~label
   in
-  let feedback v ~slot:_ = function
+  let feedback ~node:v ~slot:_ = function
     | Action.Heard { msg = Payload; _ } ->
         if not informed.(v) then begin
           informed.(v) <- true;
@@ -130,11 +143,27 @@ let broadcast ~make_schedule ~source ~assignment ~rng ~max_slots () =
         end
     | Action.Won | Action.Lost _ | Action.Silence | Action.Jammed -> ()
   in
-  let nodes =
-    Array.init n (fun v -> Engine.node ~id:v ~decide:(decide v) ~feedback:(feedback v))
+  let finished () = !informed_count = n in
+  let snapshot ~slots_run =
+    {
+      completed_at = (if !informed_count = n then Some slots_run else None);
+      slots_run;
+      informed_count = !informed_count;
+    }
   in
-  let stop ~slot:_ = !informed_count = n in
+  { decide; feedback; finished; snapshot }
+
+let broadcast ~make_schedule ~source ~assignment ~rng ~max_slots () =
+  let m = machine ~make_schedule ~source ~assignment in
+  let n = Assignment.num_nodes assignment in
+  let nodes =
+    Array.init n (fun v ->
+        Engine.node ~id:v
+          ~decide:(fun ~slot -> m.decide ~node:v ~slot)
+          ~feedback:(fun ~slot fb -> m.feedback ~node:v ~slot fb))
+  in
+  let stop ~slot:_ = m.finished () in
   let outcome =
     Engine.run ~stop ~availability:(Dynamic.static assignment) ~rng ~nodes ~max_slots ()
   in
-  if !informed_count = n then Some outcome.Engine.slots_run else None
+  (m.snapshot ~slots_run:outcome.Engine.slots_run).completed_at

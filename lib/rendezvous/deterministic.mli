@@ -67,6 +67,30 @@ val pair_rendezvous :
 (** First 1-based slot at which the two schedules select the same global
     channel. *)
 
+type msg = Payload
+
+type broadcast_result = {
+  completed_at : int option;
+  slots_run : int;
+  informed_count : int;
+}
+
+type machine = {
+  decide : node:int -> slot:int -> msg Crn_radio.Action.decision;
+  feedback : node:int -> slot:int -> msg Crn_radio.Action.feedback -> unit;
+  finished : unit -> bool;
+  snapshot : slots_run:int -> broadcast_result;
+}
+(** The per-node state machine behind {!broadcast}, exposed so the
+    {!Crn_proto.Protocol} layer can drive the identical logic through its
+    own runner. *)
+
+val machine :
+  make_schedule:(Crn_channel.Assignment.t -> node:int -> schedule) ->
+  source:int ->
+  assignment:Crn_channel.Assignment.t ->
+  machine
+
 val broadcast :
   make_schedule:(Crn_channel.Assignment.t -> node:int -> schedule) ->
   source:int ->

@@ -7,11 +7,18 @@ type msg = Payload
 
 type result = { completed_at : int option; slots_run : int; informed_count : int }
 
-let run ?(stop_when_complete = true) ~source ~assignment ~rng ~max_slots () =
+type machine = {
+  decide : node:int -> slot:int -> msg Action.decision;
+  feedback : node:int -> slot:int -> msg Action.feedback -> unit;
+  finished : unit -> bool;
+  snapshot : slots_run:int -> result;
+}
+
+let machine ~source ~assignment =
   let n = Assignment.num_nodes assignment in
   let c = Assignment.channels_per_node assignment in
   let big_c = Assignment.num_channels assignment in
-  if source < 0 || source >= n then invalid_arg "Seq_scan.run: source out of range";
+  if source < 0 || source >= n then invalid_arg "Seq_scan.machine: source out of range";
   let informed = Array.make n false in
   informed.(source) <- true;
   let informed_count = ref 1 in
@@ -27,7 +34,7 @@ let run ?(stop_when_complete = true) ~source ~assignment ~rng ~max_slots () =
   (* A private parking label per node: a channel of its set that the scan is
      not visiting this slot is guaranteed to exist whenever c >= 2; nodes
      park to avoid accidental receptions off-protocol. *)
-  let decide v ~slot =
+  let decide ~node:v ~slot =
     let scan_channel = slot mod big_c in
     match Hashtbl.find_opt label_of.(v) scan_channel with
     | Some label ->
@@ -38,7 +45,7 @@ let run ?(stop_when_complete = true) ~source ~assignment ~rng ~max_slots () =
            caught above), so parking cannot cause stray receptions. *)
         Action.listen ~label:0
   in
-  let feedback v ~slot:_ = function
+  let feedback ~node:v ~slot:_ = function
     | Action.Heard { msg = Payload; _ } ->
         if not informed.(v) then begin
           informed.(v) <- true;
@@ -46,17 +53,26 @@ let run ?(stop_when_complete = true) ~source ~assignment ~rng ~max_slots () =
         end
     | Action.Won | Action.Lost _ | Action.Silence | Action.Jammed -> ()
   in
+  let finished () = !informed_count = n in
+  let snapshot ~slots_run =
+    {
+      completed_at = (if !informed_count = n then Some slots_run else None);
+      slots_run;
+      informed_count = !informed_count;
+    }
+  in
+  { decide; feedback; finished; snapshot }
+
+let run ?(stop_when_complete = true) ~source ~assignment ~rng ~max_slots () =
+  let m = machine ~source ~assignment in
+  let n = Assignment.num_nodes assignment in
   let nodes =
-    Array.init n (fun v -> Engine.node ~id:v ~decide:(decide v) ~feedback:(feedback v))
+    Array.init n (fun v ->
+        Engine.node ~id:v
+          ~decide:(fun ~slot -> m.decide ~node:v ~slot)
+          ~feedback:(fun ~slot fb -> m.feedback ~node:v ~slot fb))
   in
-  let stop =
-    if stop_when_complete then Some (fun ~slot:_ -> !informed_count = n) else None
-  in
+  let stop = if stop_when_complete then Some (fun ~slot:_ -> m.finished ()) else None in
   let availability = Dynamic.static assignment in
   let outcome = Engine.run ?stop ~availability ~rng ~nodes ~max_slots () in
-  let slots_run = outcome.Engine.slots_run in
-  {
-    completed_at = (if !informed_count = n then Some slots_run else None);
-    slots_run;
-    informed_count = !informed_count;
-  }
+  m.snapshot ~slots_run:outcome.Engine.slots_run

@@ -14,11 +14,27 @@
     impossible under local labels, which is the content of Theorem 15's
     separation. *)
 
+type msg = Payload
+
 type result = {
   completed_at : int option;
   slots_run : int;
   informed_count : int;
 }
+
+type machine = {
+  decide : node:int -> slot:int -> msg Crn_radio.Action.decision;
+  feedback : node:int -> slot:int -> msg Crn_radio.Action.feedback -> unit;
+  finished : unit -> bool;
+  snapshot : slots_run:int -> result;
+}
+(** The per-node state machine behind {!run}, exposed so the
+    {!Crn_proto.Protocol} layer can drive the identical logic through its
+    own runner. The scan is deterministic — no randomness is consumed by
+    [decide]; an engine [rng] is only ever touched when informed relays
+    contend. *)
+
+val machine : source:int -> assignment:Crn_channel.Assignment.t -> machine
 
 val run :
   ?stop_when_complete:bool ->

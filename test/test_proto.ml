@@ -1,0 +1,406 @@
+(* Differential tests for the protocol layer (lib/proto): a registry-
+   dispatched run must be byte-identical — traces, counters, results — to
+   the direct API it wraps, and the machine-ported baselines must reproduce
+   the slot counts of the private loops they replaced. *)
+
+module Rng = Crn_prng.Rng
+module Topology = Crn_channel.Topology
+module Dynamic = Crn_channel.Dynamic
+module Assignment = Crn_channel.Assignment
+module Trace = Crn_radio.Trace
+module Faults = Crn_radio.Faults
+module Cogcast = Crn_core.Cogcast
+module Cogcomp = Crn_core.Cogcomp
+module Cogcomp_robust = Crn_core.Cogcomp_robust
+module Aggregate = Crn_core.Aggregate
+module Complexity = Crn_core.Complexity
+module Broadcast_baseline = Crn_rendezvous.Broadcast_baseline
+module Aggregation_baseline = Crn_rendezvous.Aggregation_baseline
+module Random_hop = Crn_rendezvous.Random_hop
+module Seq_scan = Crn_rendezvous.Seq_scan
+module Deterministic = Crn_rendezvous.Deterministic
+module Protocol = Crn_proto.Protocol
+module Registry = Crn_proto.Registry
+module Trials = Crn_exec.Trials
+
+let seeds = [ 1; 2; 5 ]
+
+let detail_int summary key =
+  match summary.Protocol.detail with
+  | Crn_stats.Json.Obj fields -> (
+      match List.assoc_opt key fields with
+      | Some (Crn_stats.Json.Int v) -> v
+      | _ -> Alcotest.failf "summary detail lacks int field %S" key)
+  | _ -> Alcotest.fail "summary detail is not an object"
+
+let run_registry ?budget_factor ?max_slots ?faults ?trace ~name ~k ~assignment ~rng () =
+  Protocol.run (Registry.find_exn name)
+    (Protocol.env ?budget_factor ?max_slots ?faults ?trace ~k
+       ~availability:(Dynamic.static assignment) ~rng ())
+
+(* ---- registry vs direct API: byte-identical traces and results ---- *)
+
+let test_cogcast_differential () =
+  List.iter
+    (fun seed ->
+      let n = 24 and c = 8 and k = 3 in
+      let spec = { Topology.n; c; k } in
+      let direct =
+        let rng = Rng.create seed in
+        let assignment = Topology.generate Topology.Shared_plus_random rng spec in
+        let tr = Trace.create () in
+        let r = Cogcast.run_static ~trace:tr ~source:0 ~assignment ~k ~rng () in
+        (Trace.to_jsonl tr, r.Cogcast.completed_at, r.Cogcast.informed_count,
+         r.Cogcast.slots_run)
+      in
+      let registry =
+        let rng = Rng.create seed in
+        let assignment = Topology.generate Topology.Shared_plus_random rng spec in
+        let tr = Trace.create () in
+        let s = run_registry ~trace:tr ~name:"cogcast" ~k ~assignment ~rng () in
+        (Trace.to_jsonl tr, s.Protocol.completed_at, detail_int s "informed_count",
+         s.Protocol.slots_run)
+      in
+      let dt, dc, di, ds = direct and rt, rc, ri, rs = registry in
+      Alcotest.(check string) (Printf.sprintf "trace seed %d" seed) dt rt;
+      Alcotest.(check (option int)) "completed_at" dc rc;
+      Alcotest.(check int) "informed_count" di ri;
+      Alcotest.(check int) "slots_run" ds rs)
+    seeds
+
+let test_cogcomp_differential () =
+  List.iter
+    (fun seed ->
+      let n = 20 and c = 6 and k = 2 in
+      let spec = { Topology.n; c; k } in
+      let direct =
+        let rng = Rng.create seed in
+        let assignment = Topology.generate Topology.Shared_core rng spec in
+        let tr = Trace.create () in
+        let values = Array.init n (fun v -> v) in
+        let r =
+          Cogcomp.run ~trace:tr ~monoid:Aggregate.sum ~values ~source:0
+            ~assignment ~k ~rng ()
+        in
+        (Trace.to_jsonl tr, r.Cogcomp.complete, r.Cogcomp.root_value,
+         r.Cogcomp.total_slots)
+      in
+      let registry =
+        let rng = Rng.create seed in
+        let assignment = Topology.generate Topology.Shared_core rng spec in
+        let tr = Trace.create () in
+        let s = run_registry ~trace:tr ~name:"cogcomp" ~k ~assignment ~rng () in
+        let root =
+          match s.Protocol.detail with
+          | Crn_stats.Json.Obj fields -> (
+              match List.assoc_opt "root_value" fields with
+              | Some (Crn_stats.Json.Int v) -> Some v
+              | _ -> None)
+          | _ -> None
+        in
+        (Trace.to_jsonl tr, s.Protocol.completed, root, s.Protocol.slots_run)
+      in
+      let dt, dc, dv, ds = direct and rt, rc, rv, rs = registry in
+      Alcotest.(check string) (Printf.sprintf "trace seed %d" seed) dt rt;
+      Alcotest.(check bool) "complete" dc rc;
+      Alcotest.(check (option int)) "root_value" dv rv;
+      Alcotest.(check int) "total_slots" ds rs)
+    seeds
+
+let naps_faults () = Faults.spare (Faults.random_naps ~seed:7L ~rate:0.05) ~node:0
+
+let test_cogcomp_robust_differential () =
+  List.iter
+    (fun seed ->
+      let n = 16 and c = 6 and k = 2 in
+      let spec = { Topology.n; c; k } in
+      let direct =
+        let rng = Rng.create seed in
+        let assignment = Topology.generate Topology.Shared_core rng spec in
+        let tr = Trace.create () in
+        let values = Array.init n (fun v -> v) in
+        let r =
+          Cogcomp_robust.run ~faults:(naps_faults ()) ~trace:tr
+            ~monoid:Aggregate.sum ~values ~source:0 ~assignment ~k ~rng ()
+        in
+        (Trace.to_jsonl tr, r.Cogcomp_robust.coverage, r.Cogcomp_robust.total_slots)
+      in
+      let registry =
+        let rng = Rng.create seed in
+        let assignment = Topology.generate Topology.Shared_core rng spec in
+        let tr = Trace.create () in
+        let s =
+          run_registry ~faults:(naps_faults ()) ~trace:tr ~name:"cogcomp_robust"
+            ~k ~assignment ~rng ()
+        in
+        let coverage = int_of_float (s.Protocol.coverage *. float_of_int n +. 0.5) in
+        (Trace.to_jsonl tr, coverage, s.Protocol.slots_run)
+      in
+      let dt, dcov, ds = direct and rt, rcov, rs = registry in
+      Alcotest.(check string) (Printf.sprintf "trace seed %d" seed) dt rt;
+      Alcotest.(check int) "coverage" dcov rcov;
+      Alcotest.(check int) "total_slots" ds rs)
+    seeds
+
+(* ---- machine ports vs the legacy entry points ---- *)
+
+let topologies = [ Topology.Shared_core; Topology.Shared_plus_random ]
+
+let test_broadcast_baseline_parity () =
+  List.iter
+    (fun topology ->
+      List.iter
+        (fun seed ->
+          let n = 20 and c = 6 and k = 2 in
+          let spec = { Topology.n; c; k } in
+          let legacy =
+            let rng = Rng.create seed in
+            let assignment = Topology.generate topology rng spec in
+            let r = Broadcast_baseline.run_static ~source:0 ~assignment ~k ~rng () in
+            (r.Broadcast_baseline.completed_at, r.Broadcast_baseline.slots_run,
+             r.Broadcast_baseline.informed_count)
+          in
+          let registry =
+            let rng = Rng.create seed in
+            let assignment = Topology.generate topology rng spec in
+            let s = run_registry ~name:"broadcast_baseline" ~k ~assignment ~rng () in
+            (s.Protocol.completed_at, s.Protocol.slots_run,
+             detail_int s "informed_count")
+          in
+          let lc, ls, li = legacy and rc, rs, ri = registry in
+          Alcotest.(check (option int)) "completed_at" lc rc;
+          Alcotest.(check int) "slots_run" ls rs;
+          Alcotest.(check int) "informed_count" li ri)
+        seeds)
+    topologies
+
+let test_aggregation_baseline_parity () =
+  List.iter
+    (fun ack ->
+      List.iter
+        (fun seed ->
+          let n = 14 and c = 5 and k = 2 in
+          let spec = { Topology.n; c; k } in
+          let name =
+            if ack then "aggregation_baseline" else "aggregation_baseline_honest"
+          in
+          let legacy =
+            let rng = Rng.create seed in
+            let assignment = Topology.generate Topology.Shared_core rng spec in
+            let values = Array.init n (fun v -> v) in
+            let r =
+              Aggregation_baseline.run_static ~ack ~monoid:Aggregate.sum ~values
+                ~source:0 ~assignment ~k ~rng ()
+            in
+            (r.Aggregation_baseline.completed_at,
+             r.Aggregation_baseline.slots_run,
+             r.Aggregation_baseline.received_count,
+             r.Aggregation_baseline.root_value)
+          in
+          let registry =
+            let rng = Rng.create seed in
+            let assignment = Topology.generate Topology.Shared_core rng spec in
+            let s = run_registry ~name ~k ~assignment ~rng () in
+            let root =
+              match s.Protocol.detail with
+              | Crn_stats.Json.Obj fields -> (
+                  match List.assoc_opt "root_value" fields with
+                  | Some (Crn_stats.Json.Int v) -> Some v
+                  | _ -> None)
+              | _ -> None
+            in
+            (s.Protocol.completed_at, s.Protocol.slots_run,
+             detail_int s "received_count", root)
+          in
+          let lc, ls, lr, lv = legacy and rc, rs, rr, rv = registry in
+          Alcotest.(check (option int)) "completed_at" lc rc;
+          Alcotest.(check int) "slots_run" ls rs;
+          Alcotest.(check int) "received_count" lr rr;
+          Alcotest.(check (option int)) "root_value" lv rv)
+        seeds)
+    [ true; false ]
+
+let test_random_hop_matches_pure_loop () =
+  List.iter
+    (fun seed ->
+      let n = 16 and c = 6 and k = 2 in
+      let spec = { Topology.n; c; k } in
+      let max_slots =
+        max 1
+          (int_of_float (Float.ceil (8.0 *. Complexity.rendezvous_broadcast ~n ~c ~k)))
+      in
+      let pure =
+        let rng = Rng.create seed in
+        let assignment = Topology.generate Topology.Shared_core rng spec in
+        Random_hop.source_meets_all ~rng ~assignment ~source:0 ~max_slots
+      in
+      let registry =
+        let rng = Rng.create seed in
+        let assignment = Topology.generate Topology.Shared_core rng spec in
+        let s = run_registry ~name:"random_hop" ~k ~assignment ~rng () in
+        s.Protocol.completed_at
+      in
+      Alcotest.(check (option int))
+        (Printf.sprintf "slot count seed %d" seed)
+        pure registry)
+    seeds
+
+let test_seq_scan_parity () =
+  List.iter
+    (fun seed ->
+      let n = 6 and k = 3 in
+      let c = 4 in
+      let spec = { Topology.n; c; k } in
+      let legacy =
+        let rng = Rng.create seed in
+        let assignment = Topology.generate Topology.Shared_core ~global_labels:true rng spec in
+        let big_c = Assignment.num_channels assignment in
+        let r = Seq_scan.run ~source:0 ~assignment ~rng ~max_slots:(8 * big_c) () in
+        (r.Seq_scan.completed_at, r.Seq_scan.slots_run, r.Seq_scan.informed_count)
+      in
+      let registry =
+        let rng = Rng.create seed in
+        let assignment = Topology.generate Topology.Shared_core ~global_labels:true rng spec in
+        let s = run_registry ~name:"seq_scan" ~k ~assignment ~rng () in
+        (s.Protocol.completed_at, s.Protocol.slots_run, detail_int s "informed_count")
+      in
+      let lc, ls, li = legacy and rc, rs, ri = registry in
+      Alcotest.(check (option int)) "completed_at" lc rc;
+      Alcotest.(check int) "slots_run" ls rs;
+      Alcotest.(check int) "informed_count" li ri)
+    seeds
+
+let test_deterministic_parity () =
+  List.iter
+    (fun seed ->
+      let n = 8 and c = 4 and k = 2 in
+      let spec = { Topology.n; c; k } in
+      let budget ~assignment =
+        let big_c = Assignment.num_channels assignment in
+        let p = Deterministic.smallest_prime_geq big_c in
+        max 1
+          (int_of_float
+             (Float.ceil (8.0 *. float_of_int (3 * p) *. Complexity.lg (float_of_int n))))
+      in
+      let legacy =
+        let rng = Rng.create seed in
+        let assignment = Topology.generate Topology.Shared_core rng spec in
+        Deterministic.broadcast ~make_schedule:Deterministic.jump_stay ~source:0
+          ~assignment ~rng ~max_slots:(budget ~assignment) ()
+      in
+      let registry =
+        let rng = Rng.create seed in
+        let assignment = Topology.generate Topology.Shared_core rng spec in
+        let s = run_registry ~name:"deterministic" ~k ~assignment ~rng () in
+        s.Protocol.completed_at
+      in
+      Alcotest.(check (option int)) (Printf.sprintf "seed %d" seed) legacy registry)
+    seeds
+
+(* ---- every registry entry: faults + trace + check, and byte-identical
+   traces at any job count ---- *)
+
+let trial_trace ~name ~with_faults rng =
+  let n = 12 and c = 6 and k = 2 in
+  let spec = { Topology.n; c; k } in
+  let assignment = Topology.generate Topology.Shared_plus_random rng spec in
+  let tr = Trace.create () in
+  let faults =
+    if with_faults then Some (Faults.spare (Faults.random_naps ~seed:11L ~rate:0.03) ~node:0)
+    else None
+  in
+  ignore (run_registry ?faults ~trace:tr ~name ~k ~assignment ~rng ());
+  tr
+
+let test_jobs_determinism () =
+  List.iter
+    (fun name ->
+      let run_at jobs =
+        Trials.run_jobs ~jobs ~trials:2 ~seed:3 (fun rng ->
+            Trace.to_jsonl (trial_trace ~name ~with_faults:true rng))
+      in
+      let j1 = run_at 1 and j2 = run_at 2 and j8 = run_at 8 in
+      Alcotest.(check (array string)) (name ^ ": jobs 1 = jobs 2") j1 j2;
+      Alcotest.(check (array string)) (name ^ ": jobs 1 = jobs 8") j1 j8)
+    (Registry.names ())
+
+let test_traces_check_clean () =
+  List.iter
+    (fun name ->
+      let rng = Rng.create 4 in
+      let tr = trial_trace ~name ~with_faults:false rng in
+      match Trace.Check.all tr with
+      | [] -> ()
+      | violations ->
+          Alcotest.failf "%s: %d trace invariant violation(s), first: %s" name
+            (List.length violations)
+            (Format.asprintf "%a" Trace.Check.pp_violation (List.hd violations)))
+    (Registry.names ())
+
+let test_faulty_run_all_protocols () =
+  (* Under faults every protocol must still run to a bounded summary (no
+     exception, sane coverage); completion is not required. *)
+  List.iter
+    (fun name ->
+      let rng = Rng.create 9 in
+      let n = 12 and c = 6 and k = 2 in
+      let spec = { Topology.n; c; k } in
+      let assignment = Topology.generate Topology.Shared_plus_random rng spec in
+      let faults = Faults.spare (Faults.random_naps ~seed:13L ~rate:0.05) ~node:0 in
+      let s = run_registry ~faults ~name ~k ~assignment ~rng () in
+      Alcotest.(check bool)
+        (name ^ ": coverage in [0,1]")
+        true
+        (s.Protocol.coverage >= 0.0 && s.Protocol.coverage <= 1.0))
+    (Registry.names ())
+
+(* ---- registry lookup ---- *)
+
+let test_registry_lookup () =
+  Alcotest.(check int) "nine entries" 9 (List.length Registry.all);
+  let names = Registry.names () in
+  Alcotest.(check int)
+    "names unique"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  (match Registry.find "COGCAST" with
+  | Some p -> Alcotest.(check string) "case-insensitive" "cogcast" (Protocol.name p)
+  | None -> Alcotest.fail "COGCAST not found");
+  (match Registry.find "cogcomp-robust" with
+  | Some p ->
+      Alcotest.(check string) "hyphen normalization" "cogcomp_robust" (Protocol.name p)
+  | None -> Alcotest.fail "cogcomp-robust not found");
+  Alcotest.(check bool) "unknown name" true (Registry.find "no_such_protocol" = None)
+
+let () =
+  Alcotest.run "proto"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "cogcast registry = direct" `Quick test_cogcast_differential;
+          Alcotest.test_case "cogcomp registry = direct" `Quick test_cogcomp_differential;
+          Alcotest.test_case "cogcomp_robust registry = direct (faulty)" `Quick
+            test_cogcomp_robust_differential;
+        ] );
+      ( "baseline ports",
+        [
+          Alcotest.test_case "broadcast_baseline parity" `Quick
+            test_broadcast_baseline_parity;
+          Alcotest.test_case "aggregation_baseline parity" `Quick
+            test_aggregation_baseline_parity;
+          Alcotest.test_case "random_hop = pure loop" `Quick
+            test_random_hop_matches_pure_loop;
+          Alcotest.test_case "seq_scan parity" `Quick test_seq_scan_parity;
+          Alcotest.test_case "deterministic parity" `Quick test_deterministic_parity;
+        ] );
+      ( "uniform harness",
+        [
+          Alcotest.test_case "byte-identical traces at jobs 1/2/8" `Quick
+            test_jobs_determinism;
+          Alcotest.test_case "fault-free traces pass Check.all" `Quick
+            test_traces_check_clean;
+          Alcotest.test_case "every protocol survives faults" `Quick
+            test_faulty_run_all_protocols;
+        ] );
+      ("registry", [ Alcotest.test_case "lookup" `Quick test_registry_lookup ]);
+    ]
