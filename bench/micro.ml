@@ -32,8 +32,11 @@ let spec = { Topology.n = 64; c = 16; k = 4 }
 module Engine = Crn_radio.Engine
 module Emulation = Crn_radio.Emulation
 module Reference = Crn_radio.Reference
+module Soa = Crn_radio.Soa
 module Action = Crn_radio.Action
 module Dynamic = Crn_channel.Dynamic
+module Cogcast_soa = Crn_core.Cogcast_soa
+module Pool = Crn_exec.Pool
 
 (* A contention-heavy synthetic protocol with a precomputed cyclic decision
    schedule: node i replays a random-looking but fully pre-allocated pattern
@@ -58,6 +61,31 @@ let make_bench_nodes ~n ~c ~seed =
         ~decide:(fun ~slot -> schedule.(i).(slot mod schedule_period))
         ~feedback:(fun ~slot:_ _ -> ()))
 
+(* The same cyclic schedule as a {!Soa.protocol}, so the struct-of-arrays
+   engine rows measure an identical contention workload to the node-record
+   rows: same schedules, same seed, same winner-draw stream. *)
+let make_soa_schedule_protocol ~n ~c ~seed =
+  let rng = Rng.create seed in
+  let schedule =
+    Array.init n (fun i ->
+        Array.init schedule_period (fun _ ->
+            let label = Rng.int rng c in
+            if Rng.bool rng then Action.broadcast ~label i
+            else Action.listen ~label))
+  in
+  let decide t ~slot ~lo ~hi =
+    for i = lo to hi - 1 do
+      if not (Soa.is_down t i) then begin
+        let d = schedule.(i).(slot mod schedule_period) in
+        match d.Action.intent with
+        | Action.Broadcast msg -> Soa.set_broadcast t i ~label:d.Action.label ~msg
+        | Action.Listen -> Soa.set_listen t i ~label:d.Action.label
+      end
+    done
+  in
+  let feedback _ ~slot:_ ~lo:_ ~hi:_ = () in
+  { Soa.decide; feedback }
+
 (* Run [run_slots ~nodes ~max_slots] once for warmup (steady-state scratch
    sizing), then measure minor words and wall-clock per slot over a fresh
    node set with identical streams. *)
@@ -73,6 +101,102 @@ let measure_engine ~n ~c ~seed ~slots run_slots =
   let words = Gc.minor_words () -. w0 in
   ( words /. float_of_int slots,
     wall /. float_of_int slots *. 1e9 (* ns/slot *) )
+
+(* SoA scaling: COGCAST at n up to 10^6 on a shared+random spectrum
+   (C = 4c = 64, so the dense per-shard counting strategy applies), at
+   1/2/8 intra-trial shards.
+
+   Two measurements per n. The completion run (shards=1, default stop)
+   answers "does a million-node broadcast complete, and in how long" —
+   wall-clock includes every setup cost (per-node RNG split, topology
+   caches). The per-slot rows isolate steady-state slot cost by
+   differencing a long and a short fixed-slot run (stop disabled), which
+   cancels the O(n) setup out of both ms/slot and words/slot; words/slot
+   is shards=1 only because GC counters are per-domain and the workers'
+   minor heaps are invisible from here.
+
+   Shard rows are honest measurements on whatever cores the host has — on
+   a single-core container they show the barrier overhead, not a speedup
+   (see the recommended-domains note and EXPERIMENTS.md). *)
+let bench_soa_scaling () =
+  let configs =
+    if !Bench_util.quick then [ 20_000 ] else [ 100_000; 1_000_000 ]
+  in
+  let shard_counts = [ 1; 2; 8 ] in
+  let c = 16 and k = 4 in
+  let long_slots = if !Bench_util.quick then 8 else 30 in
+  let short_slots = long_slots / 2 in
+  let t =
+    Crn_stats.Table.create
+      [ "n"; "C"; "shards"; "ms/slot"; "words/slot"; "speedup" ]
+  in
+  List.iter
+    (fun n ->
+      let topo_spec = { Topology.n; c; k } in
+      let assignment =
+        Topology.shared_plus_random (Rng.create (7 * n)) topo_spec
+      in
+      let availability = Dynamic.static assignment in
+      let big_c = Crn_channel.Assignment.num_channels assignment in
+      let budget = Crn_core.Complexity.cogcast_slots ~n ~c ~k () in
+      let run_fixed ~shards ~pool ~max_slots =
+        Gc.minor ();
+        let w0 = Gc.minor_words () in
+        let t0 = Unix.gettimeofday () in
+        ignore
+          (Cogcast_soa.run ?pool ~shards ~stop_when_complete:false ~source:0
+             ~availability ~rng:(Rng.create 4242) ~max_slots ());
+        (Unix.gettimeofday () -. t0, Gc.minor_words () -. w0)
+      in
+      (* The headline: a full broadcast to completion, all costs included. *)
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Cogcast_soa.run ~source:0 ~availability ~rng:(Rng.create 4242)
+          ~max_slots:budget ()
+      in
+      let complete_wall = Unix.gettimeofday () -. t0 in
+      Bench_util.note
+        "cogcast_soa n=%-7d C=%d: informed %d/%d in %d slots, %.2f s wall (setup included)"
+        n big_c r.Crn_core.Cogcast.informed_count n
+        r.Crn_core.Cogcast.slots_run complete_wall;
+      let base_ms = ref 1.0 in
+      List.iter
+        (fun shards ->
+          let pool =
+            if shards > 1 then Some (Pool.create ~jobs:shards) else None
+          in
+          (* Unmeasured warmup: domain spawn and first-touch costs land
+             here, not in the long run of the long-short difference. *)
+          ignore (run_fixed ~shards ~pool ~max_slots:2);
+          let long_wall, long_words =
+            run_fixed ~shards ~pool ~max_slots:long_slots
+          in
+          let short_wall, short_words =
+            run_fixed ~shards ~pool ~max_slots:short_slots
+          in
+          (match pool with Some p -> Pool.shutdown p | None -> ());
+          let per_slot = float_of_int (long_slots - short_slots) in
+          let ms_per_slot = (long_wall -. short_wall) /. per_slot *. 1e3 in
+          let words_per_slot = (long_words -. short_words) /. per_slot in
+          if shards = 1 then base_ms := ms_per_slot;
+          Crn_stats.Table.add_row t
+            [
+              string_of_int n;
+              string_of_int big_c;
+              string_of_int shards;
+              Printf.sprintf "%.2f" ms_per_slot;
+              (if shards = 1 then Printf.sprintf "%.0f" words_per_slot else "-");
+              Printf.sprintf "%.2f" (!base_ms /. ms_per_slot);
+            ];
+          Bench_util.note
+            "cogcast_soa n=%-7d shards=%d: %.2f ms/slot steady-state, speedup %.2fx vs 1 shard"
+            n shards ms_per_slot (!base_ms /. ms_per_slot))
+        shard_counts)
+    configs;
+  Bench_util.note
+    "host has %d recommended domains; shard speedups are only meaningful when shards <= that"
+    (Pool.default_jobs ());
+  Bench_util.print_table ~title:"COGCAST scaling on the SoA engine" t
 
 let bench_engine () =
   Bench_util.header "MICRO"
@@ -99,10 +223,16 @@ let bench_engine () =
         Reference.engine_run ~availability ~rng:(Rng.create 99) ~nodes
           ~max_slots ()
       in
+      let soa ~nodes:_ ~max_slots =
+        let protocol = make_soa_schedule_protocol ~n ~c ~seed:(7 * n) in
+        ignore
+          (Soa.run ~availability ~rng:(Rng.create 99) ~protocol ~max_slots ())
+      in
       let new_words, new_ns = measure_engine ~n ~c ~seed:(7 * n) ~slots engine in
       let ref_words, ref_ns =
         measure_engine ~n ~c ~seed:(7 * n) ~slots reference
       in
+      let soa_words, soa_ns = measure_engine ~n ~c ~seed:(7 * n) ~slots soa in
       let alloc_ratio = ref_words /. Float.max 1.0 new_words in
       let wall_ratio = ref_ns /. new_ns in
       let row impl words ns ar wr =
@@ -121,9 +251,15 @@ let bench_engine () =
       row "engine" new_words new_ns
         (Printf.sprintf "%.1f" alloc_ratio)
         (Printf.sprintf "%.2f" wall_ratio);
+      row "soa" soa_words soa_ns
+        (Printf.sprintf "%.1f" (ref_words /. Float.max 1.0 soa_words))
+        (Printf.sprintf "%.2f" (ref_ns /. soa_ns));
       Bench_util.note
         "n=%-5d engine %.1f words/slot vs reference %.1f (%.1fx fewer); %.0f ns/slot vs %.0f (%.2fx faster)"
-        n new_words ref_words alloc_ratio new_ns ref_ns wall_ratio)
+        n new_words ref_words alloc_ratio new_ns ref_ns wall_ratio;
+      Bench_util.note
+        "n=%-5d soa    %.1f words/slot, %.0f ns/slot (%.2fx vs engine; shared_core C=%d runs the sparse O(n)-scan strategy)"
+        n soa_words soa_ns (new_ns /. soa_ns) big_c)
     configs;
   (* The emulation layer at one representative point. *)
   let n, c, k = (256, 32, 4) in
@@ -170,7 +306,8 @@ let bench_engine () =
       Printf.sprintf "%.1f" alloc_ratio;
       Printf.sprintf "%.2f" (ref_ns /. new_ns);
     ];
-  Bench_util.print_table t
+  Bench_util.print_table t;
+  bench_soa_scaling ()
 
 let bench_rng =
   Test.make ~name:"rng/draws-1k"

@@ -291,8 +291,8 @@ let protocols_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run name n c k topology seed trials jobs faults_spec fault_seed trace_path
-      metrics_path check =
+  let run name n c k topology seed trials jobs shards faults_spec fault_seed
+      trace_path metrics_path check =
     match (check_params n c k, Registry.find name) with
     | (`Error _ as e), _ -> e
     | `Ok (), None ->
@@ -300,12 +300,13 @@ let run_cmd =
           ( false,
             Printf.sprintf "unknown protocol %S (try: %s)" name
               (String.concat ", " (Registry.names ())) )
+    | `Ok (), _ when shards < 1 -> `Error (false, "shards must be at least 1")
     | `Ok (), Some proto ->
         let spec = { Topology.n; c; k } in
         let faults = build_faults faults_spec fault_seed in
         let env ?trace ~rng () =
           let assignment = Topology.generate topology rng spec in
-          Protocol.env ?faults ?trace ~k
+          Protocol.env ?faults ?trace ~k ~shards
             ~availability:(Dynamic.static assignment) ~rng ()
         in
         let runs =
@@ -350,12 +351,24 @@ let run_cmd =
             "Protocol to run; any name listed by $(b,crn_sim protocols) \
              (case-insensitive, '-' and '_' interchangeable).")
   in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"S"
+          ~doc:
+            "Intra-trial shards for protocols on the struct-of-arrays \
+             engine (e.g. cogcast_soa): each slot's per-node work splits \
+             across $(docv) domains. Composes with $(b,--jobs) \
+             (trial-level parallelism); total domains is roughly jobs x \
+             shards, so shard only when trials alone cannot fill the \
+             machine. Results are identical at any value.")
+  in
   let term =
     Term.(
       ret
         (const run $ protocol_arg $ n_arg $ c_arg $ k_arg $ topology_arg
-       $ seed_arg $ trials_arg $ jobs_arg $ faults_arg $ fault_seed_arg
-       $ trace_arg $ metrics_arg $ check_arg))
+       $ seed_arg $ trials_arg $ jobs_arg $ shards_arg $ faults_arg
+       $ fault_seed_arg $ trace_arg $ metrics_arg $ check_arg))
   in
   Cmd.v
     (Cmd.info "run"

@@ -1,0 +1,54 @@
+(** COGCAST (§4) on the struct-of-arrays engine {!Crn_radio.Soa}.
+
+    Drop-in alternative to {!Cogcast.run} for large [n]: identical
+    behaviour (byte-equal traces, identical {!Cogcast.result} fields) on a
+    flat state representation that shards one trial across OCaml domains.
+    Per-slot logs ([~record] in {!Cogcast.run}) are not supported — the
+    [logs] field of the result is always [None]; use {!Cogcast.run} when
+    COGCOMP needs the action history.
+
+    Determinism: the per-node label streams are split off [rng] before the
+    engine consumes it, exactly as {!Cogcast.run} does, and the engine's
+    winner draws stay sequential on the shared stream, so the same seed
+    yields the same distribution tree at any [shards] and as the classic
+    engine. *)
+
+val run :
+  ?pool:Crn_exec.Pool.t ->
+  ?shards:int ->
+  ?dense_channel_limit:int ->
+  ?jammer:Crn_radio.Jammer.t ->
+  ?faults:Crn_radio.Faults.t ->
+  ?metrics:Crn_radio.Metrics.t ->
+  ?trace:Crn_radio.Trace.t ->
+  ?stop_when_complete:bool ->
+  source:int ->
+  availability:Crn_channel.Dynamic.t ->
+  rng:Crn_prng.Rng.t ->
+  max_slots:int ->
+  unit ->
+  Cogcast.result
+(** [run ~source ~availability ~rng ~max_slots ()] executes COGCAST from
+    [source] on {!Crn_radio.Soa.run}. [shards] (default 1) splits each
+    slot's per-node work across that many domain-parallel ranges — see
+    {!Crn_radio.Soa.run} for the pool/shards/limit semantics. Stops as
+    soon as every node is informed unless [stop_when_complete:false]. *)
+
+val run_static :
+  ?pool:Crn_exec.Pool.t ->
+  ?shards:int ->
+  ?dense_channel_limit:int ->
+  ?jammer:Crn_radio.Jammer.t ->
+  ?faults:Crn_radio.Faults.t ->
+  ?metrics:Crn_radio.Metrics.t ->
+  ?trace:Crn_radio.Trace.t ->
+  ?stop_when_complete:bool ->
+  ?budget_factor:float ->
+  source:int ->
+  assignment:Crn_channel.Assignment.t ->
+  k:int ->
+  rng:Crn_prng.Rng.t ->
+  unit ->
+  Cogcast.result
+(** Static-assignment convenience mirroring {!Cogcast.run_static}: the
+    slot budget is {!Complexity.cogcast_slots} for the instance. *)

@@ -1,4 +1,4 @@
-(** A fixed-size pool of worker {!Domain}s with chunked work distribution.
+(** A fixed-size pool of worker [Domain]s with chunked work distribution.
 
     The pool exists to run many independent, CPU-bound tasks — simulation
     trials, sweep points — across cores. It is deliberately minimal: a pool

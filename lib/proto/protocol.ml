@@ -17,10 +17,12 @@ type env = {
   metrics : Crn_radio.Metrics.t option;
   trace : Trace.t option;
   backend : Runner.backend;
+  shards : int;
 }
 
 let env ?(source = 0) ?(k = 1) ?budget_factor ?max_slots ?jammer ?faults ?metrics
-    ?trace ?(backend = Runner.Engine) ~availability ~rng () =
+    ?trace ?(backend = Runner.Engine) ?(shards = 1) ~availability ~rng () =
+  if shards < 1 then invalid_arg "Protocol.env: shards must be >= 1";
   {
     availability;
     rng;
@@ -33,6 +35,7 @@ let env ?(source = 0) ?(k = 1) ?budget_factor ?max_slots ?jammer ?faults ?metric
     metrics;
     trace;
     backend;
+    shards;
   }
 
 type summary = {

@@ -32,6 +32,11 @@ type env = {
   metrics : Crn_radio.Metrics.t option;
   trace : Crn_radio.Trace.t option;
   backend : Crn_radio.Runner.backend;
+  shards : int;
+      (** Intra-trial shard count for protocols running on the
+          struct-of-arrays engine ({!Crn_radio.Soa}); [1] everywhere else.
+          Results are shard-count invariant by that engine's determinism
+          contract, so this is purely a performance knob. *)
 }
 
 val env :
@@ -44,12 +49,14 @@ val env :
   ?metrics:Crn_radio.Metrics.t ->
   ?trace:Crn_radio.Trace.t ->
   ?backend:Crn_radio.Runner.backend ->
+  ?shards:int ->
   availability:Crn_channel.Dynamic.t ->
   rng:Crn_prng.Rng.t ->
   unit ->
   env
 (** Environment constructor; defaults: [source = 0], [k = 1], backend
-    {!Crn_radio.Runner.Engine}, everything else off. *)
+    {!Crn_radio.Runner.Engine}, [shards = 1], everything else off. Raises
+    [Invalid_argument] when [shards < 1]. *)
 
 type summary = {
   protocol : string;

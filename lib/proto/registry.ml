@@ -72,6 +72,43 @@ let cogcast =
         detail = Json.Obj [ ("informed_count", Json.Int r.Cogcast.informed_count) ];
       })
 
+(* Same protocol, struct-of-arrays engine: the scaling path. Honors
+   [env.shards]; everything observable (result fields, counters, traces)
+   is byte-identical to the [cogcast] entry by Soa's determinism
+   contract, which test/test_soa.ml enforces differentially. *)
+let cogcast_soa =
+  Protocol.of_run ~name:"cogcast_soa"
+    ~synopsis:
+      "COGCAST on the struct-of-arrays engine: dense node state, intra-trial sharding"
+    (fun env ->
+      (match env.backend with
+      | Runner.Engine -> ()
+      | Runner.Emulation _ | Runner.Reference ->
+          invalid_arg "cogcast_soa: only the engine backend is supported");
+      let n, c = dims env in
+      let max_slots =
+        match env.max_slots with
+        | Some m -> m
+        | None ->
+            Complexity.cogcast_slots ?factor:env.budget_factor ~n ~c ~k:env.k ()
+      in
+      let r =
+        Crn_core.Cogcast_soa.run ~shards:env.shards ?jammer:env.jammer
+          ?faults:env.faults ?metrics:env.metrics ?trace:env.trace
+          ~source:env.source ~availability:env.availability ~rng:env.rng
+          ~max_slots ()
+      in
+      {
+        Protocol.protocol = "cogcast_soa";
+        slots_run = r.Cogcast.slots_run;
+        completed = r.Cogcast.completed_at <> None;
+        completed_at = r.Cogcast.completed_at;
+        coverage = frac r.Cogcast.informed_count n;
+        raw_rounds = 0;
+        counters = r.Cogcast.counters;
+        detail = Json.Obj [ ("informed_count", Json.Int r.Cogcast.informed_count) ];
+      })
+
 let cogcomp =
   Protocol.of_run ~name:"cogcomp"
     ~synopsis:"Four-phase data aggregation in O((c/k) max{1,c/n} lg n + n) slots (S5, Thm 10)"
@@ -375,6 +412,7 @@ end
 let all =
   [
     cogcast;
+    cogcast_soa;
     cogcomp;
     cogcomp_robust;
     Protocol.of_machine (module Broadcast_baseline_p);

@@ -73,11 +73,11 @@ let add_listener t ~channel ~node =
   t.next.(node) <- t.listen_head.(channel);
   t.listen_head.(channel) <- node
 
-(* In-place heapsort of active[0 .. active_len-1], ascending: O(m log m),
-   no allocation, and — unlike the hashtable iteration it replaces — a
-   canonical order independent of stdlib hashing. *)
-let sort_active t =
-  let a = t.active and len = t.active_len in
+(* In-place heapsort of a[0 .. len-1], ascending: O(m log m), no
+   allocation, and — unlike the hashtable iteration it replaced — a
+   canonical order independent of stdlib hashing. Shared with {!Soa},
+   whose active-channel worklist needs the same canonical ordering. *)
+let sort_prefix a len =
   if len > 1 then begin
     let swap i j =
       let x = a.(i) in
@@ -102,6 +102,8 @@ let sort_active t =
       sift 0 last
     done
   end
+
+let sort_active t = sort_prefix t.active t.active_len
 
 (* The [idx]-th broadcaster in chain order (descending node id, matching the
    reference's list order), for winner selection. *)

@@ -38,6 +38,11 @@ val sort_active : t -> unit
 (** In-place ascending sort of the touched-channel list — establishes the
     canonical resolution order. Allocation-free. *)
 
+val sort_prefix : int array -> int -> unit
+(** [sort_prefix a len] heapsorts [a.(0 .. len-1)] ascending, in place and
+    allocation-free. Shared with {!Soa}, whose active-channel worklist needs
+    the same canonical ordering {!sort_active} gives this module. *)
+
 val nth_broadcaster : t -> channel:int -> int -> int
 (** [nth_broadcaster t ~channel idx] walks the broadcaster chain [idx]
     steps; [idx] must be in [0, bcast_count.(channel)). *)

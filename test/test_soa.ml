@@ -1,0 +1,347 @@
+(* Differential tests for the struct-of-arrays engine.
+
+   Three claims, property-tested over randomized scenarios (topology
+   shape, dynamic availability, jammers, faults, early stops — all
+   derived from one seed, n up to 256):
+
+   1. Traced equivalence: a traced {!Soa.run} is observationally
+      identical to a traced {!Engine.run} driving the same adversarial
+      digest protocol — same outcome, counters, metrics, per-node
+      feedback digests, and byte-equal JSONL traces.
+
+   2. Shard invariance: the untraced fast path produces identical
+      digests/counters/metrics at shards 1, 2 and 8, with the dense and
+      the forced-sparse (dense_channel_limit = 0) counting strategies,
+      all matching the classic engine.
+
+   3. Protocol equivalence: {!Cogcast_soa.run} is byte-equal to
+      {!Cogcast.run} — traces, distribution tree, completion slot — and
+      shard-invariant. *)
+
+module Rng = Crn_prng.Rng
+module Topology = Crn_channel.Topology
+module Dynamic = Crn_channel.Dynamic
+module Engine = Crn_radio.Engine
+module Soa = Crn_radio.Soa
+module Action = Crn_radio.Action
+module Trace = Crn_radio.Trace
+module Metrics = Crn_radio.Metrics
+module Jammer = Crn_radio.Jammer
+module Faults = Crn_radio.Faults
+module Cogcast = Crn_core.Cogcast
+module Cogcast_soa = Crn_core.Cogcast_soa
+
+(* ------------------------------------------------------------------ *)
+(* The adversarial digest protocol of test_determinism.ml, in both node
+   shapes: every node draws a label and a broadcast/listen coin from its
+   own stream each slot and folds every feedback into an order-sensitive
+   digest. The two shapes must consume randomness identically and
+   classify outcomes identically for the digests to agree. *)
+
+let mix d x = (d * 1000003) lxor x
+
+let engine_nodes ~seed ~n ~c ~digests =
+  let node_rngs = Rng.split_n (Rng.create seed) n in
+  Array.init n (fun i ->
+      Engine.node ~id:i
+        ~decide:(fun ~slot:_ ->
+          let label = Rng.int node_rngs.(i) c in
+          if Rng.bool node_rngs.(i) then Action.broadcast ~label ((i * 7919) + label)
+          else Action.listen ~label)
+        ~feedback:(fun ~slot fb ->
+          let d = mix digests.(i) slot in
+          digests.(i) <-
+            (match fb with
+            | Action.Heard { sender; msg } -> mix (mix (mix d 1) sender) msg
+            | Action.Silence -> mix d 2
+            | Action.Won -> mix d 3
+            | Action.Lost { winner; msg } -> mix (mix (mix d 4) winner) msg
+            | Action.Jammed -> mix d 5)))
+
+let soa_protocol ~seed ~n ~c ~digests =
+  let node_rngs = Rng.split_n (Rng.create seed) n in
+  let decide t ~slot:_ ~lo ~hi =
+    for i = lo to hi - 1 do
+      if not (Soa.is_down t i) then begin
+        let label = Rng.int node_rngs.(i) c in
+        if Rng.bool node_rngs.(i) then
+          Soa.set_broadcast t i ~label ~msg:((i * 7919) + label)
+        else Soa.set_listen t i ~label
+      end
+    done
+  in
+  let feedback t ~slot ~lo ~hi =
+    for i = lo to hi - 1 do
+      let d = mix digests.(i) slot in
+      if Soa.heard t i then
+        digests.(i) <- mix (mix (mix d 1) (Soa.sender t i)) (Soa.message t i)
+      else if Soa.silent t i then digests.(i) <- mix d 2
+      else if Soa.won t i then digests.(i) <- mix d 3
+      else if Soa.lost t i then
+        digests.(i) <- mix (mix (mix d 4) (Soa.sender t i)) (Soa.message t i)
+      else if Soa.was_jammed t i then digests.(i) <- mix d 5
+    done
+  in
+  { Soa.decide; feedback }
+
+(* ------------------------------------------------------------------ *)
+(* Randomized scenarios, the test_determinism recipe widened to n <= 256.
+   Reactive jammers are stateful, so each run builds a fresh one. *)
+
+type scenario = {
+  n : int;
+  c : int;
+  availability : Dynamic.t;
+  jammer : unit -> Jammer.t;
+  faults : Faults.t;
+  stop_at : int option;
+  max_slots : int;
+}
+
+let scenario seed =
+  let rng = Rng.create (77_000 + seed) in
+  let n = 2 + Rng.int rng 255 in
+  let c = 2 + Rng.int rng 8 in
+  let k = 1 + Rng.int rng (min 3 c) in
+  let spec = { Topology.n; c; k } in
+  let kind =
+    match seed mod 3 with
+    | 0 -> Topology.Shared_core
+    | 1 -> Topology.Shared_plus_random
+    | _ -> Topology.Clustered
+  in
+  let assignment = Topology.generate kind rng spec in
+  let availability =
+    if seed mod 5 = 0 then Dynamic.rotating assignment else Dynamic.static assignment
+  in
+  let num_channels = Crn_channel.Assignment.num_channels assignment in
+  let jammer () =
+    match seed mod 4 with
+    | 0 ->
+        Jammer.random_per_node
+          ~seed:(Int64.of_int (seed * 77))
+          ~budget:1 ~num_channels
+    | 1 -> Jammer.reactive ()
+    | _ -> Jammer.none
+  in
+  let faults =
+    if seed mod 2 = 0 then
+      Faults.random_naps ~seed:(Int64.of_int (seed * 131)) ~rate:0.15
+    else Faults.none
+  in
+  let stop_at = if seed mod 6 = 0 then Some (5 + (seed mod 7)) else None in
+  { n; c; availability; jammer; faults; stop_at; max_slots = 30 }
+
+type output = {
+  out_slots : int;
+  out_stopped : bool;
+  out_counters : int list;
+  out_trace : string;
+  out_metrics : int list;
+  out_digests : int array;
+}
+
+let counters_fields (c : Trace.Counters.t) =
+  [
+    c.Trace.Counters.slots_run;
+    c.Trace.Counters.broadcasts;
+    c.Trace.Counters.wins;
+    c.Trace.Counters.contended;
+    c.Trace.Counters.deliveries;
+    c.Trace.Counters.jammed_actions;
+  ]
+
+let metrics_fields (m : Metrics.t) =
+  Array.to_list m.Metrics.transmissions
+  @ Array.to_list m.Metrics.receptions
+  @ Array.to_list m.Metrics.awake_slots
+  @ Array.to_list m.Metrics.jammed
+
+let run_engine sc ~seed ~traced =
+  let digests = Array.make sc.n 0 in
+  let nodes = engine_nodes ~seed ~n:sc.n ~c:sc.c ~digests in
+  let tr = if traced then Some (Trace.create ()) else None in
+  let m = Metrics.create sc.n in
+  let stop = Option.map (fun at -> fun ~slot -> slot >= at) sc.stop_at in
+  let outcome =
+    Engine.run ?stop ?trace:tr ~jammer:(sc.jammer ()) ~faults:sc.faults
+      ~metrics:m ~availability:sc.availability
+      ~rng:(Rng.create (seed * 17))
+      ~nodes ~max_slots:sc.max_slots ()
+  in
+  {
+    out_slots = outcome.Engine.slots_run;
+    out_stopped = outcome.Engine.stopped_early;
+    out_counters = counters_fields outcome.Engine.counters;
+    out_trace = (match tr with Some tr -> Trace.to_jsonl tr | None -> "");
+    out_metrics = metrics_fields m;
+    out_digests = digests;
+  }
+
+let run_soa sc ~seed ~traced ~shards ~dense_channel_limit =
+  let digests = Array.make sc.n 0 in
+  let protocol = soa_protocol ~seed ~n:sc.n ~c:sc.c ~digests in
+  let tr = if traced then Some (Trace.create ()) else None in
+  let m = Metrics.create sc.n in
+  let stop = Option.map (fun at -> fun ~slot -> slot >= at) sc.stop_at in
+  let outcome =
+    Soa.run ?stop ?trace:tr ~shards ~dense_channel_limit ~jammer:(sc.jammer ())
+      ~faults:sc.faults ~metrics:m ~availability:sc.availability
+      ~rng:(Rng.create (seed * 17))
+      ~protocol ~max_slots:sc.max_slots ()
+  in
+  {
+    out_slots = outcome.Soa.slots_run;
+    out_stopped = outcome.Soa.stopped_early;
+    out_counters = counters_fields outcome.Soa.counters;
+    out_trace = (match tr with Some tr -> Trace.to_jsonl tr | None -> "");
+    out_metrics = metrics_fields m;
+    out_digests = digests;
+  }
+
+let diff label a b =
+  if a.out_slots <> b.out_slots then
+    Some (Printf.sprintf "%s: slots_run %d <> %d" label a.out_slots b.out_slots)
+  else if a.out_stopped <> b.out_stopped then
+    Some (label ^ ": stopped_early differs")
+  else if a.out_counters <> b.out_counters then Some (label ^ ": counters differ")
+  else if a.out_metrics <> b.out_metrics then Some (label ^ ": metrics differ")
+  else if a.out_digests <> b.out_digests then
+    Some (label ^ ": feedback digests differ")
+  else if a.out_trace <> b.out_trace then Some (label ^ ": trace bytes differ")
+  else None
+
+(* Claim 1: traced SoA = traced engine, byte for byte. *)
+let prop_traced_equivalence seed =
+  let sc = scenario seed in
+  let engine = run_engine sc ~seed ~traced:true in
+  let soa = run_soa sc ~seed ~traced:true ~shards:1 ~dense_channel_limit:4096 in
+  diff "traced" engine soa
+
+(* Claim 2: the fast path matches the engine at every shard count and
+   with both counting strategies. *)
+let prop_shard_invariance seed =
+  let sc = scenario seed in
+  let engine = run_engine sc ~seed ~traced:false in
+  let variants =
+    [
+      ("shards=1 dense", 1, 4096);
+      ("shards=2 dense", 2, 4096);
+      ("shards=8 dense", 8, 4096);
+      ("shards=1 sparse", 1, 0);
+      ("shards=8 sparse", 8, 0);
+    ]
+  in
+  List.fold_left
+    (fun acc (label, shards, dense_channel_limit) ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          diff label engine (run_soa sc ~seed ~traced:false ~shards ~dense_channel_limit))
+    None variants
+
+(* Claim 3: Cogcast_soa = Cogcast — traces, tree, completion — and the
+   untraced fast path reproduces the same tree at shards 1/2/8. *)
+
+let cogcast_classic ~seed ~n ~c ~k =
+  let rng = Rng.create seed in
+  let assignment = Topology.shared_core rng { Topology.n; c; k } in
+  let tr = Trace.create () in
+  let r =
+    Cogcast.run ~trace:tr ~source:0
+      ~availability:(Dynamic.static assignment)
+      ~rng ~max_slots:400 ()
+  in
+  (r, Trace.to_jsonl tr)
+
+let cogcast_soa ~seed ~n ~c ~k ~traced ~shards =
+  let rng = Rng.create seed in
+  let assignment = Topology.shared_core rng { Topology.n; c; k } in
+  let tr = if traced then Some (Trace.create ()) else None in
+  let r =
+    Cogcast_soa.run ?trace:tr ~shards ~source:0
+      ~availability:(Dynamic.static assignment)
+      ~rng ~max_slots:400 ()
+  in
+  (r, match tr with Some tr -> Trace.to_jsonl tr | None -> "")
+
+let tree_fields (r : Cogcast.result) =
+  ( r.Cogcast.completed_at,
+    r.Cogcast.slots_run,
+    r.Cogcast.informed_count,
+    Array.to_list r.Cogcast.parent,
+    Array.to_list r.Cogcast.informed_at,
+    Array.to_list r.Cogcast.informed_label,
+    counters_fields r.Cogcast.counters )
+
+let prop_cogcast_equivalence seed =
+  let n = 2 + (seed mod 120) and c = 6 and k = 2 in
+  let classic, classic_trace = cogcast_classic ~seed ~n ~c ~k in
+  let soa, soa_trace = cogcast_soa ~seed ~n ~c ~k ~traced:true ~shards:1 in
+  if classic_trace <> soa_trace then Some "cogcast traces differ"
+  else if tree_fields classic <> tree_fields soa then
+    Some "cogcast results differ"
+  else
+    List.fold_left
+      (fun acc shards ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            let fast, _ = cogcast_soa ~seed ~n ~c ~k ~traced:false ~shards in
+            if tree_fields classic <> tree_fields fast then
+              Some (Printf.sprintf "cogcast diverges at shards=%d" shards)
+            else None)
+      None [ 1; 2; 8 ]
+
+let seed_gen = Prop.int_range 1 100_000
+
+let test_traced () =
+  Prop.check ~count:40 ~name:"soa traced = engine traced" seed_gen
+    prop_traced_equivalence
+
+let test_shards () =
+  Prop.check ~count:30 ~name:"soa fast path shard/strategy invariant" seed_gen
+    prop_shard_invariance
+
+let test_cogcast () =
+  Prop.check ~count:25 ~name:"cogcast_soa = cogcast" seed_gen
+    prop_cogcast_equivalence
+
+(* The registry entry behind --shards: same summary as classic cogcast. *)
+let test_registry_entry () =
+  let module Protocol = Crn_proto.Protocol in
+  let module Registry = Crn_proto.Registry in
+  let summary name shards =
+    let rng = Rng.create 99 in
+    let assignment = Topology.shared_core rng { Topology.n = 64; c = 8; k = 2 } in
+    let env =
+      Protocol.env ~shards ~availability:(Dynamic.static assignment) ~rng ()
+    in
+    let s = Protocol.run (Option.get (Registry.find name)) env in
+    (s.Protocol.slots_run, s.Protocol.completed_at, s.Protocol.coverage)
+  in
+  let classic = summary "cogcast" 1 in
+  List.iter
+    (fun shards ->
+      Alcotest.(check bool)
+        (Printf.sprintf "registry cogcast_soa shards=%d = cogcast" shards)
+        true
+        (summary "cogcast_soa" shards = classic))
+    [ 1; 2; 8 ]
+
+let () =
+  Alcotest.run "soa"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "traced twin byte-equal to engine" `Quick test_traced;
+          Alcotest.test_case "fast path shard & strategy invariant" `Quick
+            test_shards;
+        ] );
+      ( "cogcast",
+        [
+          Alcotest.test_case "cogcast_soa equals cogcast" `Quick test_cogcast;
+          Alcotest.test_case "registry entry honors env.shards" `Quick
+            test_registry_entry;
+        ] );
+    ]
