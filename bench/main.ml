@@ -1,5 +1,5 @@
 (* Experiment harness: regenerates every quantitative claim of the paper as
-   a table or series (experiments E1-E22 in DESIGN.md / EXPERIMENTS.md),
+   a table or series (experiments E1-E23 in DESIGN.md / EXPERIMENTS.md),
    plus Bechamel micro-benchmarks of the simulator kernels.
 
    Usage:
@@ -42,6 +42,7 @@ let experiments =
     ("E20", Exp_extensions.e20);
     ("E21", Exp_extensions.e21);
     ("E22", Exp_extensions.e22);
+    ("E23", Exp_load.e23);
     (* Not a paper experiment: the engine hot-path micro-benchmark
        (allocations/slot and ns/slot, rewritten engines vs their reference
        specifications). `bench/main.exe -- micro --quick --json` is the CI

@@ -10,6 +10,8 @@
      jam        — broadcast under an n-uniform jammer (Theorem 18 reduction)
      sweep      — sweep n, c or k and report completion scaling
      chaos      — sweep registry protocols across fault rates
+     load       — sustained-traffic workloads (gossip/push-sum) under an
+                  open-loop load generator: throughput + latency percentiles
 
    The broadcast/aggregate/game/... subcommands keep their protocol-specific
    reporting; `run` and `chaos` dispatch through Crn_proto.Registry, so any
@@ -1097,6 +1099,190 @@ let chaos_cmd =
           invariants, and emit degradation curves.")
     term
 
+(* ---- load: sustained-traffic workloads ---- *)
+
+let load_cmd =
+  let arrivals_conv =
+    let parse = function
+      | "poisson" -> Ok Protocol.Poisson
+      | "uniform" -> Ok Protocol.Uniform
+      | s -> Error (`Msg (Printf.sprintf "unknown arrival law %S (poisson|uniform)" s))
+    in
+    Arg.conv
+      ( parse,
+        fun fmt law ->
+          Format.pp_print_string fmt
+            (match law with Protocol.Poisson -> "poisson" | Protocol.Uniform -> "uniform")
+      )
+  in
+  let run name rate arrivals rumors n c k topology seed trials jobs faults_spec
+      fault_seed trace_path metrics_path check json_path =
+    match (check_params n c k, Registry.find name) with
+    | (`Error _ as e), _ -> e
+    | `Ok (), None ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown protocol %S (try gossip or push_sum)" name )
+    | `Ok (), Some _ when not (rate > 0.0) -> `Error (false, "rate must be > 0")
+    | `Ok (), Some _ when rumors < 1 -> `Error (false, "rumors must be >= 1")
+    | `Ok (), Some proto ->
+        let spec = { Topology.n; c; k } in
+        let load = { Protocol.rate; arrivals; rumors } in
+        let faults = build_faults faults_spec fault_seed in
+        let env ?trace ~rng () =
+          let assignment = Topology.generate topology rng spec in
+          Protocol.env ?faults ?trace ~k ~load
+            ~availability:(Dynamic.static assignment) ~rng ()
+        in
+        let summaries =
+          Trials.run_jobs ~jobs ~trials ~seed (fun rng ->
+              Protocol.run proto (env ~rng ()))
+        in
+        let detail_float key (s : Protocol.summary) =
+          match Json.member key s.Protocol.detail with
+          | Some (Json.Float f) -> f
+          | Some (Json.Int i) -> float_of_int i
+          | _ -> 0.0
+        in
+        let latencies =
+          Array.to_list summaries
+          |> List.concat_map (fun (s : Protocol.summary) ->
+                 match Json.member "latencies" s.Protocol.detail with
+                 | Some (Json.List l) ->
+                     List.filter_map
+                       (function Json.Float f -> Some f | _ -> None)
+                       l
+                 | _ -> [])
+          |> Array.of_list
+        in
+        let mean f =
+          Array.fold_left (fun acc s -> acc +. f s) 0.0 summaries
+          /. float_of_int (max 1 (Array.length summaries))
+        in
+        let throughput_key =
+          if Protocol.name proto = "push_sum" then "transfer_rate" else "throughput"
+        in
+        let throughput = mean (detail_float throughput_key) in
+        let completion =
+          mean (fun s -> if s.Protocol.completed then 1.0 else 0.0)
+        in
+        let coverage = mean (fun s -> s.Protocol.coverage) in
+        let slots = mean (fun s -> float_of_int s.Protocol.slots_run) in
+        let pct p =
+          if Array.length latencies = 0 then Float.nan
+          else Summary.percentile latencies p
+        in
+        Printf.printf "load  %s  n=%d c=%d k=%d topology=%s trials=%d\n"
+          (Protocol.name proto) n c k (Topology.kind_name topology) trials;
+        Printf.printf "  offered: rate=%g rumors/slot (%s), batch=%d rumors\n" rate
+          (match arrivals with Protocol.Poisson -> "poisson" | Protocol.Uniform -> "uniform")
+          rumors;
+        (match faults with
+        | Some f ->
+            Printf.printf "  faults: %s (seed %d)\n" (Faults.to_string f) fault_seed
+        | None -> ());
+        Printf.printf "  completion: %.2f; mean coverage: %.3f; mean slots: %.0f\n"
+          completion coverage slots;
+        Printf.printf "  goodput: %.4f %s\n" throughput
+          (if Protocol.name proto = "push_sum" then "transfers/slot"
+           else "rumors/slot");
+        if Array.length latencies > 0 then
+          Printf.printf "  latency slots: p50=%.0f p95=%.0f p99=%.0f (%d samples)\n"
+            (pct 50.0) (pct 95.0) (pct 99.0) (Array.length latencies)
+        else Printf.printf "  latency slots: no samples\n";
+        (match json_path with
+        | Some path ->
+            let doc =
+              Json.Obj
+                [
+                  ("schema", Json.String "crn-load/1");
+                  ("protocol", Json.String (Protocol.name proto));
+                  ("n", Json.Int n);
+                  ("c", Json.Int c);
+                  ("k", Json.Int k);
+                  ("topology", Json.String (Topology.kind_name topology));
+                  ("rate", Json.Float rate);
+                  ( "arrivals",
+                    Json.String
+                      (match arrivals with
+                      | Protocol.Poisson -> "poisson"
+                      | Protocol.Uniform -> "uniform") );
+                  ("rumors", Json.Int rumors);
+                  ("trials", Json.Int trials);
+                  ("seed", Json.Int seed);
+                  ("completion_rate", Json.Float completion);
+                  ("mean_coverage", Json.Float coverage);
+                  ("mean_slots", Json.Float slots);
+                  ("throughput", Json.Float throughput);
+                  ("latency_p50", Json.Float (pct 50.0));
+                  ("latency_p95", Json.Float (pct 95.0));
+                  ("latency_p99", Json.Float (pct 99.0));
+                  ( "per_trial",
+                    Json.List
+                      (Array.to_list
+                         (Array.map Protocol.summary_json summaries)) );
+                ]
+            in
+            Json.write ~path doc;
+            Printf.printf "  wrote %s\n" path
+        | None -> ());
+        observe ~trace_path ~metrics_path ~check (fun ~trace ->
+            let rng = Rng.create seed in
+            ignore (Protocol.run proto (env ~trace ~rng ())))
+  in
+  let protocol_arg =
+    Arg.(
+      value
+      & opt string "gossip"
+      & info [ "p"; "protocol" ] ~docv:"NAME"
+          ~doc:"Workload protocol: $(b,gossip) or $(b,push_sum).")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 0.2
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Offered load: rumor arrivals per slot, network-wide.")
+  in
+  let arrivals_arg =
+    Arg.(
+      value
+      & opt arrivals_conv Protocol.Poisson
+      & info [ "arrivals" ] ~docv:"LAW"
+          ~doc:"Inter-arrival law: $(b,poisson) or $(b,uniform).")
+  in
+  let rumors_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "rumors" ] ~docv:"K"
+          ~doc:
+            "Rumors in the workload batch; the run drains until all \
+             complete or the budget runs out.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write throughput/latency results as JSON (schema crn-load/1), \
+             including every trial's full summary.")
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ protocol_arg $ rate_arg $ arrivals_arg $ rumors_arg $ n_arg
+       $ c_arg $ k_arg $ topology_arg $ seed_arg $ trials_arg $ jobs_arg
+       $ faults_arg $ fault_seed_arg $ trace_arg $ metrics_arg $ check_arg
+       $ json_arg))
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive a sustained-traffic workload (multi-rumor gossip or push-sum) \
+          under an open-loop load generator and report throughput and \
+          latency percentiles.")
+    term
+
 let () =
   let info =
     Cmd.info "crn_sim" ~version:"1.0.0"
@@ -1114,6 +1300,7 @@ let () =
         jam_cmd;
         sweep_cmd;
         chaos_cmd;
+        load_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -5,6 +5,10 @@ module Runner = Crn_radio.Runner
 module Trace = Crn_radio.Trace
 module Json = Crn_stats.Json
 
+type arrivals = Poisson | Uniform
+
+type load = { rate : float; arrivals : arrivals; rumors : int }
+
 type env = {
   availability : Dynamic.t;
   rng : Crn_prng.Rng.t;
@@ -18,11 +22,18 @@ type env = {
   trace : Trace.t option;
   backend : Runner.backend;
   shards : int;
+  load : load option;
 }
 
 let env ?(source = 0) ?(k = 1) ?budget_factor ?max_slots ?jammer ?faults ?metrics
-    ?trace ?(backend = Runner.Engine) ?(shards = 1) ~availability ~rng () =
+    ?trace ?(backend = Runner.Engine) ?(shards = 1) ?load ~availability ~rng () =
   if shards < 1 then invalid_arg "Protocol.env: shards must be >= 1";
+  (match load with
+  | Some { rate; _ } when not (rate > 0.0) ->
+      invalid_arg "Protocol.env: load rate must be > 0"
+  | Some { rumors; _ } when rumors < 1 ->
+      invalid_arg "Protocol.env: load rumors must be >= 1"
+  | _ -> ());
   {
     availability;
     rng;
@@ -36,6 +47,7 @@ let env ?(source = 0) ?(k = 1) ?budget_factor ?max_slots ?jammer ?faults ?metric
     trace;
     backend;
     shards;
+    load;
   }
 
 type summary = {

@@ -16,6 +16,18 @@
        phases, for example — delegating to their direct APIs so that a
        registry-dispatched run is byte-identical to a direct call.}} *)
 
+type arrivals = Poisson | Uniform
+(** Inter-arrival law for sustained-traffic runs: [Poisson] spaces rumor
+    arrivals geometrically (a Bernoulli coin per slot in expectation),
+    [Uniform] spaces them evenly at [1/rate] slots. *)
+
+type load = { rate : float; arrivals : arrivals; rumors : int }
+(** An open-loop offered load: a batch of [rumors] rumors (at least one)
+    arriving at [rate] rumors per slot network-wide (must be positive),
+    injected at uniformly random origin nodes regardless of how the
+    protocol keeps up; the run then drains until every rumor finishes or
+    the budget runs out. *)
+
 type env = {
   availability : Crn_channel.Dynamic.t;
   rng : Crn_prng.Rng.t;  (** The run's randomness; one stream per run. *)
@@ -37,6 +49,10 @@ type env = {
           struct-of-arrays engine ({!Crn_radio.Soa}); [1] everywhere else.
           Results are shard-count invariant by that engine's determinism
           contract, so this is purely a performance knob. *)
+  load : load option;
+      (** Offered load for the sustained-traffic workload protocols
+          ([gossip], [push_sum]); [None] leaves each workload's default
+          rate in force. One-shot protocols ignore it. *)
 }
 
 val env :
@@ -50,13 +66,15 @@ val env :
   ?trace:Crn_radio.Trace.t ->
   ?backend:Crn_radio.Runner.backend ->
   ?shards:int ->
+  ?load:load ->
   availability:Crn_channel.Dynamic.t ->
   rng:Crn_prng.Rng.t ->
   unit ->
   env
 (** Environment constructor; defaults: [source = 0], [k = 1], backend
     {!Crn_radio.Runner.Engine}, [shards = 1], everything else off. Raises
-    [Invalid_argument] when [shards < 1]. *)
+    [Invalid_argument] when [shards < 1] or a supplied load rate is not
+    positive. *)
 
 type summary = {
   protocol : string;

@@ -409,6 +409,165 @@ module Deterministic_p = struct
     }
 end
 
+(* ---- the sustained-traffic workloads: open-loop arrivals feeding
+   machines from lib/workload ---- *)
+
+module Workload = struct
+  module Arrivals = Crn_workload.Arrivals
+
+  (* Per-protocol offered load when the environment leaves [env.load]
+     unset: a small batch at a modest rate, sized so the registry-wide
+     suites (default dims, fault schedules) terminate quickly. *)
+  let resolve (env : Protocol.env) ~default = Option.value env.load ~default
+
+  (* The arrival schedule is drawn from a stream split off [env.rng]
+     before anything else touches it, so offered load is a function of the
+     seed alone — identical across backends, [--jobs] and [--shards]. *)
+  let arrivals (env : Protocol.env) ~default =
+    let { Protocol.rate; arrivals; rumors } = resolve env ~default in
+    let law =
+      match arrivals with
+      | Protocol.Poisson -> Arrivals.Poisson
+      | Protocol.Uniform -> Arrivals.Uniform
+    in
+    let n, _ = dims env in
+    Arrivals.generate ~rng:(Crn_prng.Rng.split env.rng) ~law ~rate ~n ~rumors
+
+  (* Arrival span with 4x slack (Poisson tails), since budgets must not
+     consume randomness. *)
+  let span_bound { Protocol.rate; rumors; _ } =
+    4 * max 1 (int_of_float (Float.ceil (float_of_int rumors /. rate)))
+
+  let percentile_json latencies p =
+    if Array.length latencies = 0 then Json.Null
+    else Json.Float (Crn_stats.Summary.percentile latencies p)
+
+  let latency_fields latencies =
+    [
+      ("latency_p50", percentile_json latencies 50.0);
+      ("latency_p95", percentile_json latencies 95.0);
+      ("latency_p99", percentile_json latencies 99.0);
+      ( "latencies",
+        Json.List (Array.to_list (Array.map (fun l -> Json.Float l) latencies)) );
+    ]
+end
+
+module Gossip_p = struct
+  module G = Crn_workload.Gossip
+
+  let name = "gossip"
+  let synopsis = "Multi-rumor epidemic broadcast under open-loop rumor arrivals"
+
+  type msg = G.msg
+  type state = G.machine
+  type result = G.result
+
+  let default_load = { Protocol.rate = 0.2; arrivals = Protocol.Poisson; rumors = 4 }
+
+  let budget (env : Protocol.env) =
+    let n, c = dims env in
+    let load = Workload.resolve env ~default:default_load in
+    let per =
+      Complexity.cogcast_slots ?factor:env.budget_factor ~n ~c ~k:env.k ()
+    in
+    Workload.span_bound load + (load.Protocol.rumors * per)
+
+  let init (env : Protocol.env) =
+    let arrivals = Workload.arrivals env ~default:default_load in
+    G.machine ?trace:env.trace ~arrivals ~availability:env.availability
+      ~rng:env.rng ()
+
+  let decide (st : state) = st.G.decide
+  let feedback (st : state) = st.G.feedback
+  let finished (st : state) = st.G.finished ()
+
+  let project (st : state) ~(outcome : Runner.outcome) =
+    st.G.snapshot ~slots_run:outcome.Runner.slots_run
+
+  let summarize _env (r : result) =
+    let throughput =
+      if r.G.slots_run > 0 then frac r.G.completed r.G.slots_run else 0.0
+    in
+    {
+      Protocol.protocol = name;
+      slots_run = r.G.slots_run;
+      completed = r.G.completed = r.G.total_rumors;
+      completed_at = r.G.completed_at;
+      coverage = (if r.G.total_rumors = 0 then 1.0 else frac r.G.completed r.G.total_rumors);
+      raw_rounds = 0;
+      counters = Trace.Counters.create ();
+      detail =
+        Json.Obj
+          ([
+             ("total_rumors", Json.Int r.G.total_rumors);
+             ("injected", Json.Int r.G.injected);
+             ("completed_rumors", Json.Int r.G.completed);
+             ("deliveries", Json.Int r.G.deliveries);
+             ("retired", Json.Int r.G.retired);
+             ("throughput", Json.Float throughput);
+           ]
+          @ Workload.latency_fields r.G.latencies);
+    }
+end
+
+module Push_sum_p = struct
+  module P = Crn_workload.Push_sum
+
+  let name = "push_sum"
+  let synopsis = "Streaming push-sum aggregation with exact mass accounting under load"
+
+  type msg = P.msg
+  type state = P.machine
+  type result = P.result
+
+  let default_load = { Protocol.rate = 0.1; arrivals = Protocol.Poisson; rumors = 2 }
+
+  let budget (env : Protocol.env) =
+    let n, _ = dims env in
+    let load = Workload.resolve env ~default:default_load in
+    Workload.span_bound load + scaled_budget env (float_of_int (n * 40))
+
+  let init (env : Protocol.env) =
+    let arrivals = Workload.arrivals env ~default:default_load in
+    P.machine ?trace:env.trace ~arrivals ~availability:env.availability
+      ~rng:env.rng ()
+
+  let decide (st : state) = st.P.decide
+  let feedback (st : state) = st.P.feedback
+  let finished (st : state) = st.P.finished ()
+
+  let project (st : state) ~(outcome : Runner.outcome) =
+    st.P.snapshot ~slots_run:outcome.Runner.slots_run
+
+  let summarize env (r : result) =
+    let n, _ = dims env in
+    let throughput =
+      if r.P.slots_run > 0 then frac r.P.transfers r.P.slots_run else 0.0
+    in
+    {
+      Protocol.protocol = name;
+      slots_run = r.P.slots_run;
+      completed = r.P.completed_at <> None;
+      completed_at = r.P.completed_at;
+      coverage = frac r.P.converged n;
+      raw_rounds = 0;
+      counters = Trace.Counters.create ();
+      detail =
+        Json.Obj
+          ([
+             ("arrivals", Json.Int r.P.total_arrivals);
+             ("injected", Json.Int r.P.injected);
+             ("transfers", Json.Int r.P.transfers);
+             ("transfer_rate", Json.Float throughput);
+             ("lost_mass", Json.Float r.P.lost_mass);
+             ("max_drift", Json.Float r.P.max_drift);
+             ("estimate_error", Json.Float r.P.estimate_error);
+             ("converged", Json.Int r.P.converged);
+           ]
+          @ Workload.latency_fields r.P.latencies);
+    }
+end
+
 let all =
   [
     cogcast;
@@ -421,6 +580,8 @@ let all =
     Protocol.of_machine (module Random_hop_p);
     Protocol.of_machine (module Seq_scan_p);
     Protocol.of_machine (module Deterministic_p);
+    Protocol.of_machine (module Gossip_p);
+    Protocol.of_machine (module Push_sum_p);
   ]
 
 let names () = List.map Protocol.name all

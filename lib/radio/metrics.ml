@@ -138,7 +138,8 @@ module Registry = struct
             incr informs;
             observe_int slots_to_informed slot
         | Trace.Mediator _ | Trace.Sent_value _ | Trace.Value_delivered _
-        | Trace.Retired _ ->
+        | Trace.Retired _ | Trace.Injected _ | Trace.Rumor_delivered _
+        | Trace.Rumor_done _ ->
             ())
       tr;
     flush_segment ();

@@ -66,6 +66,9 @@ type event =
   | Sent_value of { slot : int; node : int; r : int }
   | Value_delivered of { slot : int; sender : int; receiver : int; r : int }
   | Retired of { slot : int; node : int }
+  | Injected of { slot : int; rumor : int; node : int }
+  | Rumor_delivered of { slot : int; rumor : int; node : int; parent : int }
+  | Rumor_done of { slot : int; rumor : int }
 
 type t = { mutable buf : event array; mutable len : int }
 
@@ -167,6 +170,13 @@ let json_of_event ev =
       obj "value_delivered"
         [ ("slot", i slot); ("sender", i sender); ("receiver", i receiver); ("r", i r) ]
   | Retired { slot; node } -> obj "retired" [ ("slot", i slot); ("node", i node) ]
+  | Injected { slot; rumor; node } ->
+      obj "injected" [ ("slot", i slot); ("rumor", i rumor); ("node", i node) ]
+  | Rumor_delivered { slot; rumor; node; parent } ->
+      obj "rumor_delivered"
+        [ ("slot", i slot); ("rumor", i rumor); ("node", i node); ("parent", i parent) ]
+  | Rumor_done { slot; rumor } ->
+      obj "rumor_done" [ ("slot", i slot); ("rumor", i rumor) ]
 
 let event_of_json j =
   let ( let* ) = Option.bind in
@@ -252,6 +262,21 @@ let event_of_json j =
       let* slot = int_m "slot" in
       let* node = int_m "node" in
       Some (Retired { slot; node })
+  | "injected" ->
+      let* slot = int_m "slot" in
+      let* rumor = int_m "rumor" in
+      let* node = int_m "node" in
+      Some (Injected { slot; rumor; node })
+  | "rumor_delivered" ->
+      let* slot = int_m "slot" in
+      let* rumor = int_m "rumor" in
+      let* node = int_m "node" in
+      let* parent = int_m "parent" in
+      Some (Rumor_delivered { slot; rumor; node; parent })
+  | "rumor_done" ->
+      let* slot = int_m "slot" in
+      let* rumor = int_m "rumor" in
+      Some (Rumor_done { slot; rumor })
   | _ -> None
 
 let to_jsonl t =
@@ -643,5 +668,130 @@ module Check = struct
       delivered;
     List.rev !violations
 
-  let all t = one_winner t @ informed_tree t @ phase4_drain t @ exactly_once_drain t
+  (* Multi-rumor causality, over [Injected] / [Rumor_delivered] /
+     [Rumor_done] events from the workload protocols. A rumor is injected
+     at most once; every delivery names a rumor that was injected, a node
+     other than its origin that learns it at most once, and a parent that
+     already carried the rumor — the origin no earlier than the injection
+     slot, any other node strictly after its own delivery (a node can only
+     relay a rumor from the slot after it learned it). [Rumor_done] fires
+     at most once per rumor and only once every node knows it: with a
+     [Meta] header present, exactly [n - 1] distinct non-origin nodes must
+     have deliveries no later than the done slot. *)
+  let rumor_causality t =
+    let violations = ref [] in
+    let report vl = violations := vl :: !violations in
+    let meta_n =
+      fold (fun acc ev -> match ev with Meta { n; _ } -> Some n | _ -> acc) None t
+    in
+    let injected : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+    let delivered_at : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+    let delivered_nodes : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+    let done_at : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    iter
+      (fun ev ->
+        match ev with
+        | Injected { slot; rumor; node } -> (
+            match Hashtbl.find_opt injected rumor with
+            | Some (prev_slot, _) ->
+                report
+                  (v "rumor-causality" "rumor %d injected twice (slots %d and %d)"
+                     rumor prev_slot slot)
+            | None -> Hashtbl.replace injected rumor (slot, node))
+        | Rumor_delivered { slot; rumor; node; parent } -> (
+            match Hashtbl.find_opt injected rumor with
+            | None ->
+                report
+                  (v "rumor-causality"
+                     "rumor %d delivered to node %d at slot %d before any injection"
+                     rumor node slot)
+            | Some (inj_slot, origin) ->
+                if node = origin then
+                  report
+                    (v "rumor-causality"
+                       "rumor %d delivered to its own origin %d at slot %d" rumor node
+                       slot);
+                if parent = node then
+                  report
+                    (v "rumor-causality" "rumor %d: node %d is its own parent at slot %d"
+                       rumor node slot);
+                (match Hashtbl.find_opt delivered_at (rumor, node) with
+                | Some prev ->
+                    report
+                      (v "rumor-causality"
+                         "rumor %d delivered to node %d twice (slots %d and %d)" rumor
+                         node prev slot)
+                | None ->
+                    Hashtbl.replace delivered_at (rumor, node) slot;
+                    Hashtbl.replace delivered_nodes rumor
+                      (node
+                      :: Option.value ~default:[]
+                           (Hashtbl.find_opt delivered_nodes rumor)));
+                if parent = origin then begin
+                  if slot < inj_slot then
+                    report
+                      (v "rumor-causality"
+                         "rumor %d delivered to node %d at slot %d, before its \
+                          injection at slot %d"
+                         rumor node slot inj_slot)
+                end
+                else
+                  match Hashtbl.find_opt delivered_at (rumor, parent) with
+                  | None ->
+                      report
+                        (v "rumor-causality"
+                           "rumor %d delivered to node %d at slot %d by %d, which \
+                            never learned it before"
+                           rumor node slot parent)
+                  | Some ps when ps >= slot ->
+                      report
+                        (v "rumor-causality"
+                           "rumor %d delivered to node %d at slot %d by %d, which \
+                            learned it only at slot %d"
+                           rumor node slot parent ps)
+                  | Some _ -> ())
+        | Rumor_done { slot; rumor } -> (
+            (match Hashtbl.find_opt done_at rumor with
+            | Some prev ->
+                report
+                  (v "rumor-causality" "rumor %d done twice (slots %d and %d)" rumor
+                     prev slot)
+            | None -> Hashtbl.replace done_at rumor slot);
+            match Hashtbl.find_opt injected rumor with
+            | None ->
+                report
+                  (v "rumor-causality" "rumor %d done at slot %d but never injected"
+                     rumor slot)
+            | Some _ -> ())
+        | _ -> ())
+      t;
+    (match meta_n with
+    | None ->
+        if Hashtbl.length done_at > 0 then
+          report (v "rumor-causality" "trace has Rumor_done events but no Meta header")
+    | Some n ->
+        Hashtbl.iter
+          (fun rumor slot ->
+            if Hashtbl.mem injected rumor then begin
+              let timely =
+                List.filter
+                  (fun node ->
+                    match Hashtbl.find_opt delivered_at (rumor, node) with
+                    | Some s -> s <= slot
+                    | None -> false)
+                  (Option.value ~default:[] (Hashtbl.find_opt delivered_nodes rumor))
+              in
+              if List.length timely <> n - 1 then
+                report
+                  (v "rumor-causality"
+                     "rumor %d done at slot %d with %d of %d non-origin nodes \
+                      delivered"
+                     rumor slot (List.length timely) (n - 1))
+            end)
+          done_at);
+    List.rev !violations
+
+  let all t =
+    one_winner t @ informed_tree t @ phase4_drain t @ exactly_once_drain t
+    @ rumor_causality t
 end

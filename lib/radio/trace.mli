@@ -86,6 +86,15 @@ type event =
           echo went out — the payload moved one edge up the tree. *)
   | Retired of { slot : int; node : int }
       (** COGCOMP phase 4: the node finished all its duties. *)
+  | Injected of { slot : int; rumor : int; node : int }
+      (** Workload: the load generator handed rumor [rumor] to [node] at
+          the start of [slot] — the node is the rumor's origin. *)
+  | Rumor_delivered of { slot : int; rumor : int; node : int; parent : int }
+      (** Workload: [node] first learned [rumor] in [slot], from [parent]
+          (either by hearing its broadcast or by losing a contention slot to
+          it — per §2 a losing broadcaster receives the winner's message). *)
+  | Rumor_done of { slot : int; rumor : int }
+      (** Workload: by the end of [slot] every node knew [rumor]. *)
 
 (** {1 The trace buffer} *)
 
@@ -170,6 +179,17 @@ module Check : sig
       {!Sent_value} of the same cluster. Holds for plain and robust COGCOMP,
       fault-free or faulty — a retried send that was already folded must be
       re-acked without a second delivery event. *)
+
+  val rumor_causality : t -> violation list
+  (** Multi-rumor causality over the workload events: each rumor is
+      {!Injected} at most once; every {!Rumor_delivered} names an injected
+      rumor, a node other than its origin that learns it at most once, and
+      a parent that already carried the rumor (the origin no earlier than
+      the injection slot, any other node in a strictly earlier slot — a
+      node can only relay from the slot after it learned). {!Rumor_done}
+      fires at most once per rumor, only for injected rumors, and — given a
+      {!Meta} header — only once all [n - 1] non-origin nodes hold
+      deliveries no later than the done slot. *)
 
   val all : t -> violation list
   (** The concatenation of every checker, in the order above. *)

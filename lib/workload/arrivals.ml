@@ -1,0 +1,32 @@
+module Rng = Crn_prng.Rng
+
+type law = Poisson | Uniform
+
+type arrival = { slot : int; rumor : int; origin : int }
+
+let generate ~rng ~law ~rate ~n ~rumors =
+  if not (rate > 0.0) then invalid_arg "Arrivals.generate: rate must be > 0";
+  if n <= 0 then invalid_arg "Arrivals.generate: n must be > 0";
+  if rumors < 1 then invalid_arg "Arrivals.generate: rumors must be >= 1";
+  let time = ref 0.0 in
+  Array.init rumors (fun rumor ->
+      let gap =
+        match law with
+        | Uniform -> 1.0 /. rate
+        | Poisson ->
+            (* Exponential(rate) via inversion; [1 - u] is in (0, 1], so the
+               log is finite. *)
+            let u = Rng.float rng 1.0 in
+            -.log (1.0 -. u) /. rate
+      in
+      time := !time +. gap;
+      let origin = Rng.int rng n in
+      { slot = int_of_float !time; rumor; origin })
+
+let span schedule =
+  Array.fold_left (fun acc a -> max acc a.slot) 0 schedule
+
+let by_origin ~n schedule =
+  let queues = Array.make n [] in
+  Array.iter (fun a -> queues.(a.origin) <- a :: queues.(a.origin)) schedule;
+  Array.map List.rev queues

@@ -1,0 +1,35 @@
+(** The open-loop load generator: a deterministic schedule of rumor
+    arrivals, fixed before the first slot runs.
+
+    An arrival process is sampled once, up front, from a dedicated
+    {!Crn_prng.Rng.t} stream — not lazily during the run — so a workload's
+    offered load is a pure function of the seed: identical at any [--jobs],
+    any [--shards], and across engine backends. The process is {e open
+    loop}: arrival times ignore how the protocol is keeping up, which is
+    what makes saturation measurable (offered rate keeps climbing while
+    goodput flattens). *)
+
+type law = Poisson | Uniform
+(** [Poisson] draws exponential inter-arrival gaps of mean [1/rate] slots
+    (a Poisson process discretized to slots); [Uniform] spaces arrivals
+    exactly [1/rate] slots apart. *)
+
+type arrival = {
+  slot : int;  (** Earliest slot the rumor may be injected (>= 0). *)
+  rumor : int;  (** Rumor id, consecutive from 0 in arrival order. *)
+  origin : int;  (** Uniformly random origin node in [0, n). *)
+}
+
+val generate :
+  rng:Crn_prng.Rng.t -> law:law -> rate:float -> n:int -> rumors:int -> arrival array
+(** [generate ~rng ~law ~rate ~n ~rumors] is the full schedule: [rumors]
+    arrivals with non-decreasing slots at [rate] rumors per slot
+    network-wide. Raises [Invalid_argument] unless [rate > 0], [n > 0] and
+    [rumors >= 1]. *)
+
+val span : arrival array -> int
+(** Slot of the last arrival; [0] on an empty schedule. *)
+
+val by_origin : n:int -> arrival array -> arrival list array
+(** The schedule partitioned into per-origin queues, each in arrival
+    order — the shape the protocols consume at decide time. *)

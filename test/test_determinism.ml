@@ -284,6 +284,115 @@ let test_repeat_runs_byte_equal () =
   check_str "same seed, same bytes" (one ()) (one ())
 
 (* ------------------------------------------------------------------ *)
+(* Sustained-traffic workloads obey the same two claims: registry runs of
+   the gossip and push-sum machines are byte-identical at any --jobs, and
+   driving the machines over {!Reference.engine_run} instead of
+   {!Engine.run} yields the same trace bytes and the same result struct. *)
+
+module Arrivals = Crn_workload.Arrivals
+module Gossip = Crn_workload.Gossip
+module Push_sum = Crn_workload.Push_sum
+module Protocol = Crn_proto.Protocol
+module Registry = Crn_proto.Registry
+
+let traced_workload name rng =
+  let spec = { Topology.n = 16; c = 6; k = 2 } in
+  let assignment = Topology.generate Topology.Shared_plus_random rng spec in
+  let tr = Trace.create () in
+  let load = { Protocol.rate = 0.25; arrivals = Protocol.Poisson; rumors = 4 } in
+  let s =
+    Protocol.run (Registry.find_exn name)
+      (Protocol.env ~trace:tr ~k:2 ~load
+         ~availability:(Dynamic.static assignment)
+         ~rng ())
+  in
+  Trace.to_jsonl tr ^ "\n" ^ Crn_stats.Json.to_string (Protocol.summary_json s)
+
+let test_workload_traces_across_jobs () =
+  List.iter
+    (fun name ->
+      let trials = 4 and seed = 7171 in
+      let f = traced_workload name in
+      let sequential = Crn_exec.Trials.run_seq ~trials ~seed f in
+      List.iter
+        (fun jobs ->
+          let parallel = Crn_exec.Trials.run_jobs ~jobs ~trials ~seed f in
+          for i = 0 to trials - 1 do
+            check_str
+              (Printf.sprintf "%s trial %d at --jobs %d" name i jobs)
+              sequential.(i) parallel.(i)
+          done)
+        [ 1; 2; 8 ])
+    [ "gossip"; "push_sum" ]
+
+(* Each backend run rebuilds topology, arrivals and machine from the same
+   seed, so the two engines see byte-identical inputs; the machine writes
+   its rumor events into the same trace the engine writes its slot events
+   into, so the byte comparison covers their interleaving too. *)
+let workload_setup ~seed =
+  let rng = Rng.create seed in
+  let spec = { Topology.n = 16; c = 6; k = 2 } in
+  let assignment = Topology.generate Topology.Shared_plus_random rng spec in
+  let availability = Dynamic.static assignment in
+  let arrivals =
+    Arrivals.generate ~rng:(Rng.split rng) ~law:Arrivals.Poisson ~rate:0.25
+      ~n:16 ~rumors:4
+  in
+  (rng, availability, arrivals, Trace.create ())
+
+let run_gossip_backend ~seed which =
+  let rng, availability, arrivals, tr = workload_setup ~seed in
+  let m = Gossip.machine ~trace:tr ~arrivals ~availability ~rng () in
+  let nodes =
+    Array.init 16 (fun v ->
+        Engine.node ~id:v
+          ~decide:(fun ~slot -> m.Gossip.decide ~node:v ~slot)
+          ~feedback:(fun ~slot fb -> m.Gossip.feedback ~node:v ~slot fb))
+  in
+  let stop ~slot:_ = m.Gossip.finished () in
+  let outcome =
+    match which with
+    | `Fast ->
+        Engine.run ~stop ~trace:tr ~availability ~rng ~nodes ~max_slots:2_000 ()
+    | `Spec ->
+        Reference.engine_run ~stop ~trace:tr ~availability ~rng ~nodes
+          ~max_slots:2_000 ()
+  in
+  (Trace.to_jsonl tr, m.Gossip.snapshot ~slots_run:outcome.Engine.slots_run)
+
+let run_push_sum_backend ~seed which =
+  let rng, availability, arrivals, tr = workload_setup ~seed in
+  let m = Push_sum.machine ~trace:tr ~arrivals ~availability ~rng () in
+  let nodes =
+    Array.init 16 (fun v ->
+        Engine.node ~id:v
+          ~decide:(fun ~slot -> m.Push_sum.decide ~node:v ~slot)
+          ~feedback:(fun ~slot fb -> m.Push_sum.feedback ~node:v ~slot fb))
+  in
+  let stop ~slot:_ = m.Push_sum.finished () in
+  let outcome =
+    match which with
+    | `Fast ->
+        Engine.run ~stop ~trace:tr ~availability ~rng ~nodes ~max_slots:2_000 ()
+    | `Spec ->
+        Reference.engine_run ~stop ~trace:tr ~availability ~rng ~nodes
+          ~max_slots:2_000 ()
+  in
+  (Trace.to_jsonl tr, m.Push_sum.snapshot ~slots_run:outcome.Engine.slots_run)
+
+let test_workload_engine_matches_reference () =
+  for seed = 1 to 6 do
+    let tr_f, r_f = run_gossip_backend ~seed:(9_000 + seed) `Fast in
+    let tr_s, r_s = run_gossip_backend ~seed:(9_000 + seed) `Spec in
+    check_str (Printf.sprintf "gossip seed %d: trace bytes" seed) tr_f tr_s;
+    check (Printf.sprintf "gossip seed %d: results" seed) true (r_f = r_s);
+    let tr_f, r_f = run_push_sum_backend ~seed:(9_100 + seed) `Fast in
+    let tr_s, r_s = run_push_sum_backend ~seed:(9_100 + seed) `Spec in
+    check_str (Printf.sprintf "push_sum seed %d: trace bytes" seed) tr_f tr_s;
+    check (Printf.sprintf "push_sum seed %d: results" seed) true (r_f = r_s)
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Satellite regression: Cogcast.run_emulated used to report all-zero
    counters. They must now match the emulation outcome's accounting, and
    that accounting must agree with the recorded trace event by event. *)
@@ -334,6 +443,8 @@ let () =
             test_engine_matches_reference;
           Alcotest.test_case "emulation = reference (randomized)" `Quick
             test_emulation_matches_reference;
+          Alcotest.test_case "workload machines: engine = reference" `Quick
+            test_workload_engine_matches_reference;
         ] );
       ( "canonical-order",
         [
@@ -346,6 +457,8 @@ let () =
             test_traces_identical_across_jobs;
           Alcotest.test_case "repeat runs byte-equal" `Quick
             test_repeat_runs_byte_equal;
+          Alcotest.test_case "workload traces byte-equal across --jobs 1/2/8"
+            `Quick test_workload_traces_across_jobs;
         ] );
       ( "emulated-counters",
         [

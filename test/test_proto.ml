@@ -357,7 +357,7 @@ let test_faulty_run_all_protocols () =
 (* ---- registry lookup ---- *)
 
 let test_registry_lookup () =
-  Alcotest.(check int) "ten entries" 10 (List.length Registry.all);
+  Alcotest.(check int) "twelve entries" 12 (List.length Registry.all);
   let names = Registry.names () in
   Alcotest.(check int)
     "names unique"

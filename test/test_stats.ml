@@ -38,6 +38,50 @@ let test_percentile_unsorted_input () =
 
 let test_median_odd () = checkf "odd median" 3.0 (Summary.median [| 5.0; 1.0; 3.0 |])
 
+let test_percentile_edges () =
+  (* Empty input is rejected like every other Summary entry point, and p
+     outside [0, 100] is a caller error, not a clamp. *)
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Summary.percentile: empty sample") (fun () ->
+      ignore (Summary.percentile [||] 50.0));
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Summary.percentile: p out of range") (fun () ->
+      ignore (Summary.percentile [| 1.0 |] 100.5));
+  (* A single element answers every percentile. *)
+  List.iter
+    (fun p -> checkf "singleton" 7.0 (Summary.percentile [| 7.0 |] p))
+    [ 0.0; 1.0; 50.0; 99.0; 100.0 ];
+  (* Duplicate-heavy sample: the extremes hit the first/last sorted element
+     with no off-by-one, runs of equal neighbours interpolate exactly, and
+     a percentile landing in the last gap blends the run with the outlier:
+     rank = 0.99 * 5 = 4.95, so p99 = 0.05*5 + 0.95*9 = 8.8. *)
+  let xs = [| 5.0; 5.0; 5.0; 5.0; 5.0; 9.0 |] in
+  checkf "p0 duplicate-heavy" 5.0 (Summary.percentile xs 0.0);
+  checkf "p50 duplicate-heavy" 5.0 (Summary.percentile xs 50.0);
+  checkf "p99 duplicate-heavy" 8.8 (Summary.percentile xs 99.0);
+  checkf "p100 duplicate-heavy" 9.0 (Summary.percentile xs 100.0);
+  (* All-equal sample is constant at every percentile. *)
+  let eq = Array.make 17 3.0 in
+  List.iter
+    (fun p -> checkf "all-equal" 3.0 (Summary.percentile eq p))
+    [ 0.0; 10.0; 50.0; 90.0; 100.0 ]
+
+let test_summary_singleton_record () =
+  let s = Summary.of_floats [| 4.25 |] in
+  Alcotest.(check int) "count" 1 s.Summary.count;
+  List.iter
+    (fun (name, v) -> checkf name 4.25 v)
+    [
+      ("mean", s.Summary.mean);
+      ("min", s.Summary.min);
+      ("max", s.Summary.max);
+      ("median", s.Summary.median);
+      ("p10", s.Summary.p10);
+      ("p90", s.Summary.p90);
+      ("p99", s.Summary.p99);
+    ];
+  checkf "stddev" 0.0 s.Summary.stddev
+
 let test_summary_record () =
   let s = Summary.of_ints [| 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 |] in
   Alcotest.(check int) "count" 10 s.Summary.count;
@@ -77,6 +121,35 @@ let test_histogram_bounds () =
   let lo, hi = Histogram.bin_bounds h 2 in
   checkf "bin 2 lo" 4.0 lo;
   checkf "bin 2 hi" 6.0 hi
+
+let test_histogram_edges () =
+  (* Degenerate constructions are rejected outright. *)
+  Alcotest.check_raises "empty of_ints"
+    (Invalid_argument "Histogram.of_ints: empty sample") (fun () ->
+      ignore (Histogram.of_ints [||]));
+  Alcotest.check_raises "lo >= hi" (Invalid_argument "Histogram.create: lo >= hi")
+    (fun () -> ignore (Histogram.create ~lo:1.0 ~hi:1.0 ~bins:4));
+  Alcotest.check_raises "bins < 1" (Invalid_argument "Histogram.create: bins < 1")
+    (fun () -> ignore (Histogram.create ~lo:0.0 ~hi:1.0 ~bins:0));
+  (* One bin swallows everything, including out-of-range values. *)
+  let h = Histogram.create ~lo:0.0 ~hi:1.0 ~bins:1 in
+  List.iter (Histogram.add h) [ -3.0; 0.0; 0.5; 0.999; 42.0 ];
+  Alcotest.(check int) "single bin holds all" 5 (Histogram.bin_count h 0);
+  (* The upper edge is exclusive, but x = hi clamps into the last bin
+     rather than falling off the end — no off-by-one at the boundary. *)
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  Histogram.add h 10.0;
+  Alcotest.(check int) "x = hi lands in last bin" 1 (Histogram.bin_count h 4)
+
+let test_histogram_all_equal () =
+  (* of_ints on a constant sample widens hi to lo + 1 so bin 0 exists and
+     takes the whole sample. *)
+  let h = Histogram.of_ints ~bins:10 [| 5; 5; 5; 5 |] in
+  Alcotest.(check int) "total" 4 (Histogram.count h);
+  Alcotest.(check int) "all in bin 0" 4 (Histogram.bin_count h 0);
+  let lo, hi = Histogram.bin_bounds h 0 in
+  checkf "bin 0 starts at the value" 5.0 lo;
+  checkf "widened span" 5.1 hi
 
 (* --- Fit --------------------------------------------------------------- *)
 
@@ -585,7 +658,10 @@ let () =
           Alcotest.test_case "percentile interpolation" `Quick test_percentile_interpolation;
           Alcotest.test_case "percentile input untouched" `Quick test_percentile_unsorted_input;
           Alcotest.test_case "median odd" `Quick test_median_odd;
+          Alcotest.test_case "percentile edge cases" `Quick test_percentile_edges;
           Alcotest.test_case "summary record" `Quick test_summary_record;
+          Alcotest.test_case "summary singleton record" `Quick
+            test_summary_singleton_record;
           Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
         ] );
       ( "histogram",
@@ -594,6 +670,8 @@ let () =
           Alcotest.test_case "clamping" `Quick test_histogram_clamps;
           Alcotest.test_case "of_ints" `Quick test_histogram_of_ints;
           Alcotest.test_case "bin bounds" `Quick test_histogram_bounds;
+          Alcotest.test_case "edge cases" `Quick test_histogram_edges;
+          Alcotest.test_case "all-equal sample" `Quick test_histogram_all_equal;
         ] );
       ( "fit",
         [
