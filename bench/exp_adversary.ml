@@ -1,0 +1,245 @@
+(* E24: the adversary laboratory — degradation curves for protocols under
+   dynamic spectrum reassignment (§7) and n-uniform jamming (Theorem 18).
+
+   Part A verifies that the per-slot reassignment policies remain *legal*
+   dynamic CRN instances (sampled pairwise overlap >= k every slot) and
+   that COGCAST still completes within Theorem 4's slot budget under them
+   — the §7 claim that the epidemic needs no knowledge of the assignment's
+   history. The Theorem 17 conspiracy rides along as the contrast row: a
+   legal-looking adversary that predicts the source's choices defeats any
+   budget.
+
+   Part B sweeps the jammer budget t on the uniform spectrum and puts the
+   plain protocol (receiver-side jamming) and its jam_resist: transform
+   (Theorem 18 reduction) on the same curve: the transform trades a
+   constant-factor slowdown for immunity to the budget, and degradation is
+   monotone in t for both.
+
+   Part C composes the adversaries: the reactive jammer on top of each
+   reassignment policy, every trial replayed through the trace invariant
+   checkers — the CI contract that adversaries may slow protocols down but
+   never break the simulator. *)
+
+open Bench_util
+module Rng = Crn_prng.Rng
+module Topology = Crn_channel.Topology
+module Assignment = Crn_channel.Assignment
+module Dynamic = Crn_channel.Dynamic
+module Jammer = Crn_radio.Jammer
+module Cogcast = Crn_core.Cogcast
+module Complexity = Crn_core.Complexity
+module Protocol = Crn_proto.Protocol
+module Registry = Crn_proto.Registry
+module Adversary_lab = Crn_proto.Adversary_lab
+module Table = Crn_stats.Table
+
+let e24 () =
+  header "E24"
+    "Adversary laboratory: dynamic spectrum + jamming degradation (Thm 4, 17, 18)";
+
+  (* ---- Part A: reassignment policies vs Theorem 4's budget ---- *)
+  let n = if !quick then 32 else 64 in
+  let c = if !quick then 8 else 16 in
+  let k = if !quick then 3 else 4 in
+  let spec = { Topology.n; c; k } in
+  let budget = Complexity.cogcast_slots ~n ~c ~k () in
+  let trials_a = trials ~full:60 in
+  let ta =
+    Table.create
+      [ "dynamic mode"; "min overlap (64 slots)"; "median slots"; "complete"; "budget ratio" ]
+  in
+  List.iter
+    (fun mode ->
+      let armed_probe =
+        Adversary_lab.arm ~mode ~topology:Topology.Shared_core ~spec ~source:0
+          ~rng:(Rng.create 2401)
+      in
+      let min_overlap = ref max_int in
+      for slot = 0 to 63 do
+        let a = Dynamic.at armed_probe.Adversary_lab.availability slot in
+        min_overlap := min !min_overlap (Assignment.min_pairwise_overlap a)
+      done;
+      let runs =
+        run_trials ~trials:trials_a ~base_seed:24_100 (fun rng ->
+            let armed =
+              Adversary_lab.arm ~mode ~topology:Topology.Shared_core ~spec
+                ~source:0 ~rng
+            in
+            let r =
+              Cogcast.run ~source:0
+                ~availability:armed.Adversary_lab.availability
+                ~rng:armed.Adversary_lab.rng ~max_slots:budget ()
+            in
+            ( (match r.Cogcast.completed_at with Some s -> s | None -> budget),
+              if r.Cogcast.informed_count = n then 1 else 0 ))
+      in
+      let median =
+        Crn_stats.Summary.median
+          (Array.map (fun (s, _) -> float_of_int s) runs)
+      in
+      let complete = Array.fold_left (fun acc (_, c) -> acc + c) 0 runs in
+      Table.add_row ta
+        [
+          Adversary_lab.mode_name mode;
+          string_of_int !min_overlap;
+          fmt_f median;
+          Printf.sprintf "%d/%d" complete trials_a;
+          (if complete = 0 then "inf" else fmt_f2 (median /. float_of_int budget));
+        ])
+    Adversary_lab.all_modes;
+  print_table ~title:"COGCAST on shared-core, per-slot reassignment" ta;
+  note "claim (Thm 4 under §7 dynamics): rotating/reshuffle keep pairwise overlap";
+  note ">= k in every slot and COGCAST completes within the same O((c/k) lg n)";
+  note "budget; the Thm 17 isolate conspiracy defeats any budget (contrast row)";
+
+  (* ---- Part B: Theorem 18 — jammer budget sweep on the uniform spectrum ---- *)
+  let n = if !quick then 24 else 48 in
+  let c = 12 in
+  (* Everyone owns the whole spectrum: the §7 n-uniform jamming model. *)
+  let spec = { Topology.n; c; k = c } in
+  let trials_b = trials ~full:60 in
+  let plain = Registry.find_exn "cogcast" in
+  let resist = Registry.find_exn "jam_resist:cogcast" in
+  let budgets = if !quick then [ 0; 2; 4; 5 ] else [ 0; 1; 2; 3; 4; 5 ] in
+  let tb =
+    Table.create
+      [ "t (jammed/node/slot)"; "protocol"; "median slots"; "complete"; "slot inflation" ]
+  in
+  let monotone = ref true in
+  let resist_inflation = ref 0.0 in
+  List.iter
+    (fun proto ->
+      let is_resist = proto != plain in
+      let base = ref None in
+      let prev = ref 0.0 in
+      List.iter
+        (fun t ->
+          let runs =
+            run_trials ~trials:trials_b ~base_seed:(24_200 + t) (fun rng ->
+                let assignment =
+                  Topology.generate Topology.Identical rng spec
+                in
+                let jammer =
+                  if t = 0 then None
+                  else
+                    Some
+                      (Jammer.random_per_node ~seed:(Rng.bits64 rng) ~budget:t
+                         ~num_channels:c)
+                in
+                let s =
+                  Protocol.run proto
+                    (Protocol.env ?jammer ~k:c
+                       ~availability:(Dynamic.static assignment) ~rng ())
+                in
+                ( (match s.Protocol.completed_at with
+                  | Some v -> v
+                  | None -> s.Protocol.slots_run),
+                  if s.Protocol.completed then 1 else 0 ))
+          in
+          let median =
+            Crn_stats.Summary.median
+              (Array.map (fun (s, _) -> float_of_int s) runs)
+          in
+          let complete = Array.fold_left (fun acc (_, c) -> acc + c) 0 runs in
+          if !base = None then base := Some median;
+          (* The plain protocol's degradation must be monotone in the
+             adversary's budget, up to median jitter on small samples; the
+             transform's curve is flat by design, so it is held to a
+             bounded-inflation claim instead. *)
+          if (not is_resist) && median < !prev *. 0.85 then monotone := false;
+          prev := max !prev median;
+          let ratio =
+            match !base with
+            | Some b when b > 0.0 -> median /. b
+            | _ -> Float.nan
+          in
+          if is_resist then resist_inflation := max !resist_inflation ratio;
+          let inflation = fmt_f2 ratio in
+          Table.add_row tb
+            [
+              string_of_int t;
+              Protocol.name proto;
+              fmt_f median;
+              Printf.sprintf "%d/%d" complete trials_b;
+              inflation;
+            ])
+        budgets)
+    [ plain; resist ];
+  print_table ~title:"n-uniform jammer sweep, identical spectrum (C = 12, t < C/2)" tb;
+  note "claim (Thm 18): the jam_resist: transform runs the protocol unmodified on";
+  note "the sensed unjammed spectrum (>= C-t channels, overlap >= C-2t) and keeps";
+  note "completing for every legal t at a constant-factor cost, while the plain";
+  note "protocol's curve degrades monotonically with the budget";
+  note "%s"
+    (if !monotone then
+       "plain-protocol monotonicity: PASS (medians non-decreasing in t, 15% \
+        tolerance)"
+     else
+       "plain-protocol monotonicity: FAIL — a higher budget ran faster than \
+        a lower one");
+  note
+    "jam_resist worst-case slot inflation over all t: %.2fx the unjammed \
+     run (Thm 18: a constant factor)"
+    !resist_inflation;
+
+  (* ---- Part C: composed adversaries, invariant-checked ---- *)
+  let n = if !quick then 24 else 48 in
+  let c = 8 and k = 3 in
+  let spec = { Topology.n; c; k } in
+  let trials_c = trials ~full:30 in
+  let tc =
+    Table.create [ "dynamic mode"; "protocol"; "median slots"; "complete"; "violations" ]
+  in
+  let total_violations = ref 0 in
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun name ->
+          let proto = Registry.find_exn name in
+          let runs =
+            run_trials ~trials:trials_c ~base_seed:24_300 (fun rng ->
+                let jammer = Jammer.reactive () in
+                let t =
+                  Adversary_lab.run_trial proto (fun ~trace ->
+                      let armed =
+                        Adversary_lab.arm ~mode ~topology:Topology.Shared_core
+                          ~spec ~source:0 ~rng
+                      in
+                      Protocol.env ~jammer ~trace ~k
+                        ~availability:
+                          (Adversary_lab.instrument ~trace
+                             armed.Adversary_lab.availability)
+                        ~rng:armed.Adversary_lab.rng ())
+                in
+                let s = t.Adversary_lab.summary in
+                ( (match s.Protocol.completed_at with
+                  | Some v -> v
+                  | None -> s.Protocol.slots_run),
+                  (if s.Protocol.completed then 1 else 0),
+                  List.length t.Adversary_lab.violations ))
+          in
+          let median =
+            Crn_stats.Summary.median
+              (Array.map (fun (s, _, _) -> float_of_int s) runs)
+          in
+          let complete =
+            Array.fold_left (fun acc (_, c, _) -> acc + c) 0 runs
+          in
+          let violations =
+            Array.fold_left (fun acc (_, _, v) -> acc + v) 0 runs
+          in
+          total_violations := !total_violations + violations;
+          Table.add_row tc
+            [
+              Adversary_lab.mode_name mode;
+              name;
+              fmt_f median;
+              Printf.sprintf "%d/%d" complete trials_c;
+              string_of_int violations;
+            ])
+        [ "cogcast"; "gossip" ])
+    [ Adversary_lab.Static; Adversary_lab.Rotating; Adversary_lab.Reshuffle ];
+  print_table ~title:"reactive jammer composed with per-slot reassignment" tc;
+  note "claim (robustness contract): composed adversaries may slow protocols but";
+  note "every trial's trace passes the invariant checkers — %d violation(s) total"
+    !total_violations

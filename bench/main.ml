@@ -43,6 +43,7 @@ let experiments =
     ("E21", Exp_extensions.e21);
     ("E22", Exp_extensions.e22);
     ("E23", Exp_load.e23);
+    ("E24", Exp_adversary.e24);
     (* Not a paper experiment: the engine hot-path micro-benchmark
        (allocations/slot and ns/slot, rewritten engines vs their reference
        specifications). `bench/main.exe -- micro --quick --json` is the CI

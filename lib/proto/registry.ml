@@ -589,14 +589,22 @@ let names () = List.map Protocol.name all
 let normalize s =
   String.map (fun ch -> if ch = '-' then '_' else ch) (String.lowercase_ascii s)
 
+(* [jam_resist:<name>] resolves to the Theorem 18 wrap of <name> — every
+   entry has its jamming-resistant variant without being registered
+   twice. The inner name must be a direct entry, so a (meaningless)
+   double prefix fails the lookup. *)
 let find s =
   let s = normalize s in
-  List.find_opt (fun p -> Protocol.name p = s) all
+  let direct s = List.find_opt (fun p -> Protocol.name p = s) all in
+  let pl = String.length Jam_resist.prefix in
+  if String.length s > pl && String.sub s 0 pl = Jam_resist.prefix then
+    Option.map Jam_resist.wrap (direct (String.sub s pl (String.length s - pl)))
+  else direct s
 
 let find_exn s =
   match find s with
   | Some p -> p
   | None ->
       invalid_arg
-        (Printf.sprintf "unknown protocol %S (try: %s)" s
+        (Printf.sprintf "unknown protocol %S (try: %s, or jam_resist:<name>)" s
            (String.concat ", " (names ())))

@@ -5,7 +5,12 @@
 
     Names are matched case-insensitively with ['-'] and ['_']
     interchangeable, so [crn_sim run --protocol cogcomp-robust] and
-    [--protocol cogcomp_robust] find the same entry. *)
+    [--protocol cogcomp_robust] find the same entry.
+
+    A name of the form [jam_resist:<protocol>] resolves to
+    [Jam_resist.wrap] applied to the named entry — the Theorem 18
+    jamming-resistant variant of every protocol, derivable on demand and
+    therefore not listed in {!all}. *)
 
 val all : Protocol.t list
 (** Every registered protocol, in presentation order: the paper's own
@@ -15,7 +20,8 @@ val names : unit -> string list
 (** Canonical names of {!all}, in the same order. *)
 
 val find : string -> Protocol.t option
-(** Lookup by (normalized) name. *)
+(** Lookup by (normalized) name; [jam_resist:<name>] yields the wrapped
+    variant of [<name>]. *)
 
 val find_exn : string -> Protocol.t
 (** Like {!find} but raises [Invalid_argument] listing the valid names. *)

@@ -31,3 +31,39 @@ let availability_of_jammer ?shuffle_labels ~num_nodes ~num_channels ~jammer () =
     Assignment.create ~num_channels ~local_to_global:rows
   in
   Dynamic.of_fun ~num_nodes ~channels_per_node view
+
+let sensed_availability ?shuffle_labels ~num_nodes ~num_channels ~jammer () =
+  let budget = Jammer.budget jammer in
+  if 2 * budget >= num_channels then
+    invalid_arg "Jamming_reduction: jammer budget must be below num_channels/2";
+  let channels_per_node = num_channels - budget in
+  let label_rng = Option.map Rng.copy shuffle_labels in
+  let view slot =
+    let rows =
+      Array.init num_nodes (fun node ->
+          (* Collect open channels low-to-high, then withhold the
+             highest-id ones until exactly [num_channels - budget] remain:
+             a node that senses fewer than [budget] jammed channels
+             conservatively treats the excess as jammed too, so all rows
+             stay the same length (the model's equal-set-size requirement)
+             and pairwise overlap is still >= C - 2*budget — each node
+             withholds at most [budget] channels in total. *)
+          let open_channels = ref [] in
+          for channel = num_channels - 1 downto 0 do
+            if not (Jammer.jams jammer ~slot ~node ~channel) then
+              open_channels := channel :: !open_channels
+          done;
+          let all_open = Array.of_list !open_channels in
+          if Array.length all_open < channels_per_node then
+            invalid_arg
+              (Printf.sprintf
+                 "Jamming_reduction: jammer exceeded its budget at node %d \
+                  (left %d channels open, expected at least %d)"
+                 node (Array.length all_open) channels_per_node);
+          let row = Array.sub all_open 0 channels_per_node in
+          (match label_rng with Some rng -> Rng.shuffle rng row | None -> ());
+          row)
+    in
+    Assignment.create ~num_channels ~local_to_global:rows
+  in
+  Dynamic.of_fun ~num_nodes ~channels_per_node view

@@ -28,5 +28,24 @@ val availability_of_jammer :
     otherwise labels follow increasing channel id. Raises [Invalid_argument]
     at query time if the jammer exceeds its budget. *)
 
+val sensed_availability :
+  ?shuffle_labels:Crn_prng.Rng.t ->
+  num_nodes:int ->
+  num_channels:int ->
+  jammer:Jammer.t ->
+  unit ->
+  Crn_channel.Dynamic.t
+(** Like {!availability_of_jammer}, but tolerant of jammers that spend
+    {e less} than their declared budget in some slots (the reactive jammer
+    jams nothing until its first observation): every node keeps exactly
+    [num_channels - budget] channels by additionally withholding its
+    highest-id open channels — conservative sensing, as a node cannot tell
+    a quiet jammer from a noisy channel. Each node drops at most [budget]
+    channels in total, so the pairwise overlap is still at least
+    [num_channels - 2*budget]. This is the availability the
+    {!Crn_proto.Jam_resist} transformer runs protocols on. Requires
+    [2*budget < num_channels] (Theorem 18's [k' < c/2]); raises
+    [Invalid_argument] at query time if the jammer exceeds its budget. *)
+
 val overlap_guarantee : num_channels:int -> budget:int -> int
 (** [c - 2k'], the pairwise overlap Theorem 18 guarantees. *)

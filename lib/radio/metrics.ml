@@ -139,7 +139,7 @@ module Registry = struct
             observe_int slots_to_informed slot
         | Trace.Mediator _ | Trace.Sent_value _ | Trace.Value_delivered _
         | Trace.Retired _ | Trace.Injected _ | Trace.Rumor_delivered _
-        | Trace.Rumor_done _ ->
+        | Trace.Rumor_done _ | Trace.Adversary _ | Trace.Reassigned _ ->
             ())
       tr;
     flush_segment ();

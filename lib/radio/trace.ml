@@ -69,6 +69,8 @@ type event =
   | Injected of { slot : int; rumor : int; node : int }
   | Rumor_delivered of { slot : int; rumor : int; node : int; parent : int }
   | Rumor_done of { slot : int; rumor : int }
+  | Adversary of { name : string; budget : int }
+  | Reassigned of { slot : int; nodes_changed : int }
 
 type t = { mutable buf : event array; mutable len : int }
 
@@ -177,6 +179,10 @@ let json_of_event ev =
         [ ("slot", i slot); ("rumor", i rumor); ("node", i node); ("parent", i parent) ]
   | Rumor_done { slot; rumor } ->
       obj "rumor_done" [ ("slot", i slot); ("rumor", i rumor) ]
+  | Adversary { name; budget } ->
+      obj "adversary" [ ("name", Json.String name); ("budget", i budget) ]
+  | Reassigned { slot; nodes_changed } ->
+      obj "reassigned" [ ("slot", i slot); ("nodes_changed", i nodes_changed) ]
 
 let event_of_json j =
   let ( let* ) = Option.bind in
@@ -277,6 +283,14 @@ let event_of_json j =
       let* slot = int_m "slot" in
       let* rumor = int_m "rumor" in
       Some (Rumor_done { slot; rumor })
+  | "adversary" ->
+      let* name = str_m "name" in
+      let* budget = int_m "budget" in
+      Some (Adversary { name; budget })
+  | "reassigned" ->
+      let* slot = int_m "slot" in
+      let* nodes_changed = int_m "nodes_changed" in
+      Some (Reassigned { slot; nodes_changed })
   | _ -> None
 
 let to_jsonl t =

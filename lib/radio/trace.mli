@@ -95,6 +95,18 @@ type event =
           it — per §2 a losing broadcaster receives the winner's message). *)
   | Rumor_done of { slot : int; rumor : int }
       (** Workload: by the end of [slot] every node knew [rumor]. *)
+  | Adversary of { name : string; budget : int }
+      (** Adversary provenance, recorded by the layer that armed the run
+          (the chaos harness, {!Crn_proto.Jam_resist}): which adversary —
+          jammer or dynamic-reassignment policy — acted on this run, and
+          its per-node per-slot budget (0 for reassignment-only
+          adversaries). Never emitted by the engines themselves, so
+          backend-differential traces stay byte-identical. *)
+  | Reassigned of { slot : int; nodes_changed : int }
+      (** Dynamic availability (§7): entering [slot], [nodes_changed] nodes
+          saw their channel row change relative to [slot - 1]. Emitted by
+          the instrumented availability wrapper
+          ({!Crn_proto.Adversary_lab.instrument}), not by the engines. *)
 
 (** {1 The trace buffer} *)
 

@@ -320,6 +320,21 @@ let test_jsonl_roundtrip () =
       (* And the invariants hold on the decoded side too. *)
       assert_clean ~name:"jsonl roundtrip" tr'
 
+(* The adversary-laboratory provenance events (recorded by the arming
+   layer, never by engines) must survive the wire format too. *)
+let test_jsonl_roundtrip_adversary_events () =
+  let tr = Trace.create () in
+  Trace.record tr (Trace.Adversary { name = "reactive"; budget = 1 });
+  Trace.record tr (Trace.Reassigned { slot = 3; nodes_changed = 7 });
+  Trace.record tr (Trace.Adversary { name = "dynamic:reshuffle"; budget = 0 });
+  match Trace.of_jsonl (Trace.to_jsonl tr) with
+  | Error msg -> Alcotest.failf "of_jsonl rejected adversary events: %s" msg
+  | Ok tr' ->
+      if Trace.to_list tr <> Trace.to_list tr' then
+        Alcotest.fail "round-tripped adversary events differ";
+      (* Checkers must treat the new events as inert provenance. *)
+      assert_clean ~name:"adversary events" tr'
+
 let test_jsonl_rejects_garbage () =
   (match Trace.of_jsonl "{\"ev\":\"win\",\"slot\":0}\n" with
   | Ok _ -> Alcotest.fail "accepted a win event with missing fields"
@@ -409,6 +424,8 @@ let () =
       ( "jsonl",
         [
           Alcotest.test_case "round-trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "adversary events round-trip" `Quick
+            test_jsonl_roundtrip_adversary_events;
           Alcotest.test_case "rejects garbage" `Quick test_jsonl_rejects_garbage;
         ] );
       ( "observability",
