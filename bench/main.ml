@@ -1,5 +1,5 @@
 (* Experiment harness: regenerates every quantitative claim of the paper as
-   a table or series (experiments E1-E23 in DESIGN.md / EXPERIMENTS.md),
+   a table or series (experiments E1-E25 in DESIGN.md / EXPERIMENTS.md),
    plus Bechamel micro-benchmarks of the simulator kernels.
 
    Usage:
@@ -44,6 +44,7 @@ let experiments =
     ("E22", Exp_extensions.e22);
     ("E23", Exp_load.e23);
     ("E24", Exp_adversary.e24);
+    ("E25", Exp_extensions.e25);
     (* Not a paper experiment: the engine hot-path micro-benchmark
        (allocations/slot and ns/slot, rewritten engines vs their reference
        specifications). `bench/main.exe -- micro --quick --json` is the CI

@@ -33,6 +33,8 @@ module Json = Crn_stats.Json
 module Faults = Crn_radio.Faults
 module Jammer = Crn_radio.Jammer
 module Trace = Crn_radio.Trace
+module Runner = Crn_radio.Runner
+module Emulation = Crn_radio.Emulation
 module Cogcast = Crn_core.Cogcast
 module Cogcomp = Crn_core.Cogcomp
 module Cogcomp_robust = Crn_core.Cogcomp_robust
@@ -296,6 +298,72 @@ let check_arg =
            checkers (one winner per channel per slot, informer precedes \
            informee, phase-4 conservation). Exits nonzero on violation.")
 
+(* ---- execution backend (--backend / --session-cap) ---- *)
+
+let backend_usage = "expected engine | emulation | emulation-csma | reference"
+
+let backend_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "engine" -> Ok `Engine
+    | "emulation" | "emulation-decay" -> Ok (`Emulation Emulation.Decay)
+    | "emulation-csma" | "csma" -> Ok (`Emulation Emulation.Csma)
+    | "reference" -> Ok `Reference
+    | _ -> Error (`Msg (Printf.sprintf "unknown backend %S (%s)" s backend_usage))
+  in
+  let print fmt choice =
+    Format.pp_print_string fmt
+      (match choice with
+      | `Engine -> "engine"
+      | `Emulation Emulation.Decay -> "emulation"
+      | `Emulation Emulation.Csma -> "emulation-csma"
+      | `Reference -> "reference")
+  in
+  Arg.conv (parse, print)
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv `Engine
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Execution backend: $(b,engine) (the abstract one-winner engine, \
+           default), $(b,emulation) (every slot realized on the raw \
+           collision radio by decay-backoff contention sessions, §2 \
+           footnote 4), $(b,emulation-csma) (same raw radio, CSMA/CA \
+           carrier-sense + ACK/retry contention), or $(b,reference) (the \
+           list-based executable specification, for differential checks).")
+
+let session_cap_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "session-cap" ] ~docv:"ROUNDS"
+        ~doc:
+          "Raw-round cap per contention session on the emulation backends \
+           (default: the decay budget 4(⌈lg n⌉+1)²). A session that \
+           exhausts the cap fails: its broadcasters see No_winner and the \
+           slot delivers nothing.")
+
+let build_backend choice session_cap =
+  match (choice, session_cap) with
+  | _, Some v when v < 1 -> Error "--session-cap must be at least 1"
+  | `Emulation strategy, _ -> Ok (Runner.Emulation { strategy; session_cap })
+  | (`Engine | `Reference), Some _ ->
+      Error
+        "--session-cap only applies to the emulation backends (--backend \
+         emulation | emulation-csma)"
+  | `Engine, None -> Ok Runner.Engine
+  | `Reference, None -> Ok Runner.Reference
+
+let backend_name = function
+  | Runner.Engine -> "engine"
+  | Runner.Emulation { strategy = Emulation.Decay; _ } -> "emulation"
+  | Runner.Emulation { strategy = Emulation.Csma; _ } -> "emulation-csma"
+  | Runner.Reference -> "reference"
+
+let is_emulation = function Runner.Emulation _ -> true | _ -> false
+
 (* When any of --trace/--metrics/--check was requested, perform one extra
    instrumented run via [f ~trace] (the statistics trials above stay
    untraced, so their wall-clock is unaffected) and export/verify its
@@ -355,7 +423,8 @@ let protocols_cmd =
 
 let run_cmd =
   let run name n c k topology dynamic jam_budget seed trials jobs shards
-      faults_spec fault_seed trace_path metrics_path check =
+      backend_choice session_cap faults_spec fault_seed trace_path metrics_path
+      check =
     match (check_params n c k, Registry.find name) with
     | (`Error _ as e), _ -> e
     | `Ok (), None ->
@@ -369,9 +438,13 @@ let run_cmd =
         `Error (false, "jam budget must be non-negative")
     | `Ok (), Some proto -> (
         let spec = { Topology.n; c; k } in
-        match check_dynamic ~mode:dynamic ~spec [ Protocol.name proto ] with
-        | `Error _ as e -> e
-        | `Ok () -> (
+        match
+          (check_dynamic ~mode:dynamic ~spec [ Protocol.name proto ],
+           build_backend backend_choice session_cap)
+        with
+        | (`Error _ as e), _ -> e
+        | `Ok (), Error m -> `Error (false, m)
+        | `Ok (), Ok backend -> (
         try
         let faults = build_faults faults_spec fault_seed in
         (* The spectrum size is determined by the topology spec, so one
@@ -397,7 +470,8 @@ let run_cmd =
           let availability, rng =
             armed_availability ~mode:dynamic ~topology ~spec ?trace ~rng ()
           in
-          Protocol.env ?faults ?jammer ?trace ~k ~shards ~availability ~rng ()
+          Protocol.env ?faults ?jammer ?trace ~backend ~k ~shards ~availability
+            ~rng ()
         in
         let runs =
           Trials.run_jobs ~jobs ~trials ~seed (fun rng ->
@@ -407,12 +481,21 @@ let run_cmd =
                 | Some v -> float_of_int v
                 | None -> float_of_int s.Protocol.slots_run
               in
-              (slots, s.Protocol.completed, s.Protocol.coverage))
+              ( slots,
+                s.Protocol.completed,
+                s.Protocol.coverage,
+                s.Protocol.raw_rounds,
+                s.Protocol.failed_sessions ))
         in
         Printf.printf "%s  n=%d c=%d k=%d topology=%s trials=%d\n"
           (Protocol.name proto) n c k
           (Topology.kind_name topology) trials;
         Printf.printf "  %s\n" (Protocol.synopsis proto);
+        (if backend <> Runner.Engine then
+           Printf.printf "  backend: %s%s\n" (backend_name backend)
+             (match session_cap with
+             | Some cap -> Printf.sprintf " (session cap %d)" cap
+             | None -> ""));
         (if dynamic <> Adversary_lab.Static then
            Printf.printf "  dynamic: %s reassignment per slot\n"
              (Adversary_lab.mode_name dynamic));
@@ -426,16 +509,29 @@ let run_cmd =
             Printf.printf "  faults: %s (seed %d)\n" (Faults.to_string f) fault_seed
         | None -> ());
         Printf.printf "  completion slots: %s\n"
-          (Summary.to_string (Summary.of_floats (Array.map (fun (s, _, _) -> s) runs)));
+          (Summary.to_string
+             (Summary.of_floats (Array.map (fun (s, _, _, _, _) -> s) runs)));
         let completions =
-          Array.fold_left (fun acc (_, c, _) -> if c then acc + 1 else acc) 0 runs
+          Array.fold_left
+            (fun acc (_, c, _, _, _) -> if c then acc + 1 else acc)
+            0 runs
         in
         let mean_coverage =
-          Array.fold_left (fun acc (_, _, cov) -> acc +. cov) 0.0 runs
+          Array.fold_left (fun acc (_, _, cov, _, _) -> acc +. cov) 0.0 runs
           /. float_of_int (max 1 trials)
         in
         Printf.printf "  complete: %d/%d; mean coverage: %.3f\n" completions trials
           mean_coverage;
+        (if is_emulation backend then
+           let raw =
+             Summary.of_floats
+               (Array.map (fun (_, _, _, r, _) -> float_of_int r) runs)
+           in
+           let failed =
+             Array.fold_left (fun acc (_, _, _, _, f) -> acc + f) 0 runs
+           in
+           Printf.printf "  raw rounds: %s; failed sessions: %d\n"
+             (Summary.to_string raw) failed);
         observe ~trace_path ~metrics_path ~check (fun ~trace ->
             let rng = Rng.create seed in
             ignore (Protocol.run proto (env ~trace ~rng ())))
@@ -480,8 +576,8 @@ let run_cmd =
       ret
         (const run $ protocol_arg $ n_arg $ c_arg $ k_arg $ topology_arg
        $ dynamic_arg $ jam_budget_arg $ seed_arg $ trials_arg $ jobs_arg
-       $ shards_arg $ faults_arg $ fault_seed_arg $ trace_arg $ metrics_arg
-       $ check_arg))
+       $ shards_arg $ backend_arg $ session_cap_arg $ faults_arg
+       $ fault_seed_arg $ trace_arg $ metrics_arg $ check_arg))
   in
   Cmd.v
     (Cmd.info "run"
@@ -493,15 +589,19 @@ let run_cmd =
 (* ---- broadcast ---- *)
 
 let broadcast_cmd =
-  let run n c k topology dynamic seed trials jobs baseline faults_spec
-      fault_seed trace_path metrics_path check =
+  let run n c k topology dynamic seed trials jobs backend_choice session_cap
+      baseline faults_spec fault_seed trace_path metrics_path check =
     match check_params n c k with
     | `Error _ as e -> e
     | `Ok () -> (
         let spec = { Topology.n; c; k } in
-        match check_dynamic ~mode:dynamic ~spec [ "cogcast" ] with
-        | `Error _ as e -> e
-        | `Ok () ->
+        match
+          (check_dynamic ~mode:dynamic ~spec [ "cogcast" ],
+           build_backend backend_choice session_cap)
+        with
+        | (`Error _ as e), _ -> e
+        | `Ok (), Error m -> `Error (false, m)
+        | `Ok (), Ok backend ->
         let faults = build_faults faults_spec fault_seed in
         let max_slots = Complexity.cogcast_slots ~n ~c ~k () in
         let samples =
@@ -510,15 +610,26 @@ let broadcast_cmd =
                 armed_availability ~mode:dynamic ~topology ~spec ~rng ()
               in
               let r =
-                Cogcast.run ?faults ~source:0 ~availability ~rng ~max_slots ()
+                Cogcast.run ?faults ~backend ~source:0 ~availability ~rng
+                  ~max_slots ()
               in
-              match r.Cogcast.completed_at with
-              | Some s -> float_of_int s
-              | None -> float_of_int r.Cogcast.slots_run)
+              let slots =
+                match r.Cogcast.completed_at with
+                | Some s -> float_of_int s
+                | None -> float_of_int r.Cogcast.slots_run
+              in
+              (slots, r.Cogcast.raw_rounds, r.Cogcast.failed_sessions))
         in
-        let s = Summary.of_floats samples in
+        let s =
+          Summary.of_floats (Array.map (fun (s, _, _) -> s) samples)
+        in
         Printf.printf "COGCAST  n=%d c=%d k=%d topology=%s trials=%d\n" n c k
           (Topology.kind_name topology) trials;
+        (if backend <> Runner.Engine then
+           Printf.printf "  backend: %s%s\n" (backend_name backend)
+             (match session_cap with
+             | Some cap -> Printf.sprintf " (session cap %d)" cap
+             | None -> ""));
         (if dynamic <> Adversary_lab.Static then
            Printf.printf "  dynamic: %s reassignment per slot\n"
              (Adversary_lab.mode_name dynamic));
@@ -526,6 +637,16 @@ let broadcast_cmd =
         | Some f -> Printf.printf "  faults: %s (seed %d)\n" (Faults.to_string f) fault_seed
         | None -> ());
         Printf.printf "  completion slots: %s\n" (Summary.to_string s);
+        (if is_emulation backend then
+           let raw =
+             Summary.of_floats
+               (Array.map (fun (_, r, _) -> float_of_int r) samples)
+           in
+           let failed =
+             Array.fold_left (fun acc (_, _, f) -> acc + f) 0 samples
+           in
+           Printf.printf "  raw rounds: %s; failed sessions: %d\n"
+             (Summary.to_string raw) failed);
         Printf.printf "  Theorem 4 shape (unit constant): %.1f; budget used: %d\n"
           (Complexity.cogcast ~factor:1.0 ~n ~c ~k ())
           max_slots;
@@ -537,7 +658,8 @@ let broadcast_cmd =
                   armed_availability ~mode:dynamic ~topology ~spec ~rng ()
                 in
                 let s =
-                  Protocol.run proto (Protocol.env ?faults ~k ~availability ~rng ())
+                  Protocol.run proto
+                    (Protocol.env ?faults ~backend ~k ~availability ~rng ())
                 in
                 match s.Protocol.completed_at with
                 | Some v -> float_of_int v
@@ -552,8 +674,8 @@ let broadcast_cmd =
               armed_availability ~mode:dynamic ~topology ~spec ~trace ~rng ()
             in
             ignore
-              (Cogcast.run ?faults ~trace ~source:0 ~availability ~rng ~max_slots
-                 ())))
+              (Cogcast.run ?faults ~backend ~trace ~source:0 ~availability ~rng
+                 ~max_slots ())))
   in
   let baseline_arg =
     Arg.(
@@ -568,8 +690,9 @@ let broadcast_cmd =
     Term.(
       ret
         (const run $ n_arg $ c_arg $ k_arg $ topology_arg $ dynamic_arg
-       $ seed_arg $ trials_arg $ jobs_arg $ baseline_arg $ faults_arg
-       $ fault_seed_arg $ trace_arg $ metrics_arg $ check_arg))
+       $ seed_arg $ trials_arg $ jobs_arg $ backend_arg $ session_cap_arg
+       $ baseline_arg $ faults_arg $ fault_seed_arg $ trace_arg $ metrics_arg
+       $ check_arg))
   in
   Cmd.v (Cmd.info "broadcast" ~doc:"Run COGCAST local broadcast (Theorem 4).") term
 
@@ -953,8 +1076,8 @@ let sweep_cmd =
    the baselines included — can be put on the same curve. *)
 
 let chaos_cmd =
-  let run n c k topology dynamic seed fault_seed trials jobs kind protocols
-      rates json_path check =
+  let run n c k topology dynamic seed fault_seed trials jobs backend_choice
+      session_cap kind protocols rates json_path check =
     let protos =
       String.split_on_char ',' protocols
       |> List.map String.trim
@@ -987,12 +1110,13 @@ let chaos_cmd =
       ( check_params n c k,
         first_error protos,
         first_error rates,
-        Adversary_lab.fault_kind_of_string kind )
+        Adversary_lab.fault_kind_of_string kind,
+        build_backend backend_choice session_cap )
     with
-    | (`Error _ as e), _, _, _ -> e
-    | _, Some m, _, _ | _, _, Some m, _ -> `Error (false, m)
-    | _, _, _, Error m -> `Error (false, m)
-    | `Ok (), None, None, Ok kind -> (
+    | (`Error _ as e), _, _, _, _ -> e
+    | _, Some m, _, _, _ | _, _, Some m, _, _ -> `Error (false, m)
+    | _, _, _, Error m, _ | _, _, _, _, Error m -> `Error (false, m)
+    | `Ok (), None, None, Ok kind, Ok backend -> (
         let protos = List.filter_map Result.to_option protos in
         let rates = List.filter_map Result.to_option rates in
         let spec = { Topology.n; c; k } in
@@ -1040,7 +1164,8 @@ let chaos_cmd =
                   armed_availability ~mode:dynamic ~topology ~spec ~trace ~rng
                     ()
                 in
-                Protocol.env ?faults ?jammer ~trace ~k ~availability ~rng ())
+                Protocol.env ?faults ?jammer ~trace ~backend ~k ~availability
+                  ~rng ())
           in
           let s = t.Adversary_lab.summary in
           ( s.Protocol.completed,
@@ -1138,10 +1263,10 @@ let chaos_cmd =
             in
             Printf.printf
               "chaos  n=%d c=%d k=%d topology=%s kind=%s dynamic=%s \
-               trials=%d/point\n"
+               backend=%s trials=%d/point\n"
               n c k
               (Topology.kind_name topology) kind_name
-              (Adversary_lab.mode_name dynamic) trials;
+              (Adversary_lab.mode_name dynamic) (backend_name backend) trials;
             let doc =
               Json.Obj
                 [
@@ -1152,6 +1277,7 @@ let chaos_cmd =
                   ("topology", Json.String (Topology.kind_name topology));
                   ("fault_kind", Json.String kind_name);
                   ("dynamic", Json.String (Adversary_lab.mode_name dynamic));
+                  ("backend", Json.String (backend_name backend));
                   ("trials", Json.Int trials);
                   ("seed", Json.Int seed);
                   ("fault_seed", Json.Int fault_seed);
@@ -1228,8 +1354,9 @@ let chaos_cmd =
     Term.(
       ret
         (const run $ n_arg $ c_arg $ k_arg $ topology_arg $ dynamic_arg
-       $ seed_arg $ fault_seed_arg $ trials_arg $ jobs_arg $ kind_arg
-       $ protocols_arg $ rates_arg $ json_arg $ chaos_check_arg))
+       $ seed_arg $ fault_seed_arg $ trials_arg $ jobs_arg $ backend_arg
+       $ session_cap_arg $ kind_arg $ protocols_arg $ rates_arg $ json_arg
+       $ chaos_check_arg))
   in
   Cmd.v
     (Cmd.info "chaos"

@@ -13,6 +13,7 @@ type event =
   | Got_informed of { parent : int }
   | Heard_silence
   | Was_jammed
+  | Session_failed
 
 type slot_log = { label : int; event : event }
 
@@ -28,6 +29,8 @@ type result = {
   informed_label : int option array;
   logs : slot_log array array option;
   counters : Trace.Counters.t;
+  raw_rounds : int;
+  failed_sessions : int;
 }
 
 (* Mutable protocol state shared by the engine-backed and emulation-backed
@@ -101,6 +104,7 @@ let build_protocol ?trace ~record ~source ~availability ~rng ~max_slots () =
         log v ~slot (Got_informed { parent = sender })
     | Action.Silence -> log v ~slot Heard_silence
     | Action.Jammed -> log v ~slot Was_jammed
+    | Action.No_winner -> log v ~slot Session_failed
   in
   let nodes = Array.init n (fun v -> Engine.node ~id:v ~decide:(decide v) ~feedback:(feedback v)) in
   {
@@ -115,19 +119,23 @@ let build_protocol ?trace ~record ~source ~availability ~rng ~max_slots () =
     nodes;
   }
 
-let result_of_runtime rt ~slots_run ~counters =
+let result_of_runtime rt (outcome : Runner.outcome) =
   {
     n = rt.rt_n;
     source = rt.rt_source;
-    completed_at = (if !(rt.informed_count) = rt.rt_n then Some slots_run else None);
-    slots_run;
+    completed_at =
+      (if !(rt.informed_count) = rt.rt_n then Some outcome.Runner.slots_run
+       else None);
+    slots_run = outcome.Runner.slots_run;
     informed = rt.informed;
     informed_count = !(rt.informed_count);
     parent = rt.parent;
     informed_at = rt.informed_at;
     informed_label = rt.informed_label;
     logs = rt.rt_logs;
-    counters;
+    counters = outcome.Runner.counters;
+    raw_rounds = outcome.Runner.raw_rounds;
+    failed_sessions = outcome.Runner.failed_sessions;
   }
 
 let run ?jammer ?faults ?metrics ?trace ?backend ?(record = false)
@@ -143,10 +151,10 @@ let run ?jammer ?faults ?metrics ?trace ?backend ?(record = false)
     Runner.make ?jammer ?faults ?metrics ?trace ?backend ~availability ~rng ()
   in
   let outcome = runner.Runner.run ?stop ~nodes:rt.nodes ~max_slots () in
-  result_of_runtime rt ~slots_run:outcome.Runner.slots_run
-    ~counters:outcome.Runner.counters
+  result_of_runtime rt outcome
 
-let run_emulated ?session_cap ?trace ?(record = false) ?(stop_when_complete = true)
+let run_emulated ?(strategy = Crn_radio.Emulation.Decay) ?session_cap ?jammer
+    ?faults ?metrics ?trace ?(record = false) ?(stop_when_complete = true)
     ~source ~availability ~rng ~max_slots () =
   let rt = build_protocol ?trace ~record ~source ~availability ~rng ~max_slots () in
   let n = rt.rt_n in
@@ -155,15 +163,12 @@ let run_emulated ?session_cap ?trace ?(record = false) ?(stop_when_complete = tr
   in
   let max_slots = if stop_when_complete && !(rt.informed_count) = n then 0 else max_slots in
   let runner =
-    Runner.make ?trace ~backend:(Runner.Emulation { session_cap }) ~availability
-      ~rng ()
+    Runner.make ?jammer ?faults ?metrics ?trace
+      ~backend:(Runner.Emulation { strategy; session_cap })
+      ~availability ~rng ()
   in
   let outcome = runner.Runner.run ?stop ~nodes:rt.nodes ~max_slots () in
-  let result =
-    result_of_runtime rt ~slots_run:outcome.Runner.slots_run
-      ~counters:outcome.Runner.counters
-  in
-  (result, Runner.emulation_outcome outcome)
+  (result_of_runtime rt outcome, Runner.emulation_outcome outcome)
 
 let run_static ?jammer ?faults ?metrics ?trace ?record ?stop_when_complete
     ?budget_factor ~source ~assignment ~k ~rng () =

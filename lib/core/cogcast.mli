@@ -23,6 +23,10 @@ type event =
   | Got_informed of { parent : int }  (** Heard the message for the first time. *)
   | Heard_silence  (** Listened and heard nothing. *)
   | Was_jammed  (** The action was absorbed by a jammer. *)
+  | Session_failed
+      (** Broadcast on a channel whose contention session hit its round cap
+          without isolating a winner ({!Crn_radio.Action.No_winner}); only
+          on the emulation backends. *)
 
 type slot_log = { label : int; event : event }
 (** What one node did in one slot ([label] is the local channel label it
@@ -48,6 +52,11 @@ type result = {
           Entries beyond a stopped run keep their defaults. *)
   counters : Crn_radio.Trace.Counters.t;
       (** Aggregate channel accounting from the engine run. *)
+  raw_rounds : int;
+      (** Raw radio rounds consumed; [0] on the abstract backends. *)
+  failed_sessions : int;
+      (** Emulation contention sessions that hit their round cap; [0] on
+          the abstract backends. *)
 }
 
 val run :
@@ -76,7 +85,11 @@ val run :
     the raw-round cost of the footnote-4 composition is wanted. *)
 
 val run_emulated :
+  ?strategy:Crn_radio.Emulation.strategy ->
   ?session_cap:int ->
+  ?jammer:Crn_radio.Jammer.t ->
+  ?faults:Crn_radio.Faults.t ->
+  ?metrics:Crn_radio.Metrics.t ->
   ?trace:Crn_radio.Trace.t ->
   ?record:bool ->
   ?stop_when_complete:bool ->
@@ -87,14 +100,16 @@ val run_emulated :
   unit ->
   result * Crn_radio.Emulation.outcome
 (** The footnote-4 composition: the same protocol executed on the *raw
-    collision radio*, each abstract slot realized by per-channel decay
-    contention sessions ({!Crn_radio.Emulation}). Returns the usual result
-    — its [counters] are the emulation's real channel accounting (shared
-    with the paired outcome), not zeros — together with the emulation
-    outcome carrying the raw-round cost. Experiment E22 measures the
-    overhead ratio. With [?trace] supplied, the emulation additionally
-    streams per-channel {!Crn_radio.Trace.Session} events recording each
-    contention session's raw-round cost. *)
+    collision radio*, each abstract slot realized by per-channel contention
+    sessions ({!Crn_radio.Emulation}; [strategy] picks decay backoff — the
+    default — or CSMA/CA). Returns the usual result — its [counters] are
+    the emulation's real channel accounting (shared with the paired
+    outcome), not zeros — together with the emulation outcome carrying the
+    raw-round cost. Experiments E22/E25 measure the overhead ratio. With
+    [?trace] supplied, the emulation additionally streams per-channel
+    {!Crn_radio.Trace.Session} events recording each contention session's
+    raw-round cost. Jamming, faults and metrics compose at the
+    abstract-slot level, exactly as with {!run} on the engine. *)
 
 val run_static :
   ?jammer:Crn_radio.Jammer.t ->

@@ -100,6 +100,8 @@ let run ?pool ?shards ?dense_channel_limit ?jammer ?faults ?metrics ?trace
     informed_label;
     logs = None;
     counters = outcome.Soa.counters;
+    raw_rounds = 0;
+    failed_sessions = 0;
   }
 
 let run_static ?pool ?shards ?dense_channel_limit ?jammer ?faults ?metrics

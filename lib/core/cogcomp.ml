@@ -85,7 +85,7 @@ let run_phase2 ~(cast : Cogcast.result) ~runner =
     | Action.Won -> sent_ok.(v) <- true
     | Action.Lost { msg; _ } -> note v msg
     | Action.Heard { msg; _ } -> if participant.(v) <> None then note v msg
-    | Action.Silence | Action.Jammed -> ()
+    | Action.Silence | Action.Jammed | Action.No_winner -> ()
   in
   let nodes =
     Array.init n (fun v -> Engine.node ~id:v ~decide:(decide v) ~feedback:(feedback v))
@@ -147,7 +147,7 @@ let run_phase3 ~(cast : Cogcast.result) ~(info : phase2_info array) ~runner =
     | Cogcast.Got_informed _ ->
         Action.broadcast ~label:entry.Cogcast.label info.(v).cluster_size
     | Cogcast.Sent_won | Cogcast.Sent_lost | Cogcast.Heard_silence | Cogcast.Was_jammed
-      ->
+    | Cogcast.Session_failed ->
         Action.listen ~label:entry.Cogcast.label
   in
   let feedback v ~slot = function
@@ -161,9 +161,11 @@ let run_phase3 ~(cast : Cogcast.result) ~(info : phase2_info array) ~runner =
             clusters_collected.(v) <-
               (mirrored, entry.Cogcast.label, size) :: clusters_collected.(v)
         | Cogcast.Sent_lost | Cogcast.Got_informed _ | Cogcast.Heard_silence
-        | Cogcast.Was_jammed ->
+        | Cogcast.Was_jammed | Cogcast.Session_failed ->
             ())
-    | Action.Won | Action.Lost _ | Action.Silence | Action.Jammed -> ()
+    | Action.Won | Action.Lost _ | Action.Silence | Action.Jammed
+    | Action.No_winner ->
+        ()
   in
   let nodes =
     Array.init n (fun v -> Engine.node ~id:v ~decide:(decide v) ~feedback:(feedback v))
@@ -395,13 +397,12 @@ let run_phase4 (type a) ?measure ?trace ~mediated ~(monoid : a Aggregate.monoid)
 (* The full protocol.                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let run_with ~emulated ~raw_rounds ?jammer ?faults ?budget_factor ?max_phase4_steps
+let run_with ~emulated ?(strategy = Crn_radio.Emulation.Decay) ?session_cap
+    ~raw_rounds ?jammer ?faults ?budget_factor ?max_phase4_steps
     ?(mediated = true) ?measure ?trace ~monoid ~values ~source ~assignment ~k ~rng ()
     =
   let n = Assignment.num_nodes assignment in
   if Array.length values <> n then invalid_arg "Cogcomp.run: values length mismatch";
-  if emulated && (jammer <> None || faults <> None) then
-    invalid_arg "Cogcomp.run_emulated: jammer/faults not supported on the raw radio";
   let availability = Dynamic.static assignment in
   let mark name =
     match trace with
@@ -410,7 +411,8 @@ let run_with ~emulated ~raw_rounds ?jammer ?faults ?budget_factor ?max_phase4_st
   in
   let make_runner rng =
     let backend =
-      if emulated then Runner.Emulation { session_cap = None } else Runner.Engine
+      if emulated then Runner.Emulation { strategy; session_cap }
+      else Runner.Engine
     in
     accumulating ~raw_rounds
       (Runner.make ?jammer ?faults ?trace ~backend ~availability ~rng ())
@@ -422,8 +424,9 @@ let run_with ~emulated ~raw_rounds ?jammer ?faults ?budget_factor ?max_phase4_st
       let c = Assignment.channels_per_node assignment in
       let max_slots = Complexity.cogcast_slots ?factor:budget_factor ~n ~c ~k () in
       let cast, outcome =
-        Cogcast.run_emulated ?trace ~record:true ~stop_when_complete:false ~source
-          ~availability ~rng:(Rng.split rng) ~max_slots ()
+        Cogcast.run_emulated ~strategy ?session_cap ?jammer ?faults ?trace
+          ~record:true ~stop_when_complete:false ~source ~availability
+          ~rng:(Rng.split rng) ~max_slots ()
       in
       raw_rounds := !raw_rounds + outcome.Crn_radio.Emulation.raw_rounds;
       cast
@@ -487,11 +490,13 @@ let run ?jammer ?faults ?budget_factor ?max_phase4_steps ?mediated ?measure ?tra
     ?max_phase4_steps ?mediated ?measure ?trace ~monoid ~values ~source ~assignment
     ~k ~rng ()
 
-let run_emulated ?budget_factor ?max_phase4_steps ?mediated ?measure ?trace ~monoid
-    ~values ~source ~assignment ~k ~rng () =
+let run_emulated ?strategy ?session_cap ?jammer ?faults ?budget_factor
+    ?max_phase4_steps ?mediated ?measure ?trace ~monoid ~values ~source
+    ~assignment ~k ~rng () =
   let raw_rounds = ref 0 in
   let result =
-    run_with ~emulated:true ~raw_rounds ?budget_factor ?max_phase4_steps ?mediated
-      ?measure ?trace ~monoid ~values ~source ~assignment ~k ~rng ()
+    run_with ~emulated:true ?strategy ?session_cap ~raw_rounds ?jammer ?faults
+      ?budget_factor ?max_phase4_steps ?mediated ?measure ?trace ~monoid ~values
+      ~source ~assignment ~k ~rng ()
   in
   (result, !raw_rounds)

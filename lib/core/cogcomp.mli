@@ -52,6 +52,10 @@ type 'a result = {
 }
 
 val run_emulated :
+  ?strategy:Crn_radio.Emulation.strategy ->
+  ?session_cap:int ->
+  ?jammer:Crn_radio.Jammer.t ->
+  ?faults:Crn_radio.Faults.t ->
   ?budget_factor:float ->
   ?max_phase4_steps:int ->
   ?mediated:bool ->
@@ -67,11 +71,15 @@ val run_emulated :
   'a result * int
 (** All four phases executed over the raw collision radio
     ({!Crn_radio.Emulation}): every abstract slot of every phase is realized
-    by decay contention sessions, so the complete aggregation stack runs
-    without the §2 one-winner abstraction. Returns the result paired with
-    the total raw rounds consumed across all phases. Correct for the same
-    reason the abstract version is — the emulation preserves the one-winner
-    semantics per slot w.h.p. *)
+    by contention sessions — decay backoff by default, CSMA/CA with
+    [~strategy:Csma] — so the complete aggregation stack runs without the
+    §2 one-winner abstraction. Returns the result paired with the total raw
+    rounds consumed across all phases. Correct for the same reason the
+    abstract version is — the emulation preserves the one-winner semantics
+    per slot w.h.p. (a session that does fail its cap surfaces as
+    {!Crn_radio.Action.No_winner} to its broadcasters, and the phases
+    degrade exactly as they would under a lost slot). [?jammer]/[?faults]
+    compose at the abstract-slot level with the same caveats as {!run}. *)
 
 val run :
   ?jammer:Crn_radio.Jammer.t ->
@@ -102,7 +110,6 @@ val run :
     yielding [complete = false] (or, for aggressive schedules, a genuinely
     wrong partial fold). They exist so the chaos harness can measure that
     degradation; use {!Cogcomp_robust} for runs that should tolerate faults.
-    Unsupported on {!run_emulated}.
 
     With [?trace] supplied, the run streams a slot-level event log: the
     phase-1 COGCAST header and [Informed] tree edges, a

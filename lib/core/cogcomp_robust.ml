@@ -108,7 +108,7 @@ let run_phase2 ~(cast : Cogcast.result) ~watchdog_retries ~runner =
         decr pending
     | Action.Lost { msg; _ } -> note v msg
     | Action.Heard { msg; _ } -> if participant.(v) <> None then note v msg
-    | Action.Silence | Action.Jammed -> ()
+    | Action.Silence | Action.Jammed | Action.No_winner -> ()
   in
   let nodes =
     Array.init n (fun v -> Engine.node ~id:v ~decide:(decide v) ~feedback:(feedback v))
@@ -200,7 +200,7 @@ let run_phase3 ~(cast : Cogcast.result) ~(info : phase2_info array) ~runner =
     | Cogcast.Got_informed _ ->
         Action.broadcast ~label:entry.Cogcast.label info.(v).cluster_size
     | Cogcast.Sent_won | Cogcast.Sent_lost | Cogcast.Heard_silence | Cogcast.Was_jammed
-      ->
+    | Cogcast.Session_failed ->
         Action.listen ~label:entry.Cogcast.label
   in
   let feedback v ~slot = function
@@ -212,9 +212,11 @@ let run_phase3 ~(cast : Cogcast.result) ~(info : phase2_info array) ~runner =
             clusters_collected.(v) <-
               (mirrored, entry.Cogcast.label, size) :: clusters_collected.(v)
         | Cogcast.Sent_lost | Cogcast.Got_informed _ | Cogcast.Heard_silence
-        | Cogcast.Was_jammed ->
+        | Cogcast.Was_jammed | Cogcast.Session_failed ->
             ())
-    | Action.Won | Action.Lost _ | Action.Silence | Action.Jammed -> ()
+    | Action.Won | Action.Lost _ | Action.Silence | Action.Jammed
+    | Action.No_winner ->
+        ()
   in
   let nodes =
     Array.init n (fun v -> Engine.node ~id:v ~decide:(decide v) ~feedback:(feedback v))

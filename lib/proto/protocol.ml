@@ -57,6 +57,7 @@ type summary = {
   completed_at : int option;
   coverage : float;
   raw_rounds : int;
+  failed_sessions : int;
   counters : Trace.Counters.t;
   detail : Json.t;
 }
@@ -72,6 +73,7 @@ let summary_json s =
         match s.completed_at with Some v -> Json.Int v | None -> Json.Null );
       ("coverage", Json.Float s.coverage);
       ("raw_rounds", Json.Int s.raw_rounds);
+      ("failed_sessions", Json.Int s.failed_sessions);
       ( "counters",
         Json.Obj
           [
@@ -142,7 +144,16 @@ let exec_machine (module P : S) env =
       ~rng:env.rng ()
   in
   let outcome = runner.Runner.run ~stop ~nodes ~max_slots () in
-  P.summarize env (P.project st ~outcome)
+  let s = P.summarize env (P.project st ~outcome) in
+  (* The driver owns the channel accounting: whatever the machine reported,
+     the engine's own counters and the emulation's raw-round/failed-session
+     cost are authoritative for the run that actually happened. *)
+  {
+    s with
+    raw_rounds = outcome.Runner.raw_rounds;
+    failed_sessions = outcome.Runner.failed_sessions;
+    counters = outcome.Runner.counters;
+  }
 
 let of_machine (module P : S) =
   { p_name = P.name; p_synopsis = P.synopsis; p_exec = exec_machine (module P) }

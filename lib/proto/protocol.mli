@@ -86,6 +86,10 @@ type summary = {
           delivered, per protocol); [1.0] iff [completed] for most. *)
   raw_rounds : int;
       (** Raw radio rounds, when the run used the emulation backend. *)
+  failed_sessions : int;
+      (** Emulation contention sessions that exhausted their round cap
+          (surfaced to broadcasters as {!Crn_radio.Action.No_winner}); [0]
+          on the abstract backends. *)
   counters : Crn_radio.Trace.Counters.t;
       (** Engine channel accounting where the protocol surfaces it; a zero
           record for multi-phase protocols that do not. *)
@@ -142,5 +146,6 @@ val synopsis : t -> string
 
 val run : t -> env -> summary
 (** Executes the protocol in the environment. Raises [Invalid_argument] for
-    environment features the protocol cannot honor (e.g. an emulation
-    backend with faults, or [max_slots] on a multi-phase protocol). *)
+    environment features the protocol cannot honor (e.g. a [Reference]
+    backend on a multi-phase protocol, or [max_slots] on one whose budget is
+    not a single number). *)

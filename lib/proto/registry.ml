@@ -27,11 +27,7 @@ let id_values n = Array.init n (fun v -> v)
 
 (* Environment features the multi-phase delegating entries cannot honor are
    rejected loudly rather than silently dropped. *)
-let require_plain ~name (env : Protocol.env) =
-  (match env.backend with
-  | Runner.Engine -> ()
-  | Runner.Emulation _ | Runner.Reference ->
-      invalid_arg (name ^ ": only the engine backend is supported"));
+let reject_metrics_and_max_slots ~name (env : Protocol.env) =
   if env.metrics <> None then
     invalid_arg
       (name
@@ -41,6 +37,13 @@ let require_plain ~name (env : Protocol.env) =
     invalid_arg
       (name ^ ": max_slots does not apply to a multi-phase protocol; use \
               budget_factor")
+
+let require_plain ~name (env : Protocol.env) =
+  (match env.backend with
+  | Runner.Engine -> ()
+  | Runner.Emulation _ | Runner.Reference ->
+      invalid_arg (name ^ ": only the engine backend is supported"));
+  reject_metrics_and_max_slots ~name env
 
 (* ---- the paper's protocols: delegate to the direct APIs so that a
    registry-dispatched run is byte-identical to a direct call ---- *)
@@ -67,7 +70,8 @@ let cogcast =
         completed = r.Cogcast.completed_at <> None;
         completed_at = r.Cogcast.completed_at;
         coverage = frac r.Cogcast.informed_count n;
-        raw_rounds = 0;
+        raw_rounds = r.Cogcast.raw_rounds;
+        failed_sessions = r.Cogcast.failed_sessions;
         counters = r.Cogcast.counters;
         detail = Json.Obj [ ("informed_count", Json.Int r.Cogcast.informed_count) ];
       })
@@ -105,6 +109,7 @@ let cogcast_soa =
         completed_at = r.Cogcast.completed_at;
         coverage = frac r.Cogcast.informed_count n;
         raw_rounds = 0;
+        failed_sessions = 0;
         counters = r.Cogcast.counters;
         detail = Json.Obj [ ("informed_count", Json.Int r.Cogcast.informed_count) ];
       })
@@ -113,14 +118,26 @@ let cogcomp =
   Protocol.of_run ~name:"cogcomp"
     ~synopsis:"Four-phase data aggregation in O((c/k) max{1,c/n} lg n + n) slots (S5, Thm 10)"
     (fun env ->
-      require_plain ~name:"cogcomp" env;
+      reject_metrics_and_max_slots ~name:"cogcomp" env;
       let n, _ = dims env in
       let assignment = Dynamic.at env.availability 0 in
-      let r =
-        Cogcomp.run ?jammer:env.jammer ?faults:env.faults
-          ?budget_factor:env.budget_factor ?trace:env.trace
-          ~monoid:Aggregate.sum ~values:(id_values n) ~source:env.source
-          ~assignment ~k:env.k ~rng:env.rng ()
+      let r, raw_rounds =
+        match env.backend with
+        | Runner.Reference ->
+            invalid_arg "cogcomp: the reference backend is not supported"
+        | Runner.Engine ->
+            let r =
+              Cogcomp.run ?jammer:env.jammer ?faults:env.faults
+                ?budget_factor:env.budget_factor ?trace:env.trace
+                ~monoid:Aggregate.sum ~values:(id_values n) ~source:env.source
+                ~assignment ~k:env.k ~rng:env.rng ()
+            in
+            (r, 0)
+        | Runner.Emulation { strategy; session_cap } ->
+            Cogcomp.run_emulated ~strategy ?session_cap ?jammer:env.jammer
+              ?faults:env.faults ?budget_factor:env.budget_factor
+              ?trace:env.trace ~monoid:Aggregate.sum ~values:(id_values n)
+              ~source:env.source ~assignment ~k:env.k ~rng:env.rng ()
       in
       let terminated =
         Array.fold_left (fun acc t -> if t then acc + 1 else acc) 0 r.Cogcomp.terminated
@@ -132,7 +149,10 @@ let cogcomp =
         completed_at =
           (if r.Cogcomp.complete then Some r.Cogcomp.total_slots else None);
         coverage = frac terminated n;
-        raw_rounds = 0;
+        raw_rounds;
+        (* The four-phase driver does not count per-session failures; a
+           failed session still surfaces to the phase as a lost slot. *)
+        failed_sessions = 0;
         counters = Trace.Counters.create ();
         detail =
           Json.Obj
@@ -171,6 +191,7 @@ let cogcomp_robust =
            else None);
         coverage = frac r.Cogcomp_robust.coverage n;
         raw_rounds = 0;
+        failed_sessions = 0;
         counters = Trace.Counters.create ();
         detail =
           Json.Obj
@@ -220,6 +241,7 @@ module Broadcast_baseline_p = struct
       completed_at = r.B.completed_at;
       coverage = frac r.B.informed_count n;
       raw_rounds = 0;
+      failed_sessions = 0;
       counters = Trace.Counters.create ();
       detail = Json.Obj [ ("informed_count", Json.Int r.B.informed_count) ];
     }
@@ -265,6 +287,7 @@ struct
       completed_at = r.A.completed_at;
       coverage = frac r.A.received_count n;
       raw_rounds = 0;
+      failed_sessions = 0;
       counters = Trace.Counters.create ();
       detail =
         Json.Obj
@@ -321,6 +344,7 @@ module Random_hop_p = struct
       completed_at = r.R.completed_at;
       coverage = frac r.R.met_count n;
       raw_rounds = 0;
+      failed_sessions = 0;
       counters = Trace.Counters.create ();
       detail = Json.Obj [ ("met_count", Json.Int r.R.met_count) ];
     }
@@ -360,6 +384,7 @@ module Seq_scan_p = struct
       completed_at = r.S.completed_at;
       coverage = frac r.S.informed_count n;
       raw_rounds = 0;
+      failed_sessions = 0;
       counters = Trace.Counters.create ();
       detail = Json.Obj [ ("informed_count", Json.Int r.S.informed_count) ];
     }
@@ -404,6 +429,7 @@ module Deterministic_p = struct
       completed_at = r.D.completed_at;
       coverage = frac r.D.informed_count n;
       raw_rounds = 0;
+      failed_sessions = 0;
       counters = Trace.Counters.create ();
       detail = Json.Obj [ ("informed_count", Json.Int r.D.informed_count) ];
     }
@@ -495,6 +521,7 @@ module Gossip_p = struct
       completed_at = r.G.completed_at;
       coverage = (if r.G.total_rumors = 0 then 1.0 else frac r.G.completed r.G.total_rumors);
       raw_rounds = 0;
+      failed_sessions = 0;
       counters = Trace.Counters.create ();
       detail =
         Json.Obj
@@ -551,6 +578,7 @@ module Push_sum_p = struct
       completed_at = r.P.completed_at;
       coverage = frac r.P.converged n;
       raw_rounds = 0;
+      failed_sessions = 0;
       counters = Trace.Counters.create ();
       detail =
         Json.Obj

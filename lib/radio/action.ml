@@ -10,6 +10,7 @@ type 'msg feedback =
   | Won
   | Lost of { winner : int; msg : 'msg }
   | Jammed
+  | No_winner
 
 let listen ~label = { label; intent = Listen }
 let broadcast ~label msg = { label; intent = Broadcast msg }
@@ -22,3 +23,4 @@ let pp_feedback pp_msg fmt = function
   | Won -> Format.fprintf fmt "Won"
   | Lost { winner; msg } -> Format.fprintf fmt "Lost(%d, %a)" winner pp_msg msg
   | Jammed -> Format.fprintf fmt "Jammed"
+  | No_winner -> Format.fprintf fmt "No_winner"

@@ -27,6 +27,13 @@ type 'msg feedback =
   | Jammed
       (** The channel was jammed at this node (only with a jammer installed):
           nothing was sent or received. *)
+  | No_winner
+      (** Broadcaster: the contention session on this channel failed to
+          isolate a winner within its round cap, so nothing was delivered
+          this slot. Only produced by the raw-radio emulation backends —
+          the abstract engine always arbitrates a winner. Listeners on the
+          channel observe plain {!Silence} (a failed session is physically
+          indistinguishable from an idle channel). *)
 
 val listen : label:int -> 'msg decision
 val broadcast : label:int -> 'msg -> 'msg decision

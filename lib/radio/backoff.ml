@@ -12,7 +12,8 @@ let ceil_log2 n =
 let epoch_length contenders = ceil_log2 (max 2 contenders) + 1
 
 let expected_rounds_bound n =
-  let e = epoch_length (max 2 n) in
+  (* epoch_length already clamps its argument to >= 2. *)
+  let e = epoch_length n in
   4 * e * e
 
 let retry_delay ~attempt ~cap =
@@ -48,7 +49,12 @@ let session ~rng ~contenders ~cap =
 (* The same protocol run as real nodes through the raw collision engine:
    everyone shares a single channel; live contenders flip the decay coin and
    transmit their index; a node hearing a message aborts; the winner is the
-   node that transmitted in a round where everyone else heard its message. *)
+   node that transmitted in a round where everyone else heard its message.
+
+   Coin draws come from the shared [rng] in the raw engine's decide order
+   (round-major, node-minor) — exactly the order [session]'s direct loop
+   consumes them — so for any seed the two implementations isolate the same
+   winner in the same round. test/test_radio.ml pins this differentially. *)
 let session_on_raw_radio ~rng ~contenders ~cap =
   if contenders < 1 then invalid_arg "Backoff.session_on_raw_radio: need a contender";
   if contenders = 1 then Some { winner = 0; rounds = 1 }
@@ -62,17 +68,15 @@ let session_on_raw_radio ~rng ~contenders ~cap =
     let aborted = Array.make contenders false in
     let transmitted_in = Array.make contenders (-1) in
     let heard_from = ref None in
-    let node_rngs = Rng.split_n rng contenders in
     let decide i ~round =
+      let p = Float.pow 0.5 (float_of_int (round mod epoch)) in
+      let coin = Rng.bernoulli rng p in
       if aborted.(i) then Action.listen ~label:0
-      else begin
-        let p = Float.pow 0.5 (float_of_int (round mod epoch)) in
-        if Rng.bernoulli node_rngs.(i) p then begin
-          transmitted_in.(i) <- round;
-          Action.broadcast ~label:0 i
-        end
-        else Action.listen ~label:0
+      else if coin then begin
+        transmitted_in.(i) <- round;
+        Action.broadcast ~label:0 i
       end
+      else Action.listen ~label:0
     in
     let hear i ~round:_ = function
       | Raw_radio.Message { msg = sender_index; _ } ->

@@ -33,7 +33,11 @@ val session_on_raw_radio :
   rng:Crn_prng.Rng.t -> contenders:int -> cap:int -> result option
 (** Same protocol, but executed end-to-end through {!Raw_radio.run} with one
     node per contender — the integration proof that the protocol and the raw
-    engine agree. Slower; used by tests and E13 spot checks. *)
+    engine agree. Coin draws are consumed from [rng] in the same
+    round-major, node-minor order as {!session}, so for any seed both
+    implementations agree on the winner and on the rounds count (a property
+    the test suite checks differentially). Slower; used by tests and E13
+    spot checks. *)
 
 val expected_rounds_bound : int -> int
 (** [expected_rounds_bound n] is the [O(log² n)] budget (with explicit

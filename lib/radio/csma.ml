@@ -1,0 +1,179 @@
+module Rng = Crn_prng.Rng
+
+type result = Backoff.result = { winner : int; rounds : int }
+
+let default_attempt_limit = 16
+let default_cw_cap = 1024
+
+(* One CSMA/CA contention session among [contenders] nodes on a single
+   collision channel with collision detection (carrier sensing = hearing).
+
+   Per-node automaton:
+     - each node draws a backoff counter from the contention window
+       [retry_delay ~attempt ~cap:cw_cap] and counts it down on idle
+       (Quiet) rounds, freezing while the carrier is busy (Noise or a
+       message);
+     - at counter zero it transmits a [Data] frame and waits one round for
+       an explicit [Ack];
+     - no ack (the frame collided) doubles the window via [attempt] and
+       redraws, up to [attempt_limit] attempts, after which the node drops
+       out (it keeps listening and can still ack);
+     - when a [Data i] frame gets through alone, every other node hears it
+       and stops contending; a designated acker (the lowest index that is
+       not the winner) answers with [Ack i] in the next round, and the
+       winner's reception of its ack completes the session.
+
+   The same automaton backs [session] (a direct single-channel simulation)
+   and [session_on_raw_radio] ({!Raw_radio.run} with collision detection).
+   Both consume the shared [rng] in decide-then-hear, ascending-node order,
+   so for any seed they agree on the winner and the rounds count. *)
+
+type msg = Data of int | Ack of int
+
+type phase =
+  | Contending  (* counting down the backoff window *)
+  | Awaiting_ack of int  (* transmitted Data in the recorded round *)
+  | Observer  (* heard a delivered Data frame; contention over *)
+  | Dropped  (* out of attempts; listens (and acks) only *)
+
+type automaton = {
+  decide : int -> round:int -> msg Action.decision;
+  hear : int -> round:int -> msg Raw_radio.reception -> unit;
+  confirmed : int option ref;  (* winner, once its ack arrived *)
+}
+
+let make_automaton ~rng ~contenders ~attempt_limit ~cw_cap =
+  let phase = Array.make contenders Contending in
+  let attempt = Array.make contenders 0 in
+  let bcnt = Array.make contenders 0 in
+  let initialized = Array.make contenders false in
+  (* Sender of the Data frame that got through (all listeners heard it);
+     the winner itself only learns via the ack. *)
+  let delivered = ref None in
+  let confirmed = ref None in
+  let draw i =
+    bcnt.(i) <- Rng.int rng (Backoff.retry_delay ~attempt:attempt.(i) ~cap:cw_cap)
+  in
+  let acker w = if w = 0 then 1 else 0 in
+  let decide i ~round =
+    if not initialized.(i) then begin
+      initialized.(i) <- true;
+      draw i
+    end;
+    match (!delivered, phase.(i)) with
+    | Some w, _ when !confirmed = None ->
+        (* Ack round: the designated acker answers; everyone else listens. *)
+        if i = acker w && i <> w then Action.broadcast ~label:0 (Ack w)
+        else Action.listen ~label:0
+    | _, Contending when bcnt.(i) = 0 ->
+        phase.(i) <- Awaiting_ack round;
+        Action.broadcast ~label:0 (Data i)
+    | _, (Contending | Awaiting_ack _ | Observer | Dropped) ->
+        Action.listen ~label:0
+  in
+  let hear i ~round reception =
+    match phase.(i) with
+    | Awaiting_ack tx_round when tx_round = round ->
+        (* Just transmitted: a transmitter hears only Quiet; the verdict
+           comes next round. *)
+        ()
+    | Awaiting_ack _ -> (
+        match reception with
+        | Raw_radio.Message { msg = Ack w; _ } when w = i ->
+            confirmed := Some i
+        | Raw_radio.Message _ | Raw_radio.Noise | Raw_radio.Quiet ->
+            (* Ack timeout: the frame collided. Double the window and
+               redraw, or drop out after the attempt limit. *)
+            attempt.(i) <- attempt.(i) + 1;
+            if attempt.(i) > attempt_limit then phase.(i) <- Dropped
+            else begin
+              phase.(i) <- Contending;
+              draw i
+            end)
+    | Contending | Dropped -> (
+        match reception with
+        | Raw_radio.Message { msg = Data w; _ } ->
+            delivered := Some w;
+            phase.(i) <- Observer
+        | Raw_radio.Message { msg = Ack _; _ } | Raw_radio.Noise ->
+            (* Carrier busy: freeze the countdown. *)
+            ()
+        | Raw_radio.Quiet ->
+            if phase.(i) = Contending && bcnt.(i) > 0 then
+              bcnt.(i) <- bcnt.(i) - 1)
+    | Observer -> ()
+  in
+  { decide; hear; confirmed }
+
+let check_args name ~contenders ~attempt_limit ~cw_cap ~cap =
+  if contenders < 1 then invalid_arg (name ^ ": need a contender");
+  if attempt_limit < 1 then invalid_arg (name ^ ": attempt_limit must be >= 1");
+  if cw_cap < 1 then invalid_arg (name ^ ": cw_cap must be >= 1");
+  if cap < 1 then invalid_arg (name ^ ": cap must be >= 1")
+
+(* Direct simulation: the raw engine's round structure (decide all nodes
+   ascending, resolve the single channel, hear all nodes ascending) without
+   the engine. *)
+let session ?(attempt_limit = default_attempt_limit) ?(cw_cap = default_cw_cap)
+    ~rng ~contenders ~cap () =
+  check_args "Csma.session" ~contenders ~attempt_limit ~cw_cap ~cap;
+  if contenders = 1 then Some { winner = 0; rounds = 1 }
+  else begin
+    let a = make_automaton ~rng ~contenders ~attempt_limit ~cw_cap in
+    let decisions = Array.make contenders (Action.listen ~label:0) in
+    let rec loop round =
+      if round >= cap then None
+      else begin
+        for i = 0 to contenders - 1 do
+          decisions.(i) <- a.decide i ~round
+        done;
+        let transmitters = ref [] in
+        for i = contenders - 1 downto 0 do
+          match decisions.(i).Action.intent with
+          | Action.Broadcast msg -> transmitters := (i, msg) :: !transmitters
+          | Action.Listen -> ()
+        done;
+        for i = 0 to contenders - 1 do
+          let reception =
+            match decisions.(i).Action.intent with
+            | Action.Broadcast _ -> Raw_radio.Quiet
+            | Action.Listen -> (
+                match !transmitters with
+                | [] -> Raw_radio.Quiet
+                | [ (sender, msg) ] -> Raw_radio.Message { sender; msg }
+                | _ :: _ :: _ -> Raw_radio.Noise)
+          in
+          a.hear i ~round reception
+        done;
+        match !(a.confirmed) with
+        | Some winner -> Some { winner; rounds = round + 1 }
+        | None -> loop (round + 1)
+      end
+    in
+    loop 0
+  end
+
+let session_on_raw_radio ?(attempt_limit = default_attempt_limit)
+    ?(cw_cap = default_cw_cap) ~rng ~contenders ~cap () =
+  check_args "Csma.session_on_raw_radio" ~contenders ~attempt_limit ~cw_cap ~cap;
+  if contenders = 1 then Some { winner = 0; rounds = 1 }
+  else begin
+    let a = make_automaton ~rng ~contenders ~attempt_limit ~cw_cap in
+    let assignment =
+      Crn_channel.Assignment.create ~num_channels:1
+        ~local_to_global:(Array.make contenders [| 0 |])
+    in
+    let availability = Crn_channel.Dynamic.static assignment in
+    let nodes =
+      Array.init contenders (fun i ->
+          Raw_radio.node ~id:i ~decide:(a.decide i) ~hear:(a.hear i))
+    in
+    let stop ~round:_ = !(a.confirmed) <> None in
+    let outcome =
+      Raw_radio.run ~collision_detection:true ~stop ~availability ~nodes
+        ~max_rounds:cap ()
+    in
+    match !(a.confirmed) with
+    | Some winner -> Some { winner; rounds = outcome.Raw_radio.rounds_run }
+    | None -> None
+  end

@@ -1,0 +1,55 @@
+(** CSMA/CA contention: a carrier-sense + ACK/retry realization of the
+    one-winner abstraction on the raw collision radio, as an alternative to
+    the decay {!Backoff} session of §2 footnote 4.
+
+    The automaton is the classic CSMA/CA loop: draw a backoff counter from
+    the current contention window ({!Backoff.retry_delay}, so the window
+    doubles per failed attempt up to [cw_cap]), count it down while the
+    carrier is idle and freeze while it is busy, transmit at zero, then wait
+    one round for an explicit ACK. A missed ACK means the frame collided:
+    the window doubles and the node redraws, dropping out of contention
+    after [attempt_limit] failed attempts (it keeps listening, and still
+    answers ACKs). When a data frame gets through alone, the lowest-index
+    non-winner acknowledges it in the next round and the session completes.
+
+    Unlike decay backoff there is no population estimate in the schedule —
+    the window adapts per node from observed collisions — so CSMA/CA needs
+    no ⌈lg n⌉ epoch, at the price of weaker high-probability bounds: under
+    heavy contention sessions can exhaust tight round caps. E25 measures
+    both curves; the [4·(⌈lg n⌉+1)²] budget is only claimed for decay. *)
+
+type result = Backoff.result = { winner : int; rounds : int }
+
+val default_attempt_limit : int
+(** Attempts before a node drops out of contention (16). *)
+
+val default_cw_cap : int
+(** Largest contention window (1024 rounds). *)
+
+val session :
+  ?attempt_limit:int ->
+  ?cw_cap:int ->
+  rng:Crn_prng.Rng.t ->
+  contenders:int ->
+  cap:int ->
+  unit ->
+  result option
+(** [session ~rng ~contenders ~cap] runs one CSMA/CA session among
+    [contenders >= 1] nodes as a direct single-channel simulation. Returns
+    [None] when no data frame was delivered and acknowledged within [cap]
+    rounds (all contenders dropped, or the window grew past the cap). A
+    single contender wins immediately in 1 round, matching the
+    {!Backoff.session} convention. [rounds] includes the ACK round. *)
+
+val session_on_raw_radio :
+  ?attempt_limit:int ->
+  ?cw_cap:int ->
+  rng:Crn_prng.Rng.t ->
+  contenders:int ->
+  cap:int ->
+  unit ->
+  result option
+(** The same automaton executed end-to-end through {!Raw_radio.run} with
+    [~collision_detection:true]. Consumes [rng] in exactly {!session}'s
+    order, so for any seed both implementations agree on the winner and the
+    rounds count (checked differentially by the test suite). *)

@@ -2,26 +2,47 @@
     the end-to-end composition of footnote 4.
 
     {!Engine.run} *assumes* the contention abstraction; this module
-    *implements* it: each abstract slot expands into one decay-backoff
-    contention session per active channel (sessions on distinct channels
-    run concurrently, so an abstract slot costs the maximum session length
-    over its channels, [O(log² n)] raw rounds w.h.p.). Within a session:
+    *implements* it: each abstract slot expands into one contention session
+    per active channel (sessions on distinct channels run concurrently, so
+    an abstract slot costs the maximum session length over its channels).
+    The {!strategy} picks the realization:
 
     {ul
-    {- contenders transmit with exponentially decreasing probability; the
-       first sub-round with a unique transmitter delivers its message;}
-    {- every other node on the channel — listeners and backed-off
-       contenders alike — hears that message, which matches the model's
-       "failed broadcasters receive the message that was sent";}
-    {- the winner infers success from being the only non-aborter.}}
+    {- {!Decay} ({!Backoff.session}) — the footnote's decay protocol:
+       contenders transmit with exponentially decreasing probability; the
+       first sub-round with a unique transmitter delivers its message, in
+       [O(log² n)] raw rounds w.h.p.;}
+    {- {!Csma} ({!Csma.session}) — classic CSMA/CA: carrier-sensed backoff
+       windows doubling per collision, delivery confirmed by an explicit
+       ACK round. Needs no population estimate, but offers no
+       polylogarithmic high-probability bound.}}
+
+    In either case every other node on the channel — listeners and losing
+    contenders alike — ends the session having heard the delivered message,
+    which matches the model's "failed broadcasters receive the message that
+    was sent"; the winner learns of its success from the session itself.
 
     Protocols written against {!Engine}'s node interface run unchanged; the
     outcome additionally reports the raw rounds consumed, so experiments can
-    measure the emulation overhead (E22). A session that fails to isolate a
-    transmitter within the per-slot cap (probability [n^{-Θ(1)}]) delivers
-    nothing on that channel for that slot: everyone there — broadcasters
-    included — receives {!Action.Silence}, the observable a real radio
-    would produce after a wasted contention window. *)
+    measure the emulation overhead (E22, E25). A session that fails to
+    isolate a winner within the per-slot cap delivers nothing on that
+    channel for that slot: its broadcasters receive {!Action.No_winner} (a
+    contender knows it burned the whole window without a clean
+    transmission), while its listeners receive {!Action.Silence} — a failed
+    session is physically indistinguishable from an idle channel on the
+    listening side.
+
+    Faults and jamming compose at the abstract-slot level with the same
+    semantics as {!Engine.run}: a down node is absent for the slot; a
+    jammed node's action is absorbed before its channel's contention
+    session starts and it receives {!Action.Jammed} (so
+    [counters.jammed_actions] is live on this backend too). For adversaries
+    *inside* a single session, drive {!Raw_radio.run} directly — its
+    [?jammer]/[?faults] address raw rounds. *)
+
+type strategy =
+  | Decay  (** {!Backoff.session}: decay backoff, [O(log² n)] w.h.p. *)
+  | Csma  (** {!Csma.session}: CSMA/CA with ACK confirmation. *)
 
 type outcome = {
   slots_run : int;  (** Abstract slots executed. *)
@@ -30,18 +51,22 @@ type outcome = {
           maximum session length, each at least 1). *)
   failed_sessions : int;
       (** Sessions that hit the cap without isolating a winner; those
-          channels deliver nothing in that slot (all participants receive
-          {!Action.Silence}). *)
+          channels deliver nothing in that slot (broadcasters receive
+          {!Action.No_winner}, listeners {!Action.Silence}). *)
   stopped_early : bool;
   counters : Trace.Counters.t;
       (** The same always-on channel accounting {!Engine.run} maintains:
           [wins] counts successful sessions, [contended] channels with two
-          or more broadcasters (succeeded or not), [jammed_actions] is
-          always 0 (no jamming at this layer). *)
+          or more broadcasters (succeeded or not), [jammed_actions] the
+          slot-level actions absorbed by the jammer. *)
 }
 
 val run :
+  ?strategy:strategy ->
   ?session_cap:int ->
+  ?jammer:Jammer.t ->
+  ?faults:Faults.t ->
+  ?metrics:Metrics.t ->
   ?trace:Trace.t ->
   ?stop:(slot:int -> bool) ->
   availability:Crn_channel.Dynamic.t ->
@@ -50,17 +75,19 @@ val run :
   max_slots:int ->
   unit ->
   outcome
-(** Same contract as {!Engine.run} minus jamming/faults/metrics (compose at
-    the abstract layer if needed). [session_cap] bounds each contention
+(** Same contract as {!Engine.run}. [strategy] selects the contention
+    realization (default {!Decay}). [session_cap] bounds each contention
     session in raw rounds (default [4·(⌈lg n⌉+1)²], the
-    {!Backoff.expected_rounds_bound}); idle channels and single-listener
-    channels cost one raw round. With [?trace] supplied, each slot appends
-    {!Trace.Decide}, {!Trace.Session} (one per active channel, [ok=false]
-    when the session hit the cap), {!Trace.Win}, {!Trace.Deliver} and
-    {!Trace.Silent} events; without it no event is allocated.
+    {!Backoff.expected_rounds_bound} — sized for decay; CSMA/CA under heavy
+    contention may exhaust it, which shows up as [failed_sessions]); idle
+    channels and single-listener channels cost one raw round. With [?trace]
+    supplied, each slot appends {!Trace.Decide}, {!Trace.Session} (one per
+    active channel, [ok=false] when the session hit the cap), {!Trace.Win},
+    {!Trace.Deliver}, {!Trace.Silent} and — under adversaries —
+    {!Trace.Down}/{!Trace.Jam} events; without it no event is allocated.
 
-    Channels are resolved — and the shared [rng] consumed by
-    {!Backoff.session} — in ascending global channel id, the same canonical
-    order as {!Engine.run}, so session lengths and winners are a function of
-    the seed alone. The slot loop is allocation-free in steady state;
+    Channels are resolved — and the shared [rng] consumed by the contention
+    sessions — in ascending global channel id, the same canonical order as
+    {!Engine.run}, so session lengths and winners are a function of the
+    seed alone. The slot loop is allocation-free in steady state;
     {!Reference.emulation_run} is its executable specification. *)

@@ -21,7 +21,8 @@ type 'msg channel_state = {
   mutable listeners : int list;
 }
 
-let run ?(collision_detection = false) ?stop ~availability ~nodes ~max_rounds () =
+let run ?(collision_detection = false) ?(jammer = Jammer.none)
+    ?(faults = Faults.none) ?stop ~availability ~nodes ~max_rounds () =
   let n = Array.length nodes in
   if n = 0 then invalid_arg "Raw_radio.run: no nodes";
   if Dynamic.num_nodes availability <> n then
@@ -29,9 +30,15 @@ let run ?(collision_detection = false) ?stop ~availability ~nodes ~max_rounds ()
   Array.iteri
     (fun i node -> if node.id <> i then invalid_arg "Raw_radio.run: node id mismatch")
     nodes;
+  (* Hoisted accessors, as in Engine.run: no per-call closure allocation. *)
+  let faults_down = Faults.down faults in
+  let jammer_jams = Jammer.jams jammer in
+  let jammer_observes = Jammer.observes jammer in
   let channels : (int, 'msg channel_state) Hashtbl.t = Hashtbl.create (4 * n) in
   let decisions = Array.make n (Action.listen ~label:0) in
   let tuned = Array.make n 0 in
+  let is_down = Array.make n false in
+  let is_jammed = Array.make n false in
   let round = ref 0 in
   let stopped = ref false in
   while (not !stopped) && !round < max_rounds do
@@ -40,37 +47,65 @@ let run ?(collision_detection = false) ?stop ~availability ~nodes ~max_rounds ()
     let c = Assignment.channels_per_node assignment in
     Hashtbl.reset channels;
     for i = 0 to n - 1 do
-      let decision = nodes.(i).decide ~round:r in
-      if decision.Action.label < 0 || decision.Action.label >= c then
-        invalid_arg "Raw_radio.run: label out of range";
-      decisions.(i) <- decision;
-      let channel = Assignment.global_of_local assignment ~node:i ~label:decision.Action.label in
-      tuned.(i) <- channel;
-      let state =
-        match Hashtbl.find_opt channels channel with
-        | Some st -> st
-        | None ->
-            let st = { transmitters = []; listeners = [] } in
-            Hashtbl.replace channels channel st;
-            st
-      in
-      match decision.Action.intent with
-      | Action.Broadcast msg -> state.transmitters <- (i, msg) :: state.transmitters
-      | Action.Listen -> state.listeners <- i :: state.listeners
+      is_down.(i) <- faults_down ~slot:r ~node:i;
+      if not is_down.(i) then begin
+        let decision = nodes.(i).decide ~round:r in
+        if decision.Action.label < 0 || decision.Action.label >= c then
+          invalid_arg "Raw_radio.run: label out of range";
+        decisions.(i) <- decision;
+        let channel = Assignment.global_of_local assignment ~node:i ~label:decision.Action.label in
+        tuned.(i) <- channel;
+        is_jammed.(i) <- jammer_jams ~slot:r ~node:i ~channel;
+        let state =
+          match Hashtbl.find_opt channels channel with
+          | Some st -> st
+          | None ->
+              let st = { transmitters = []; listeners = [] } in
+              Hashtbl.replace channels channel st;
+              st
+        in
+        match decision.Action.intent with
+        | Action.Broadcast msg ->
+            (* A frame transmitted into a jammed channel is destroyed. *)
+            if not is_jammed.(i) then
+              state.transmitters <- (i, msg) :: state.transmitters
+        | Action.Listen -> state.listeners <- i :: state.listeners
+      end
     done;
     for i = 0 to n - 1 do
-      let state = Hashtbl.find channels tuned.(i) in
-      let reception =
-        match decisions.(i).Action.intent with
-        | Action.Broadcast _ -> Quiet  (* cannot hear while transmitting *)
-        | Action.Listen -> (
-            match state.transmitters with
-            | [] -> Quiet
-            | [ (sender, msg) ] -> Message { sender; msg }
-            | _ :: _ :: _ -> if collision_detection then Noise else Quiet)
-      in
-      nodes.(i).hear ~round:r reception
+      if not is_down.(i) then begin
+        let state = Hashtbl.find channels tuned.(i) in
+        let reception =
+          match decisions.(i).Action.intent with
+          | Action.Broadcast _ -> Quiet  (* cannot hear while transmitting *)
+          | Action.Listen ->
+              (* A jammed channel reads as noise at the jammed node,
+                 collision detection or not: jamming energy is audible. *)
+              if is_jammed.(i) then Noise
+              else (
+                match state.transmitters with
+                | [] -> Quiet
+                | [ (sender, msg) ] -> Message { sender; msg }
+                | _ :: _ :: _ -> if collision_detection then Noise else Quiet)
+        in
+        nodes.(i).hear ~round:r reception
+      end
     done;
+    if jammer_observes then begin
+      (* Reactive jammers see per-round occupancy: surviving (audible)
+         transmitter counts per channel, ascending channel order, matching
+         the Engine's convention. *)
+      let occupancy =
+        Hashtbl.fold
+          (fun channel state acc ->
+            match state.transmitters with
+            | [] -> acc
+            | txs -> (channel, List.length txs) :: acc)
+          channels []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      Jammer.observe jammer ~slot:r occupancy
+    end;
     (match stop with Some f -> if f ~round:r then stopped := true | None -> ());
     incr round
   done;

@@ -27,6 +27,8 @@ type outcome = { rounds_run : int; stopped_early : bool }
 
 val run :
   ?collision_detection:bool ->
+  ?jammer:Jammer.t ->
+  ?faults:Faults.t ->
   ?stop:(round:int -> bool) ->
   availability:Crn_channel.Dynamic.t ->
   nodes:'msg node array ->
@@ -34,7 +36,17 @@ val run :
   unit ->
   outcome
 (** Same conventions as {!Engine.run}; no randomness is needed because there
-    is no winner selection — collisions destroy all messages. *)
+    is no winner selection — collisions destroy all messages.
+
+    Adversaries address raw rounds through the same [~slot] schedule as the
+    abstract engine's slots. A downed node ([Faults.down ~slot:round]) is
+    absent for the round: its [decide]/[hear] callbacks are not invoked and
+    it neither transmits nor occupies a channel. A jammed node
+    ([Jammer.jams] at its tuned channel) has any transmission destroyed
+    before it reaches the channel, and if listening hears {!Noise} even
+    without collision detection — jamming energy is audible. Reactive
+    jammers are fed the per-round occupancy of surviving transmissions,
+    exactly as in {!Engine.run}. *)
 
 val node :
   id:int ->

@@ -181,8 +181,9 @@ let engine_run ?(jammer = Jammer.none) ?(faults = Faults.none) ?metrics ?trace
     counters;
   }
 
-let emulation_run ?session_cap ?trace ?stop ~availability ~rng ~nodes ~max_slots
-    () =
+let emulation_run ?(strategy = Emulation.Decay) ?session_cap
+    ?(jammer = Jammer.none) ?(faults = Faults.none) ?metrics ?trace ?stop
+    ~availability ~rng ~nodes ~max_slots () =
   let n = Array.length nodes in
   if n = 0 then invalid_arg "Reference.emulation_run: no nodes";
   if Dynamic.num_nodes availability <> n then
@@ -192,14 +193,30 @@ let emulation_run ?session_cap ?trace ?stop ~availability ~rng ~nodes ~max_slots
       if node.Engine.id <> i then
         invalid_arg "Reference.emulation_run: node id mismatch")
     nodes;
+  (match metrics with
+  | Some m ->
+      if Array.length m.Metrics.transmissions <> n then
+        invalid_arg "Reference.emulation_run: metrics sized for a different node count"
+  | None -> ());
+  let bump counters i =
+    match metrics with
+    | Some m -> (counters m).(i) <- (counters m).(i) + 1
+    | None -> ()
+  in
   let session_cap =
     match session_cap with Some v -> v | None -> Backoff.expected_rounds_bound n
+  in
+  let run_session ~contenders =
+    match strategy with
+    | Emulation.Decay -> Backoff.session ~rng ~contenders ~cap:session_cap
+    | Emulation.Csma -> Csma.session ~rng ~contenders ~cap:session_cap ()
   in
   let traced = trace <> None in
   let emit ev = match trace with Some tr -> Trace.record tr ev | None -> () in
   let counters = Trace.Counters.create () in
   let channels : (int, 'msg channel_state) Hashtbl.t = Hashtbl.create (4 * n) in
   let decisions = Array.make n (Action.listen ~label:0) in
+  let tuned = Array.make n (-1) in
   let slot = ref 0 in
   let raw_rounds = ref 0 in
   let failed_sessions = ref 0 in
@@ -210,36 +227,55 @@ let emulation_run ?session_cap ?trace ?stop ~availability ~rng ~nodes ~max_slots
     let c = Assignment.channels_per_node assignment in
     Hashtbl.reset channels;
     for i = 0 to n - 1 do
+      if Faults.down faults ~slot:s ~node:i then begin
+        tuned.(i) <- -2;
+        if traced then emit (Trace.Down { slot = s; node = i })
+      end
+      else begin
       let decision = nodes.(i).Engine.decide ~slot:s in
       if decision.Action.label < 0 || decision.Action.label >= c then
         invalid_arg "Reference.emulation_run: label out of range";
       decisions.(i) <- decision;
       let channel = Assignment.global_of_local assignment ~node:i ~label:decision.Action.label in
-      if traced then
-        emit
-          (Trace.Decide
-             {
-               slot = s;
-               node = i;
-               channel;
-               label = decision.Action.label;
-               tx = Action.is_broadcast decision;
-             });
-      let state =
-        match Hashtbl.find_opt channels channel with
-        | Some st -> st
-        | None ->
-            let st = { broadcasters = []; listeners = [] } in
-            Hashtbl.replace channels channel st;
-            st
-      in
-      match decision.Action.intent with
-      | Action.Broadcast msg ->
-          state.broadcasters <- (i, msg) :: state.broadcasters;
-          counters.Trace.Counters.broadcasts <-
-            counters.Trace.Counters.broadcasts + 1
-      | Action.Listen -> state.listeners <- i :: state.listeners
+      bump (fun m -> m.Metrics.awake_slots) i;
+      if Jammer.jams jammer ~slot:s ~node:i ~channel then begin
+        tuned.(i) <- -1;
+        counters.Trace.Counters.jammed_actions <-
+          counters.Trace.Counters.jammed_actions + 1;
+        if traced then emit (Trace.Jam { slot = s; node = i; channel });
+        bump (fun m -> m.Metrics.jammed) i
+      end
+      else begin
+        tuned.(i) <- channel;
+        if traced then
+          emit
+            (Trace.Decide
+               {
+                 slot = s;
+                 node = i;
+                 channel;
+                 label = decision.Action.label;
+                 tx = Action.is_broadcast decision;
+               });
+        let state =
+          match Hashtbl.find_opt channels channel with
+          | Some st -> st
+          | None ->
+              let st = { broadcasters = []; listeners = [] } in
+              Hashtbl.replace channels channel st;
+              st
+        in
+        match decision.Action.intent with
+        | Action.Broadcast msg ->
+            state.broadcasters <- (i, msg) :: state.broadcasters;
+            counters.Trace.Counters.broadcasts <-
+              counters.Trace.Counters.broadcasts + 1;
+            bump (fun m -> m.Metrics.transmissions) i
+        | Action.Listen -> state.listeners <- i :: state.listeners
+      end
+      end
     done;
+    let resolved = sorted_channels channels in
     let slot_rounds = ref 1 in
     List.iter
       (fun (channel, state) ->
@@ -255,7 +291,7 @@ let emulation_run ?session_cap ?trace ?stop ~availability ~rng ~nodes ~max_slots
             if contenders > 1 then
               counters.Trace.Counters.contended <-
                 counters.Trace.Counters.contended + 1;
-            match Backoff.session ~rng ~contenders ~cap:session_cap with
+            match run_session ~contenders with
             | Some { Backoff.winner; rounds } ->
                 slot_rounds := max !slot_rounds rounds;
                 let winner_id, winner_msg = List.nth broadcasters winner in
@@ -281,6 +317,7 @@ let emulation_run ?session_cap ?trace ?stop ~availability ~rng ~nodes ~max_slots
                       emit
                         (Trace.Deliver
                            { slot = s; channel; sender = winner_id; receiver = l });
+                    bump (fun m -> m.Metrics.receptions) l;
                     nodes.(l).Engine.feedback ~slot:s
                       (Action.Heard { sender = winner_id; msg = winner_msg }))
                   state.listeners
@@ -297,17 +334,33 @@ let emulation_run ?session_cap ?trace ?stop ~availability ~rng ~nodes ~max_slots
                          rounds = session_cap;
                          ok = false;
                        });
+                (* Broadcasters know the session failed; listeners cannot
+                   tell a failed session from an idle channel. *)
                 List.iter
-                  (fun (b, _) -> nodes.(b).Engine.feedback ~slot:s Action.Silence)
+                  (fun (b, _) -> nodes.(b).Engine.feedback ~slot:s Action.No_winner)
                   broadcasters;
                 List.iter
                   (fun l ->
                     if traced then emit (Trace.Silent { slot = s; node = l; channel });
                     nodes.(l).Engine.feedback ~slot:s Action.Silence)
                   state.listeners))
-      (sorted_channels channels);
+      resolved;
+    for i = 0 to n - 1 do
+      if tuned.(i) = -1 then nodes.(i).Engine.feedback ~slot:s Action.Jammed
+    done;
     raw_rounds := !raw_rounds + !slot_rounds;
     counters.Trace.Counters.slots_run <- counters.Trace.Counters.slots_run + 1;
+    if Jammer.observes jammer then begin
+      let occupancy =
+        List.fold_left
+          (fun acc (channel, state) ->
+            match state.broadcasters with
+            | [] -> acc
+            | bs -> (channel, List.length bs) :: acc)
+          [] (List.rev resolved)
+      in
+      Jammer.observe jammer ~slot:s occupancy
+    end;
     (match stop with Some f -> if f ~slot:s then stopped := true | None -> ());
     incr slot
   done;

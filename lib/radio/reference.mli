@@ -30,7 +30,11 @@ val engine_run :
 (** Specification twin of {!Engine.run}; identical contract. *)
 
 val emulation_run :
+  ?strategy:Emulation.strategy ->
   ?session_cap:int ->
+  ?jammer:Jammer.t ->
+  ?faults:Faults.t ->
+  ?metrics:Metrics.t ->
   ?trace:Trace.t ->
   ?stop:(slot:int -> bool) ->
   availability:Crn_channel.Dynamic.t ->

@@ -1,6 +1,6 @@
 type backend =
   | Engine
-  | Emulation of { session_cap : int option }
+  | Emulation of { strategy : Emulation.strategy; session_cap : int option }
   | Reference
 
 type outcome = {
@@ -66,15 +66,11 @@ let make ?jammer ?faults ?metrics ?trace ?(backend = Engine) ~availability ~rng 
               (Reference.engine_run ?jammer ?faults ?metrics ?trace ?stop
                  ~availability ~rng ~nodes ~max_slots ()));
       }
-  | Emulation { session_cap } ->
-      if jammer <> None || faults <> None || metrics <> None then
-        invalid_arg
-          "Runner.make: jammer/faults/metrics are not supported on the raw \
-           radio emulation";
+  | Emulation { strategy; session_cap } ->
       {
         run =
           (fun ?stop ~nodes ~max_slots () ->
             of_emulation
-              (Emulation.run ?session_cap ?trace ?stop ~availability ~rng
-                 ~nodes ~max_slots ()));
+              (Emulation.run ~strategy ?session_cap ?jammer ?faults ?metrics
+                 ?trace ?stop ~availability ~rng ~nodes ~max_slots ()));
       }

@@ -23,9 +23,10 @@
 
 type backend =
   | Engine  (** {!Engine.run}; supports jamming, faults and metrics. *)
-  | Emulation of { session_cap : int option }
-      (** {!Emulation.run}; jamming/faults/metrics are not available on the
-          raw radio ({!make} rejects the combination). *)
+  | Emulation of { strategy : Emulation.strategy; session_cap : int option }
+      (** {!Emulation.run}; [strategy] picks the footnote-4 contention
+          realization (decay backoff or CSMA/CA). Jamming, faults and
+          metrics compose at the abstract-slot level, as on {!Engine}. *)
   | Reference
       (** {!Reference.engine_run}, the slow specification twin of
           {!Engine}; same feature set. *)
@@ -65,9 +66,9 @@ val make :
   unit ->
   t
 (** [make ~availability ~rng ()] is a runner on the default {!Engine}
-    backend. Raises [Invalid_argument] if [backend] is {!Emulation} and a
-    jammer, fault schedule or metrics sink was supplied — the raw radio
-    does not implement them (compose at the abstract layer instead). *)
+    backend. Every backend accepts the full adversary/observability set —
+    on {!Emulation} the jammer and fault schedule address abstract slots,
+    exactly as on {!Engine} (see {!Emulation.run}). *)
 
 val emulation_outcome : outcome -> Emulation.outcome
 (** Repackage a runner outcome as the {!Emulation.outcome} the footnote-4

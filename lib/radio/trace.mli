@@ -72,7 +72,8 @@ type event =
       rounds : int;
       ok : bool;
     }
-      (** One decay-backoff contention session of the raw-radio emulation:
+      (** One contention session (decay backoff or CSMA/CA) of the
+          raw-radio emulation:
           raw rounds consumed and whether a winner was isolated. *)
   | Informed of { slot : int; node : int; parent : int; label : int }
       (** COGCAST: [node] first heard the message, from [parent], on its

@@ -47,7 +47,9 @@ let machine (type a) ?(ack = true) ~(monoid : a Crn_core.Aggregate.monoid)
             incr received_count;
             acc := monoid.Crn_core.Aggregate.combine !acc value
           end
-      | Action.Won | Action.Lost _ | Action.Silence | Action.Jammed -> ()
+      | Action.Won | Action.Lost _ | Action.Silence | Action.Jammed
+    | Action.No_winner ->
+        ()
   in
   let finished () = !received_count = n in
   let snapshot ~slots_run =

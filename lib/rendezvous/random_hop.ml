@@ -77,7 +77,9 @@ let machine ~source ~availability ~rng =
           met.(v) <- true;
           incr met_count
         end
-    | Action.Won | Action.Lost _ | Action.Silence | Action.Jammed -> ()
+    | Action.Won | Action.Lost _ | Action.Silence | Action.Jammed
+    | Action.No_winner ->
+        ()
   in
   let finished () = !met_count = n in
   let snapshot ~slots_run =

@@ -51,7 +51,9 @@ let machine ~source ~assignment =
           informed.(v) <- true;
           incr informed_count
         end
-    | Action.Won | Action.Lost _ | Action.Silence | Action.Jammed -> ()
+    | Action.Won | Action.Lost _ | Action.Silence | Action.Jammed
+    | Action.No_winner ->
+        ()
   in
   let finished () = !informed_count = n in
   let snapshot ~slots_run =

@@ -112,7 +112,7 @@ let machine ?hear_limit ?trace ~arrivals ~availability ~rng () =
     | Action.Lost { winner; msg = { rumor } } ->
         (* §2: the losing broadcaster receives the winner's message. *)
         receive ~slot:t ~rumor ~node:v ~parent:winner
-    | Action.Won | Action.Silence | Action.Jammed -> ()
+    | Action.Won | Action.Silence | Action.Jammed | Action.No_winner -> ()
   in
   let finished () = !injected = total && !completed = total in
   let snapshot ~slots_run =

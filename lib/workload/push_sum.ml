@@ -163,7 +163,11 @@ let machine ?(tolerance = 0.02) ?values ?trace ~arrivals ~availability ~rng () =
             pending.(v) <- None
         | None -> ())
     | Action.Silence -> ()
-    | Action.Jammed -> pending.(v) <- None
+    | Action.Jammed | Action.No_winner ->
+        (* The transfer never left this node (absorbed by the jammer, or
+           the contention session burned its whole window): nothing was
+           delivered, so nothing is debited. *)
+        pending.(v) <- None
   in
   (* Runs once after every slot's feedback (the driver's stop hook): sweep
      unfolded in-flight mass into the ledger, sample the conservation

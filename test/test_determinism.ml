@@ -47,6 +47,7 @@ let digest_feedback d = function
   | Action.Won -> mix d 3
   | Action.Lost { winner; msg } -> mix (mix (mix d 4) winner) msg
   | Action.Jammed -> mix d 5
+  | Action.No_winner -> mix d 6
 
 let make_nodes ~seed ~n ~c ~digests =
   let node_rngs = Rng.split_n (Rng.create seed) n in
@@ -176,13 +177,19 @@ let test_engine_matches_reference () =
     compare_outputs (Printf.sprintf "engine seed %d" seed) fast spec
   done
 
+(* The emulation differential exercises the full capability matrix the
+   backend now shares with the engine: both contention strategies, jammers
+   (including reactive), fault schedules, metrics, and — on seeds with a
+   tight session cap — failed sessions (No_winner feedback). *)
 let run_emulation_impl sc ~seed impl =
   let digests = Array.make sc.n 0 in
   let nodes = make_nodes ~seed ~n:sc.n ~c:sc.c ~digests in
   let tr = Trace.create () in
+  let m = Metrics.create sc.n in
   let stop = Option.map (fun at -> fun ~slot -> slot >= at) sc.stop_at in
   let outcome =
-    impl ?stop ~trace:tr ~availability:sc.availability
+    impl ?stop ~jammer:(sc.jammer ()) ~faults:sc.faults ~metrics:m ~trace:tr
+      ~availability:sc.availability
       ~rng:(Rng.create (seed * 17))
       ~nodes ~max_slots:sc.max_slots ()
   in
@@ -191,29 +198,44 @@ let run_emulation_impl sc ~seed impl =
       out_stopped = outcome.Emulation.stopped_early;
       out_counters = outcome.Emulation.counters;
       out_trace = Trace.to_jsonl tr;
-      out_metrics = [];
+      out_metrics =
+        Array.to_list m.Metrics.transmissions
+        @ Array.to_list m.Metrics.receptions
+        @ Array.to_list m.Metrics.awake_slots
+        @ Array.to_list m.Metrics.jammed;
       out_digests = digests;
     },
     outcome )
 
 let test_emulation_matches_reference () =
-  for seed = 1 to 24 do
-    let sc = scenario seed in
-    let fast, fast_out =
-      run_emulation_impl sc ~seed (fun ?stop ~trace ->
-          Emulation.run ?stop ?session_cap:None ~trace)
-    in
-    let spec, spec_out =
-      run_emulation_impl sc ~seed (fun ?stop ~trace ->
-          Reference.emulation_run ?stop ?session_cap:None ~trace)
-    in
-    let label = Printf.sprintf "emulation seed %d" seed in
-    compare_outputs label fast spec;
-    check_int (label ^ ": raw_rounds") fast_out.Emulation.raw_rounds
-      spec_out.Emulation.raw_rounds;
-    check_int (label ^ ": failed_sessions") fast_out.Emulation.failed_sessions
-      spec_out.Emulation.failed_sessions
-  done
+  List.iter
+    (fun (strategy, sname) ->
+      for seed = 1 to 24 do
+        let sc = scenario seed in
+        (* A tight cap on some seeds forces failed sessions through both
+           implementations. *)
+        let session_cap = if seed mod 3 = 0 then Some 3 else None in
+        let fast, fast_out =
+          run_emulation_impl sc ~seed
+            (fun ?stop ~jammer ~faults ~metrics ~trace ->
+              Emulation.run ~strategy ?session_cap ?stop ~jammer ~faults
+                ~metrics ~trace)
+        in
+        let spec, spec_out =
+          run_emulation_impl sc ~seed
+            (fun ?stop ~jammer ~faults ~metrics ~trace ->
+              Reference.emulation_run ~strategy ?session_cap ?stop ~jammer
+                ~faults ~metrics ~trace)
+        in
+        let label = Printf.sprintf "emulation(%s) seed %d" sname seed in
+        compare_outputs label fast spec;
+        check_int (label ^ ": raw_rounds") fast_out.Emulation.raw_rounds
+          spec_out.Emulation.raw_rounds;
+        check_int (label ^ ": failed_sessions")
+          fast_out.Emulation.failed_sessions
+          spec_out.Emulation.failed_sessions
+      done)
+    [ (Emulation.Decay, "decay"); (Emulation.Csma, "csma") ]
 
 (* ------------------------------------------------------------------ *)
 (* Canonical order: within every slot of a traced run, Win events appear
@@ -434,6 +456,46 @@ let test_emulated_counters_real () =
   check "deliveries cover the tree" true
     (c.Trace.Counters.deliveries >= r.Cogcast.informed_count - 1)
 
+(* ------------------------------------------------------------------ *)
+(* Satellite: counters parity across backends. A scripted protocol (fixed
+   decisions, no randomness) must produce identical Trace.Counters on the
+   engine and on the emulation — broadcasts/wins/contended/deliveries/
+   slots_run count abstract-slot events on both sides, and deliveries
+   count listener receptions only (a losing broadcaster's reception is
+   Lost, not a delivery). The winner may differ (the engine draws it, the
+   session races it), so only the accounting is compared. *)
+let test_counters_parity_engine_vs_emulation () =
+  let n = 8 and c = 2 in
+  let spec = { Topology.n; c; k = 2 } in
+  let assignment = Topology.shared_core (Rng.create 99) spec in
+  let availability = Dynamic.static assignment in
+  (* Slot s: nodes with (v + s) mod 3 = 0 broadcast on label (s mod c),
+     everyone else listens on label (v mod c). *)
+  let scripted () =
+    Array.init n (fun v ->
+        Engine.node ~id:v
+          ~decide:(fun ~slot ->
+            if (v + slot) mod 3 = 0 then Action.broadcast ~label:(slot mod c) v
+            else Action.listen ~label:(v mod c))
+          ~feedback:(fun ~slot:_ _ -> ()))
+  in
+  let engine =
+    (Engine.run ~availability ~rng:(Rng.create 7) ~nodes:(scripted ())
+       ~max_slots:30 ())
+      .Engine.counters
+  in
+  List.iter
+    (fun (strategy, sname) ->
+      let emu =
+        (Emulation.run ~strategy ~availability ~rng:(Rng.create 7)
+           ~nodes:(scripted ()) ~max_slots:30 ())
+          .Emulation.counters
+      in
+      check_counters
+        (Printf.sprintf "scripted counters: engine = emulation(%s)" sname)
+        engine emu)
+    [ (Emulation.Decay, "decay"); (Emulation.Csma, "csma") ]
+
 let () =
   Alcotest.run "determinism"
     [
@@ -464,5 +526,7 @@ let () =
         [
           Alcotest.test_case "run_emulated counters are real" `Quick
             test_emulated_counters_real;
+          Alcotest.test_case "scripted counters: engine = emulation" `Quick
+            test_counters_parity_engine_vs_emulation;
         ] );
     ]

@@ -9,6 +9,7 @@ module Engine = Crn_radio.Engine
 module Jammer = Crn_radio.Jammer
 module Raw_radio = Crn_radio.Raw_radio
 module Backoff = Crn_radio.Backoff
+module Csma = Crn_radio.Csma
 module Jamming_reduction = Crn_radio.Jamming_reduction
 
 let check = Alcotest.(check bool)
@@ -87,7 +88,9 @@ let test_winner_uniform () =
   let decide _v ~slot:_ = Action.broadcast ~label:0 () in
   let feedback v ~slot:_ = function
     | Action.Won -> wins.(v) <- wins.(v) + 1
-    | Action.Lost _ | Action.Heard _ | Action.Silence | Action.Jammed -> ()
+    | Action.Lost _ | Action.Heard _ | Action.Silence | Action.Jammed
+    | Action.No_winner ->
+        ()
   in
   let nodes =
     Array.init 2 (fun v -> Engine.node ~id:v ~decide:(decide v) ~feedback:(feedback v))
@@ -312,6 +315,148 @@ let test_backoff_on_raw_radio_agrees () =
     | None -> Alcotest.failf "raw-radio session with %d contenders failed" m
   done
 
+(* The 4·(⌈lg n⌉+1)² budget, pinned. The epoch length clamps to >= 2 exactly
+   once, so n = 1 and n = 2 share the same 16-round budget and the values
+   below cannot regress without the bound itself changing. *)
+let test_expected_rounds_bound_pinned () =
+  check_int "n=1" 16 (Backoff.expected_rounds_bound 1);
+  check_int "n=2" 16 (Backoff.expected_rounds_bound 2);
+  check_int "n=3" 36 (Backoff.expected_rounds_bound 3);
+  check_int "n=1024" 484 (Backoff.expected_rounds_bound 1024)
+
+(* --- Direct-vs-raw-radio differential property ---------------------------- *)
+
+(* Each contention realization ships two implementations: a direct
+   single-channel simulation and the end-to-end run through Raw_radio. They
+   must agree exactly — same outcome, same winner, same rounds — and consume
+   the shared RNG identically, which we probe by comparing one extra draw
+   from each stream after the sessions end. *)
+
+type session_case = { contenders : int; case_seed : int }
+
+let session_case_gen =
+  let m_gen = Prop.int_range 1 64 and seed_gen = Prop.int_range 0 9_999 in
+  {
+    Prop.sample =
+      (fun rng ->
+        let contenders = m_gen.Prop.sample rng in
+        let case_seed = seed_gen.Prop.sample rng in
+        { contenders; case_seed });
+    shrink =
+      (fun t ->
+        Seq.append
+          (Seq.map
+             (fun contenders -> { t with contenders })
+             (m_gen.Prop.shrink t.contenders))
+          (Seq.map
+             (fun case_seed -> { t with case_seed })
+             (seed_gen.Prop.shrink t.case_seed)));
+    print =
+      (fun t ->
+        Printf.sprintf "{ contenders = %d; seed = %d }" t.contenders t.case_seed);
+  }
+
+let sessions_agree ~direct ~raw ~cap t =
+  let seed = (t.case_seed * 2) + 1 in
+  let rng_d = Rng.create seed and rng_r = Rng.create seed in
+  let a = direct ~rng:rng_d ~contenders:t.contenders ~cap in
+  let b = raw ~rng:rng_r ~contenders:t.contenders ~cap in
+  let streams_aligned () = Rng.int rng_d 1_000_000 = Rng.int rng_r 1_000_000 in
+  match (a, b) with
+  | None, None ->
+      if streams_aligned () then None
+      else Some "rng streams diverged after capped sessions"
+  | Some ra, Some rb ->
+      if ra.Backoff.winner <> rb.Backoff.winner then
+        Some
+          (Printf.sprintf "winners differ: direct %d, raw %d" ra.Backoff.winner
+             rb.Backoff.winner)
+      else if ra.Backoff.rounds <> rb.Backoff.rounds then
+        Some
+          (Printf.sprintf "rounds differ: direct %d, raw %d" ra.Backoff.rounds
+             rb.Backoff.rounds)
+      else if not (streams_aligned ()) then
+        Some "rng streams diverged after agreeing sessions"
+      else None
+  | Some _, None -> Some "direct session succeeded, raw-radio twin failed"
+  | None, Some _ -> Some "raw-radio twin succeeded, direct session failed"
+
+let test_backoff_direct_vs_raw_property () =
+  let direct ~rng ~contenders ~cap = Backoff.session ~rng ~contenders ~cap in
+  let raw ~rng ~contenders ~cap =
+    Backoff.session_on_raw_radio ~rng ~contenders ~cap
+  in
+  Prop.check ~count:300 ~name:"backoff: direct = raw radio" session_case_gen
+    (fun t ->
+      sessions_agree ~direct ~raw
+        ~cap:(Backoff.expected_rounds_bound t.contenders * 4)
+        t);
+  (* Cap exhaustion: with a starvation cap the two paths must fail (or
+     scrape through) together and leave the streams aligned either way. *)
+  Prop.check ~count:300 ~name:"backoff: direct = raw radio (cap 3)"
+    session_case_gen
+    (fun t -> sessions_agree ~direct ~raw ~cap:3 t)
+
+let test_csma_direct_vs_raw_property () =
+  let direct ~rng ~contenders ~cap = Csma.session ~rng ~contenders ~cap () in
+  let raw ~rng ~contenders ~cap =
+    Csma.session_on_raw_radio ~rng ~contenders ~cap ()
+  in
+  Prop.check ~count:300 ~name:"csma: direct = raw radio" session_case_gen
+    (fun t ->
+      sessions_agree ~direct ~raw
+        ~cap:(Backoff.expected_rounds_bound t.contenders * 8)
+        t);
+  Prop.check ~count:300 ~name:"csma: direct = raw radio (cap 3)"
+    session_case_gen
+    (fun t -> sessions_agree ~direct ~raw ~cap:3 t)
+
+(* --- CSMA/CA units --------------------------------------------------------- *)
+
+let test_csma_single () =
+  match Csma.session ~rng:(Rng.create 1) ~contenders:1 ~cap:10 () with
+  | Some { Csma.winner = 0; rounds = 1 } -> ()
+  | _ -> Alcotest.fail "single contender wins immediately"
+
+let test_csma_succeeds () =
+  let rng = Rng.create 2 in
+  for m = 2 to 32 do
+    let cap = 5_000 in
+    match Csma.session ~rng ~contenders:m ~cap () with
+    | Some { Csma.winner; rounds } ->
+        check "winner in range" true (winner >= 0 && winner < m);
+        (* The ACK round is counted, so a multi-contender win takes >= 2. *)
+        check "rounds include the ACK round" true (rounds >= 2 && rounds <= cap)
+    | None -> Alcotest.failf "CSMA session with %d contenders failed" m
+  done
+
+let test_csma_all_drop_out () =
+  (* cw_cap 1 pins every backoff draw to the same window, so the contenders
+     collide in lockstep forever; after attempt_limit failures they all drop
+     out and the session must fail cleanly rather than loop. *)
+  match
+    Csma.session ~attempt_limit:2 ~cw_cap:1 ~rng:(Rng.create 3) ~contenders:4
+      ~cap:50 ()
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "lockstep colliders cannot elect a winner"
+
+let test_csma_validation () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check "contenders < 1 rejected" true
+    (raises (fun () -> Csma.session ~rng:(Rng.create 1) ~contenders:0 ~cap:10 ()));
+  check "cap < 1 rejected" true
+    (raises (fun () -> Csma.session ~rng:(Rng.create 1) ~contenders:2 ~cap:0 ()));
+  check "attempt_limit < 1 rejected" true
+    (raises (fun () ->
+         Csma.session ~attempt_limit:0 ~rng:(Rng.create 1) ~contenders:2 ~cap:10 ()));
+  check "cw_cap < 1 rejected" true
+    (raises (fun () ->
+         Csma.session ~cw_cap:0 ~rng:(Rng.create 1) ~contenders:2 ~cap:10 ()));
+  check "raw variant validates too" true
+    (raises (fun () ->
+         Csma.session_on_raw_radio ~rng:(Rng.create 1) ~contenders:0 ~cap:10 ()))
+
 (* --- Faults ----------------------------------------------------------------- *)
 
 module Faults = Crn_radio.Faults
@@ -376,6 +521,65 @@ let test_engine_down_node_absent () =
        ~max_slots:2 ());
   check_int "down node got no feedback" 0 (List.length !log0);
   check "listener heard silence" true (List.for_all (( = ) Action.Silence) !log1)
+
+(* --- Raw radio under adversaries ------------------------------------------- *)
+
+let test_raw_down_node_absent () =
+  (* A down node neither transmits nor hears: its callbacks never fire, and
+     the listener hears a quiet channel. *)
+  let touched = ref false in
+  let log1 = ref [] in
+  let nodes =
+    [|
+      Raw_radio.node ~id:0
+        ~decide:(fun ~round:_ ->
+          touched := true;
+          Action.broadcast ~label:0 "x")
+        ~hear:(fun ~round:_ _ -> touched := true);
+      raw_scripted ~id:1 ~decision:(Action.listen ~label:0) log1;
+    |]
+  in
+  ignore
+    (Raw_radio.run
+       ~faults:(Faults.crash ~node:0 ~from_slot:0)
+       ~availability:(one_channel 2) ~nodes ~max_rounds:1 ());
+  check "down node's callbacks never ran" false !touched;
+  check "listener hears quiet" true (!log1 = [ Raw_radio.Quiet ])
+
+let jam_node target =
+  Jammer.of_fun ~name:"jam-node" ~budget:1 (fun ~slot:_ ~node ~channel:_ ->
+      node = target)
+
+let test_raw_jammed_transmitter_absorbed () =
+  (* The jammer camps on the transmitter: its frame never reaches the
+     channel, so an unjammed listener hears Quiet, not the message. *)
+  let log1 = ref [] in
+  let nodes =
+    [|
+      raw_scripted ~id:0 ~decision:(Action.broadcast ~label:0 "x") (ref []);
+      raw_scripted ~id:1 ~decision:(Action.listen ~label:0) log1;
+    |]
+  in
+  ignore
+    (Raw_radio.run ~jammer:(jam_node 0) ~availability:(one_channel 2) ~nodes
+       ~max_rounds:1 ());
+  check "frame absorbed" true (!log1 = [ Raw_radio.Quiet ])
+
+let test_raw_jammed_listener_hears_noise () =
+  (* The jammer camps on the listener instead: jamming energy is audible, so
+     the listener hears Noise even without collision detection, and even
+     though a clean frame was on the air. *)
+  let log1 = ref [] in
+  let nodes =
+    [|
+      raw_scripted ~id:0 ~decision:(Action.broadcast ~label:0 "x") (ref []);
+      raw_scripted ~id:1 ~decision:(Action.listen ~label:0) log1;
+    |]
+  in
+  ignore
+    (Raw_radio.run ~jammer:(jam_node 1) ~availability:(one_channel 2) ~nodes
+       ~max_rounds:1 ());
+  check "jammed listener hears noise" true (!log1 = [ Raw_radio.Noise ])
 
 let test_staggered_activation () =
   let f = Faults.staggered_activation ~activation:[| 0; 3; 10 |] in
@@ -453,7 +657,7 @@ let test_emulation_contention_unique_winner () =
   let feedback _v ~slot:_ = function
     | Action.Won -> incr wins
     | Action.Lost _ -> incr losses
-    | Action.Heard _ | Action.Silence | Action.Jammed -> ()
+    | Action.Heard _ | Action.Silence | Action.Jammed | Action.No_winner -> ()
   in
   let nodes =
     Array.init 6 (fun v ->
@@ -532,7 +736,9 @@ let prop_trace_matches_observed =
       let feedback _v ~slot:_ = function
         | Action.Heard _ -> incr heard
         | Action.Won -> incr won
-        | Action.Lost _ | Action.Silence | Action.Jammed -> ()
+        | Action.Lost _ | Action.Silence | Action.Jammed
+        | Action.No_winner ->
+            ()
       in
       let nodes =
         Array.init n (fun v -> Engine.node ~id:v ~decide:(decide v) ~feedback:(feedback v))
@@ -741,6 +947,11 @@ let () =
           Alcotest.test_case "collision destroys" `Quick test_raw_collision_destroys;
           Alcotest.test_case "collision detection" `Quick test_raw_collision_detection;
           Alcotest.test_case "tx hears quiet" `Quick test_raw_transmitter_hears_quiet;
+          Alcotest.test_case "down node absent" `Quick test_raw_down_node_absent;
+          Alcotest.test_case "jammed tx absorbed" `Quick
+            test_raw_jammed_transmitter_absorbed;
+          Alcotest.test_case "jammed listener hears noise" `Quick
+            test_raw_jammed_listener_hears_noise;
         ] );
       ( "backoff",
         [
@@ -749,6 +960,19 @@ let () =
           Alcotest.test_case "mean within O(log^2 n)" `Quick test_backoff_mean_within_bound;
           Alcotest.test_case "raw-radio variant agrees" `Quick test_backoff_on_raw_radio_agrees;
           Alcotest.test_case "retry delay" `Quick test_backoff_retry_delay;
+          Alcotest.test_case "expected_rounds_bound pinned" `Quick
+            test_expected_rounds_bound_pinned;
+          Alcotest.test_case "direct = raw radio (property)" `Quick
+            test_backoff_direct_vs_raw_property;
+        ] );
+      ( "csma",
+        [
+          Alcotest.test_case "single contender" `Quick test_csma_single;
+          Alcotest.test_case "sessions succeed" `Quick test_csma_succeeds;
+          Alcotest.test_case "lockstep colliders all drop" `Quick test_csma_all_drop_out;
+          Alcotest.test_case "argument validation" `Quick test_csma_validation;
+          Alcotest.test_case "direct = raw radio (property)" `Quick
+            test_csma_direct_vs_raw_property;
         ] );
       ( "emulation",
         [

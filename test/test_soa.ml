@@ -56,7 +56,8 @@ let engine_nodes ~seed ~n ~c ~digests =
             | Action.Silence -> mix d 2
             | Action.Won -> mix d 3
             | Action.Lost { winner; msg } -> mix (mix (mix d 4) winner) msg
-            | Action.Jammed -> mix d 5)))
+            | Action.Jammed -> mix d 5
+            | Action.No_winner -> mix d 6)))
 
 let soa_protocol ~seed ~n ~c ~digests =
   let node_rngs = Rng.split_n (Rng.create seed) n in
