@@ -45,6 +45,7 @@ let experiments =
     ("E23", Exp_load.e23);
     ("E24", Exp_adversary.e24);
     ("E25", Exp_extensions.e25);
+    ("E26", Exp_extensions.e26);
     (* Not a paper experiment: the engine hot-path micro-benchmark
        (allocations/slot and ns/slot, rewritten engines vs their reference
        specifications). `bench/main.exe -- micro --quick --json` is the CI

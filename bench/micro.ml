@@ -84,7 +84,7 @@ let make_soa_schedule_protocol ~n ~c ~seed =
     done
   in
   let feedback _ ~slot:_ ~lo:_ ~hi:_ = () in
-  { Soa.decide; feedback }
+  { Soa.parallel = true; decide; feedback }
 
 (* Run [run_slots ~nodes ~max_slots] once for warmup (steady-state scratch
    sizing), then measure minor words and wall-clock per slot over a fresh

@@ -300,7 +300,7 @@ let check_arg =
 
 (* ---- execution backend (--backend / --session-cap) ---- *)
 
-let backend_usage = "expected engine | emulation | emulation-csma | reference"
+let backend_usage = "expected engine | emulation | emulation-csma | reference | soa"
 
 let backend_conv =
   let parse s =
@@ -309,6 +309,7 @@ let backend_conv =
     | "emulation" | "emulation-decay" -> Ok (`Emulation Emulation.Decay)
     | "emulation-csma" | "csma" -> Ok (`Emulation Emulation.Csma)
     | "reference" -> Ok `Reference
+    | "soa" -> Ok `Soa
     | _ -> Error (`Msg (Printf.sprintf "unknown backend %S (%s)" s backend_usage))
   in
   let print fmt choice =
@@ -317,7 +318,8 @@ let backend_conv =
       | `Engine -> "engine"
       | `Emulation Emulation.Decay -> "emulation"
       | `Emulation Emulation.Csma -> "emulation-csma"
-      | `Reference -> "reference")
+      | `Reference -> "reference"
+      | `Soa -> "soa")
   in
   Arg.conv (parse, print)
 
@@ -331,8 +333,36 @@ let backend_arg =
            default), $(b,emulation) (every slot realized on the raw \
            collision radio by decay-backoff contention sessions, §2 \
            footnote 4), $(b,emulation-csma) (same raw radio, CSMA/CA \
-           carrier-sense + ACK/retry contention), or $(b,reference) (the \
-           list-based executable specification, for differential checks).")
+           carrier-sense + ACK/retry contention), $(b,reference) (the \
+           list-based executable specification, for differential checks), \
+           or $(b,soa) (the struct-of-arrays engine: flat node state, \
+           $(b,--shards) domains per trial, byte-identical results to \
+           $(b,engine) at any shard count).")
+
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"S"
+        ~doc:
+          "Intra-trial shards on the struct-of-arrays engine \
+           ($(b,--backend soa), or the $(b,cogcast_soa) protocol): each \
+           slot's per-node work splits across $(docv) domains. Composes \
+           with $(b,--jobs) (trial-level parallelism); total domains is \
+           roughly jobs x shards, so shard only when trials alone cannot \
+           fill the machine. Results are identical at any value. Rejected \
+           when the selected backend cannot shard a trial.")
+
+let dense_channel_limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "dense-channel-limit" ] ~docv:"C"
+        ~doc:
+          "SoA-backend occupancy strategy crossover: spectra up to $(docv) \
+           channels use dense per-shard counting arrays, larger spectra \
+           fall back to a sparse O(n)-scan merge (the c >> n regime). 0 \
+           forces the sparse path; default 4096. Only meaningful with \
+           $(b,--backend soa).")
 
 let session_cap_arg =
   Arg.(
@@ -345,24 +375,55 @@ let session_cap_arg =
            exhausts the cap fails: its broadcasters see No_winner and the \
            slot delivers nothing.")
 
-let build_backend choice session_cap =
-  match (choice, session_cap) with
-  | _, Some v when v < 1 -> Error "--session-cap must be at least 1"
-  | `Emulation strategy, _ -> Ok (Runner.Emulation { strategy; session_cap })
-  | (`Engine | `Reference), Some _ ->
+(* The soa backend is built with [shards = 1]: the shard count always
+   enters through --shards / [env.shards] and is folded into the payload
+   by {!Protocol.resolve_backend}, so every command reconciles the two the
+   same way. *)
+let build_backend ?dense_channel_limit choice session_cap =
+  match (choice, session_cap, dense_channel_limit) with
+  | _, Some v, _ when v < 1 -> Error "--session-cap must be at least 1"
+  | _, _, Some v when v < 0 ->
+      Error "--dense-channel-limit must be >= 0 (0 forces the sparse scan)"
+  | (`Engine | `Emulation _ | `Reference), _, Some _ ->
+      Error
+        "--dense-channel-limit only applies to the struct-of-arrays backend \
+         (--backend soa)"
+  | `Emulation strategy, _, _ -> Ok (Runner.Emulation { strategy; session_cap })
+  | (`Engine | `Reference | `Soa), Some _, _ ->
       Error
         "--session-cap only applies to the emulation backends (--backend \
          emulation | emulation-csma)"
-  | `Engine, None -> Ok Runner.Engine
-  | `Reference, None -> Ok Runner.Reference
+  | `Engine, None, _ -> Ok Runner.Engine
+  | `Reference, None, _ -> Ok Runner.Reference
+  | `Soa, None, _ -> Ok (Runner.Soa { shards = 1; dense_channel_limit })
 
-let backend_name = function
-  | Runner.Engine -> "engine"
-  | Runner.Emulation { strategy = Emulation.Decay; _ } -> "emulation"
-  | Runner.Emulation { strategy = Emulation.Csma; _ } -> "emulation-csma"
-  | Runner.Reference -> "reference"
+let backend_name = Runner.backend_name
 
 let is_emulation = function Runner.Emulation _ -> true | _ -> false
+
+(* Commands that fan trials out on the domain pool validate the
+   --shards/--backend combination eagerly, so a bad pairing fails before
+   any trial starts. The cogcast_soa entry (plain or jam_resist-wrapped)
+   is exempt: it resolves a plain-engine environment against its own SoA
+   default backend. *)
+let check_shards ~backend ~shards proto_names =
+  let is_soa_native name =
+    let suffix = "cogcast_soa" in
+    let nl = String.length name and sl = String.length suffix in
+    nl >= sl && String.sub name (nl - sl) sl = suffix
+  in
+  if shards < 1 then Some "--shards must be at least 1"
+  else if shards = 1 then None
+  else
+    List.find_map
+      (fun name ->
+        if is_soa_native name then None
+        else
+          try
+            ignore (Protocol.resolve_backend ~protocol:name backend ~shards);
+            None
+          with Invalid_argument m -> Some m)
+      proto_names
 
 (* When any of --trace/--metrics/--check was requested, perform one extra
    instrumented run via [f ~trace] (the statistics trials above stay
@@ -423,8 +484,8 @@ let protocols_cmd =
 
 let run_cmd =
   let run name n c k topology dynamic jam_budget seed trials jobs shards
-      backend_choice session_cap faults_spec fault_seed trace_path metrics_path
-      check =
+      backend_choice session_cap dense_channel_limit faults_spec fault_seed
+      trace_path metrics_path check =
     match (check_params n c k, Registry.find name) with
     | (`Error _ as e), _ -> e
     | `Ok (), None ->
@@ -440,7 +501,7 @@ let run_cmd =
         let spec = { Topology.n; c; k } in
         match
           (check_dynamic ~mode:dynamic ~spec [ Protocol.name proto ],
-           build_backend backend_choice session_cap)
+           build_backend ?dense_channel_limit backend_choice session_cap)
         with
         | (`Error _ as e), _ -> e
         | `Ok (), Error m -> `Error (false, m)
@@ -548,18 +609,6 @@ let run_cmd =
              $(b,jam_resist:NAME) for its Theorem 18 jamming-resistant \
              transform.")
   in
-  let shards_arg =
-    Arg.(
-      value & opt int 1
-      & info [ "shards" ] ~docv:"S"
-          ~doc:
-            "Intra-trial shards for protocols on the struct-of-arrays \
-             engine (e.g. cogcast_soa): each slot's per-node work splits \
-             across $(docv) domains. Composes with $(b,--jobs) \
-             (trial-level parallelism); total domains is roughly jobs x \
-             shards, so shard only when trials alone cannot fill the \
-             machine. Results are identical at any value.")
-  in
   let jam_budget_arg =
     Arg.(
       value & opt int 0
@@ -576,8 +625,8 @@ let run_cmd =
       ret
         (const run $ protocol_arg $ n_arg $ c_arg $ k_arg $ topology_arg
        $ dynamic_arg $ jam_budget_arg $ seed_arg $ trials_arg $ jobs_arg
-       $ shards_arg $ backend_arg $ session_cap_arg $ faults_arg
-       $ fault_seed_arg $ trace_arg $ metrics_arg $ check_arg))
+       $ shards_arg $ backend_arg $ session_cap_arg $ dense_channel_limit_arg
+       $ faults_arg $ fault_seed_arg $ trace_arg $ metrics_arg $ check_arg))
   in
   Cmd.v
     (Cmd.info "run"
@@ -589,19 +638,28 @@ let run_cmd =
 (* ---- broadcast ---- *)
 
 let broadcast_cmd =
-  let run n c k topology dynamic seed trials jobs backend_choice session_cap
-      baseline faults_spec fault_seed trace_path metrics_path check =
+  let run n c k topology dynamic seed trials jobs shards backend_choice
+      session_cap dense_channel_limit baseline faults_spec fault_seed
+      trace_path metrics_path check =
     match check_params n c k with
     | `Error _ as e -> e
     | `Ok () -> (
         let spec = { Topology.n; c; k } in
         match
           (check_dynamic ~mode:dynamic ~spec [ "cogcast" ],
-           build_backend backend_choice session_cap)
+           build_backend ?dense_channel_limit backend_choice session_cap)
         with
         | (`Error _ as e), _ -> e
         | `Ok (), Error m -> `Error (false, m)
-        | `Ok (), Ok backend ->
+        | `Ok (), Ok backend -> (
+        (* Fold --shards into the backend payload (soa) or reject it
+           (anything else) the same way the registry layer does. *)
+        match
+          try Ok (Protocol.resolve_backend ~protocol:"cogcast" backend ~shards)
+          with Invalid_argument m -> Error m
+        with
+        | Error m -> `Error (false, m)
+        | Ok backend ->
         let faults = build_faults faults_spec fault_seed in
         let max_slots = Complexity.cogcast_slots ~n ~c ~k () in
         let samples =
@@ -675,7 +733,7 @@ let broadcast_cmd =
             in
             ignore
               (Cogcast.run ?faults ~backend ~trace ~source:0 ~availability ~rng
-                 ~max_slots ())))
+                 ~max_slots ()))))
   in
   let baseline_arg =
     Arg.(
@@ -690,9 +748,9 @@ let broadcast_cmd =
     Term.(
       ret
         (const run $ n_arg $ c_arg $ k_arg $ topology_arg $ dynamic_arg
-       $ seed_arg $ trials_arg $ jobs_arg $ backend_arg $ session_cap_arg
-       $ baseline_arg $ faults_arg $ fault_seed_arg $ trace_arg $ metrics_arg
-       $ check_arg))
+       $ seed_arg $ trials_arg $ jobs_arg $ shards_arg $ backend_arg
+       $ session_cap_arg $ dense_channel_limit_arg $ baseline_arg $ faults_arg
+       $ fault_seed_arg $ trace_arg $ metrics_arg $ check_arg))
   in
   Cmd.v (Cmd.info "broadcast" ~doc:"Run COGCAST local broadcast (Theorem 4).") term
 
@@ -1076,8 +1134,9 @@ let sweep_cmd =
    the baselines included — can be put on the same curve. *)
 
 let chaos_cmd =
-  let run n c k topology dynamic seed fault_seed trials jobs backend_choice
-      session_cap kind protocols rates json_path check =
+  let run n c k topology dynamic seed fault_seed trials jobs shards
+      backend_choice session_cap dense_channel_limit kind protocols rates
+      json_path check =
     let protos =
       String.split_on_char ',' protocols
       |> List.map String.trim
@@ -1111,7 +1170,7 @@ let chaos_cmd =
         first_error protos,
         first_error rates,
         Adversary_lab.fault_kind_of_string kind,
-        build_backend backend_choice session_cap )
+        build_backend ?dense_channel_limit backend_choice session_cap )
     with
     | (`Error _ as e), _, _, _, _ -> e
     | _, Some m, _, _, _ | _, _, Some m, _, _ -> `Error (false, m)
@@ -1122,10 +1181,12 @@ let chaos_cmd =
         let spec = { Topology.n; c; k } in
         let kind_name = Adversary_lab.fault_kind_name kind in
         match
-          check_dynamic ~mode:dynamic ~spec (List.map Protocol.name protos)
+          ( check_dynamic ~mode:dynamic ~spec (List.map Protocol.name protos),
+            check_shards ~backend ~shards (List.map Protocol.name protos) )
         with
-        | `Error _ as e -> e
-        | `Ok () ->
+        | (`Error _ as e), _ -> e
+        | `Ok (), Some m -> `Error (false, m)
+        | `Ok (), None ->
         (* Selftest hook: with CRN_CHAOS_INJECT_VIOLATION set, every trial
            reports one fake violation, so the --check exit-code path can be
            tested end to end (healthy runs have nothing to fail on). *)
@@ -1164,8 +1225,8 @@ let chaos_cmd =
                   armed_availability ~mode:dynamic ~topology ~spec ~trace ~rng
                     ()
                 in
-                Protocol.env ?faults ?jammer ~trace ~backend ~k ~availability
-                  ~rng ())
+                Protocol.env ?faults ?jammer ~trace ~backend ~k ~shards
+                  ~availability ~rng ())
           in
           let s = t.Adversary_lab.summary in
           ( s.Protocol.completed,
@@ -1354,9 +1415,9 @@ let chaos_cmd =
     Term.(
       ret
         (const run $ n_arg $ c_arg $ k_arg $ topology_arg $ dynamic_arg
-       $ seed_arg $ fault_seed_arg $ trials_arg $ jobs_arg $ backend_arg
-       $ session_cap_arg $ kind_arg $ protocols_arg $ rates_arg $ json_arg
-       $ chaos_check_arg))
+       $ seed_arg $ fault_seed_arg $ trials_arg $ jobs_arg $ shards_arg
+       $ backend_arg $ session_cap_arg $ dense_channel_limit_arg $ kind_arg
+       $ protocols_arg $ rates_arg $ json_arg $ chaos_check_arg))
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -1381,8 +1442,9 @@ let load_cmd =
             (match law with Protocol.Poisson -> "poisson" | Protocol.Uniform -> "uniform")
       )
   in
-  let run name rate arrivals rumors n c k topology seed trials jobs faults_spec
-      fault_seed trace_path metrics_path check json_path =
+  let run name rate arrivals rumors n c k topology seed trials jobs shards
+      backend_choice dense_channel_limit faults_spec fault_seed trace_path
+      metrics_path check json_path =
     match (check_params n c k, Registry.find name) with
     | (`Error _ as e), _ -> e
     | `Ok (), None ->
@@ -1391,13 +1453,19 @@ let load_cmd =
             Printf.sprintf "unknown protocol %S (try gossip or push_sum)" name )
     | `Ok (), Some _ when not (rate > 0.0) -> `Error (false, "rate must be > 0")
     | `Ok (), Some _ when rumors < 1 -> `Error (false, "rumors must be >= 1")
-    | `Ok (), Some proto ->
+    | `Ok (), Some proto -> (
+        match build_backend ?dense_channel_limit backend_choice None with
+        | Error m -> `Error (false, m)
+        | Ok backend ->
+        match check_shards ~backend ~shards [ Protocol.name proto ] with
+        | Some m -> `Error (false, m)
+        | None ->
         let spec = { Topology.n; c; k } in
         let load = { Protocol.rate; arrivals; rumors } in
         let faults = build_faults faults_spec fault_seed in
         let env ?trace ~rng () =
           let assignment = Topology.generate topology rng spec in
-          Protocol.env ?faults ?trace ~k ~load
+          Protocol.env ?faults ?trace ~backend ~k ~shards ~load
             ~availability:(Dynamic.static assignment) ~rng ()
         in
         let summaries =
@@ -1494,7 +1562,7 @@ let load_cmd =
         | None -> ());
         observe ~trace_path ~metrics_path ~check (fun ~trace ->
             let rng = Rng.create seed in
-            ignore (Protocol.run proto (env ~trace ~rng ())))
+            ignore (Protocol.run proto (env ~trace ~rng ()))))
   in
   let protocol_arg =
     Arg.(
@@ -1538,8 +1606,8 @@ let load_cmd =
       ret
         (const run $ protocol_arg $ rate_arg $ arrivals_arg $ rumors_arg $ n_arg
        $ c_arg $ k_arg $ topology_arg $ seed_arg $ trials_arg $ jobs_arg
-       $ faults_arg $ fault_seed_arg $ trace_arg $ metrics_arg $ check_arg
-       $ json_arg))
+       $ shards_arg $ backend_arg $ dense_channel_limit_arg $ faults_arg
+       $ fault_seed_arg $ trace_arg $ metrics_arg $ check_arg $ json_arg))
   in
   Cmd.v
     (Cmd.info "load"

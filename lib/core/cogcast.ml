@@ -35,11 +35,18 @@ type result = {
 
 (* Mutable protocol state shared by the engine-backed and emulation-backed
    runners. *)
+(* Shard safety (for the {!Crn_radio.Runner.Soa} backend): [informed],
+   [parent], [informed_at], [informed_label] and [current_label] are
+   node-indexed and only ever written at the node's own index from the
+   callback that owns it; [informed_count] is an [Atomic] bumped by
+   fetch-and-add, whose total is shard-count independent because a node
+   is informed at most once; each node draws labels from its own
+   pre-split stream. Hence [run] passes [machine_parallel:true]. *)
 type runtime = {
   rt_n : int;
   rt_source : int;
   informed : bool array;
-  informed_count : int ref;
+  informed_count : int Atomic.t;
   parent : int option array;
   informed_at : int option array;
   informed_label : int option array;
@@ -59,7 +66,7 @@ let build_protocol ?trace ~record ~source ~availability ~rng ~max_slots () =
   | None -> ());
   let informed = Array.make n false in
   informed.(source) <- true;
-  let informed_count = ref 1 in
+  let informed_count = Atomic.make 1 in
   let parent = Array.make n None in
   let informed_at = Array.make n None in
   let informed_label = Array.make n None in
@@ -91,7 +98,7 @@ let build_protocol ?trace ~record ~source ~availability ~rng ~max_slots () =
         (* A listener is uninformed by construction, so this is the first
            reception: record the tree edge. *)
         informed.(v) <- true;
-        incr informed_count;
+        ignore (Atomic.fetch_and_add informed_count 1);
         parent.(v) <- Some sender;
         informed_at.(v) <- Some slot;
         informed_label.(v) <- Some current_label.(v);
@@ -124,11 +131,12 @@ let result_of_runtime rt (outcome : Runner.outcome) =
     n = rt.rt_n;
     source = rt.rt_source;
     completed_at =
-      (if !(rt.informed_count) = rt.rt_n then Some outcome.Runner.slots_run
+      (if Atomic.get rt.informed_count = rt.rt_n then
+         Some outcome.Runner.slots_run
        else None);
     slots_run = outcome.Runner.slots_run;
     informed = rt.informed;
-    informed_count = !(rt.informed_count);
+    informed_count = Atomic.get rt.informed_count;
     parent = rt.parent;
     informed_at = rt.informed_at;
     informed_label = rt.informed_label;
@@ -138,17 +146,23 @@ let result_of_runtime rt (outcome : Runner.outcome) =
     failed_sessions = outcome.Runner.failed_sessions;
   }
 
-let run ?jammer ?faults ?metrics ?trace ?backend ?(record = false)
+let run ?pool ?jammer ?faults ?metrics ?trace ?backend ?(record = false)
     ?(stop_when_complete = true) ~source ~availability ~rng ~max_slots () =
   let rt = build_protocol ?trace ~record ~source ~availability ~rng ~max_slots () in
   let n = rt.rt_n in
   let stop =
-    if stop_when_complete then Some (fun ~slot:_ -> !(rt.informed_count) = n) else None
+    if stop_when_complete then
+      Some (fun ~slot:_ -> Atomic.get rt.informed_count = n)
+    else None
   in
   (* A one-node network is complete before the first slot. *)
-  let max_slots = if stop_when_complete && !(rt.informed_count) = n then 0 else max_slots in
+  let max_slots =
+    if stop_when_complete && Atomic.get rt.informed_count = n then 0
+    else max_slots
+  in
   let runner =
-    Runner.make ?jammer ?faults ?metrics ?trace ?backend ~availability ~rng ()
+    Runner.make ?pool ~machine_parallel:true ?jammer ?faults ?metrics ?trace
+      ?backend ~availability ~rng ()
   in
   let outcome = runner.Runner.run ?stop ~nodes:rt.nodes ~max_slots () in
   result_of_runtime rt outcome
@@ -159,9 +173,14 @@ let run_emulated ?(strategy = Crn_radio.Emulation.Decay) ?session_cap ?jammer
   let rt = build_protocol ?trace ~record ~source ~availability ~rng ~max_slots () in
   let n = rt.rt_n in
   let stop =
-    if stop_when_complete then Some (fun ~slot:_ -> !(rt.informed_count) = n) else None
+    if stop_when_complete then
+      Some (fun ~slot:_ -> Atomic.get rt.informed_count = n)
+    else None
   in
-  let max_slots = if stop_when_complete && !(rt.informed_count) = n then 0 else max_slots in
+  let max_slots =
+    if stop_when_complete && Atomic.get rt.informed_count = n then 0
+    else max_slots
+  in
   let runner =
     Runner.make ?jammer ?faults ?metrics ?trace
       ~backend:(Runner.Emulation { strategy; session_cap })
@@ -170,12 +189,13 @@ let run_emulated ?(strategy = Crn_radio.Emulation.Decay) ?session_cap ?jammer
   let outcome = runner.Runner.run ?stop ~nodes:rt.nodes ~max_slots () in
   (result_of_runtime rt outcome, Runner.emulation_outcome outcome)
 
-let run_static ?jammer ?faults ?metrics ?trace ?record ?stop_when_complete
-    ?budget_factor ~source ~assignment ~k ~rng () =
+let run_static ?pool ?jammer ?faults ?metrics ?trace ?backend ?record
+    ?stop_when_complete ?budget_factor ~source ~assignment ~k ~rng () =
   let n = Crn_channel.Assignment.num_nodes assignment in
   let c = Crn_channel.Assignment.channels_per_node assignment in
   let max_slots = Complexity.cogcast_slots ?factor:budget_factor ~n ~c ~k () in
-  run ?jammer ?faults ?metrics ?trace ?record ?stop_when_complete ~source
+  run ?pool ?jammer ?faults ?metrics ?trace ?backend ?record
+    ?stop_when_complete ~source
     ~availability:(Dynamic.static assignment) ~rng ~max_slots ()
 
 let label_oracle ~seed ~n ~c ~node =

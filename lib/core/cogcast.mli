@@ -60,6 +60,7 @@ type result = {
 }
 
 val run :
+  ?pool:Crn_exec.Pool.t ->
   ?jammer:Crn_radio.Jammer.t ->
   ?faults:Crn_radio.Faults.t ->
   ?metrics:Crn_radio.Metrics.t ->
@@ -82,7 +83,12 @@ val run :
     reception adds a {!Crn_radio.Trace.Informed} tree edge. [?backend]
     selects the slot-loop implementation through {!Crn_radio.Runner}
     (default {!Crn_radio.Runner.Engine}); use {!run_emulated} instead when
-    the raw-round cost of the footnote-4 composition is wanted. *)
+    the raw-round cost of the footnote-4 composition is wanted. The
+    protocol state honors the SoA sharding contract (per-node RNG streams,
+    atomic informed counter), so on a {!Crn_radio.Runner.Soa} backend one
+    trial shards across domains — [?pool] (Soa only) reuses an existing
+    domain pool instead of spinning one up per run. See {!Cogcast_soa.run}
+    for the pre-wired SoA entry point. *)
 
 val run_emulated :
   ?strategy:Crn_radio.Emulation.strategy ->
@@ -112,10 +118,12 @@ val run_emulated :
     abstract-slot level, exactly as with {!run} on the engine. *)
 
 val run_static :
+  ?pool:Crn_exec.Pool.t ->
   ?jammer:Crn_radio.Jammer.t ->
   ?faults:Crn_radio.Faults.t ->
   ?metrics:Crn_radio.Metrics.t ->
   ?trace:Crn_radio.Trace.t ->
+  ?backend:Crn_radio.Runner.backend ->
   ?record:bool ->
   ?stop_when_complete:bool ->
   ?budget_factor:float ->

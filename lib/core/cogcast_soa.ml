@@ -1,115 +1,27 @@
 (* COGCAST on the struct-of-arrays engine.
 
-   Behaviourally identical to {!Cogcast.run} — same per-node RNG
-   discipline ([Rng.split_n] before the engine touches the shared stream,
-   one label draw per awake node per slot), same trace preamble and
-   [Informed] edges — but the protocol state is flat (an informed byte per
-   node, an atomic informed counter) and decide/feedback are range
-   callbacks, so one trial scales across domains via {!Crn_radio.Soa}.
-   The differential tests hold the two implementations to byte-equal
-   traces and identical results.
+   Historically this module carried its own flat-state copy of the COGCAST
+   slot logic (an informed byte per node, hand-written range callbacks).
+   Since {!Crn_radio.Soa_adapter} bridges any machine onto the SoA engine
+   and {!Cogcast.run} declares its state shard-safe, the module is now a
+   thin instantiation: the same protocol code as {!Cogcast.run}, executed
+   through the {!Crn_radio.Runner.Soa} backend. Byte-equal traces and
+   identical results follow by construction — there is no second slot loop
+   to keep in sync — and the differential tests in [test/test_soa.ml]
+   still pin SoA-vs-Engine equality end to end. *)
 
-   Shard safety: [informed]/[parent]/[informed_at]/[informed_label] are
-   node-indexed and only ever written at the node's own index from the
-   feedback range that owns it; [informed_count] is an [Atomic] bumped by
-   fetch-and-add, whose total is shard-count independent because a node is
-   informed at most once. *)
+module Runner = Crn_radio.Runner
 
-module Rng = Crn_prng.Rng
-module Dynamic = Crn_channel.Dynamic
-module Soa = Crn_radio.Soa
-module Trace = Crn_radio.Trace
+let run ?pool ?(shards = 1) ?dense_channel_limit ?jammer ?faults ?metrics
+    ?trace ?stop_when_complete ~source ~availability ~rng ~max_slots () =
+  Cogcast.run ?pool ?jammer ?faults ?metrics ?trace ?stop_when_complete
+    ~backend:(Runner.Soa { shards; dense_channel_limit })
+    ~source ~availability ~rng ~max_slots ()
 
-let run ?pool ?shards ?dense_channel_limit ?jammer ?faults ?metrics ?trace
-    ?(stop_when_complete = true) ~source ~availability ~rng ~max_slots () =
-  let n = Dynamic.num_nodes availability in
-  let c = Dynamic.channels_per_node availability in
-  if source < 0 || source >= n then
-    invalid_arg "Cogcast_soa.run: source out of range";
-  (match trace with
-  | Some tr ->
-      let channels =
-        Crn_channel.Assignment.num_channels (Dynamic.at availability 0)
-      in
-      Trace.record tr (Trace.Meta { n; channels; c; source });
-      Trace.record tr (Trace.Phase { name = "cogcast" })
-  | None -> ());
-  let informed = Bytes.make n '\000' in
-  Bytes.set informed source '\001';
-  let informed_count = Atomic.make 1 in
-  let parent = Array.make n None in
-  let informed_at = Array.make n None in
-  let informed_label = Array.make n None in
-  (* Split per-node streams off [rng] before the engine consumes it for
-     winner draws — the same order as {!Cogcast.build_protocol}, which is
-     what makes the two implementations byte-equal. *)
-  let node_rngs = Rng.split_n rng n in
-  let decide t ~slot:_ ~lo ~hi =
-    for v = lo to hi - 1 do
-      if not (Soa.is_down t v) then begin
-        let label = Rng.int node_rngs.(v) c in
-        if Bytes.unsafe_get informed v = '\001' then
-          Soa.set_broadcast t v ~label ~msg:0
-        else Soa.set_listen t v ~label
-      end
-    done
-  in
-  let feedback t ~slot ~lo ~hi =
-    for v = lo to hi - 1 do
-      (* Only listeners hear, and only uninformed nodes listen, so a heard
-         node is informed for the first time — record the tree edge. *)
-      if Soa.heard t v then begin
-        Bytes.unsafe_set informed v '\001';
-        ignore (Atomic.fetch_and_add informed_count 1);
-        let sender = Soa.sender t v in
-        parent.(v) <- Some sender;
-        informed_at.(v) <- Some slot;
-        informed_label.(v) <- Some t.Soa.label.(v);
-        match trace with
-        | Some tr ->
-            Trace.record tr
-              (Trace.Informed
-                 { slot; node = v; parent = sender; label = t.Soa.label.(v) })
-        | None -> ()
-      end
-    done
-  in
-  let protocol = { Soa.decide; feedback } in
-  let stop =
-    if stop_when_complete then
-      Some (fun ~slot:_ -> Atomic.get informed_count = n)
-    else None
-  in
-  (* A one-node network is complete before the first slot. *)
-  let max_slots = if stop_when_complete && n = 1 then 0 else max_slots in
-  let outcome =
-    Soa.run ?pool ?shards ?dense_channel_limit ?jammer ?faults ?metrics ?trace
-      ?stop ~availability ~rng ~protocol ~max_slots ()
-  in
-  let informed_count = Atomic.get informed_count in
-  {
-    Cogcast.n;
-    source;
-    completed_at =
-      (if informed_count = n then Some outcome.Soa.slots_run else None);
-    slots_run = outcome.Soa.slots_run;
-    informed = Array.init n (fun v -> Bytes.get informed v = '\001');
-    informed_count;
-    parent;
-    informed_at;
-    informed_label;
-    logs = None;
-    counters = outcome.Soa.counters;
-    raw_rounds = 0;
-    failed_sessions = 0;
-  }
-
-let run_static ?pool ?shards ?dense_channel_limit ?jammer ?faults ?metrics
-    ?trace ?stop_when_complete ?budget_factor ~source ~assignment ~k ~rng () =
-  let n = Crn_channel.Assignment.num_nodes assignment in
-  let c = Crn_channel.Assignment.channels_per_node assignment in
-  let max_slots = Complexity.cogcast_slots ?factor:budget_factor ~n ~c ~k () in
-  run ?pool ?shards ?dense_channel_limit ?jammer ?faults ?metrics ?trace
-    ?stop_when_complete ~source
-    ~availability:(Dynamic.static assignment)
-    ~rng ~max_slots ()
+let run_static ?pool ?(shards = 1) ?dense_channel_limit ?jammer ?faults
+    ?metrics ?trace ?stop_when_complete ?budget_factor ~source ~assignment ~k
+    ~rng () =
+  Cogcast.run_static ?pool ?jammer ?faults ?metrics ?trace ?stop_when_complete
+    ?budget_factor
+    ~backend:(Runner.Soa { shards; dense_channel_limit })
+    ~source ~assignment ~k ~rng ()

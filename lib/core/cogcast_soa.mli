@@ -1,11 +1,13 @@
 (** COGCAST (§4) on the struct-of-arrays engine {!Crn_radio.Soa}.
 
-    Drop-in alternative to {!Cogcast.run} for large [n]: identical
-    behaviour (byte-equal traces, identical {!Cogcast.result} fields) on a
-    flat state representation that shards one trial across OCaml domains.
-    Per-slot logs ([~record] in {!Cogcast.run}) are not supported — the
-    [logs] field of the result is always [None]; use {!Cogcast.run} when
-    COGCOMP needs the action history.
+    Drop-in alternative to {!Cogcast.run} for large [n]: the same protocol
+    code, executed through the {!Crn_radio.Runner.Soa} backend so that one
+    trial shards across OCaml domains. This module is a thin delegation —
+    it owns no slot logic of its own — so behaviour (byte-equal traces,
+    identical {!Cogcast.result} fields) matches {!Cogcast.run} by
+    construction. Per-slot logs ([~record] in {!Cogcast.run}) are not
+    exposed here — the [logs] field of the result is always [None]; use
+    {!Cogcast.run} when COGCOMP needs the action history.
 
     Determinism: the per-node label streams are split off [rng] before the
     engine consumes it, exactly as {!Cogcast.run} does, and the engine's

@@ -90,6 +90,7 @@ let summary_json s =
 module type S = sig
   val name : string
   val synopsis : string
+  val shardable : bool
 
   type msg
   type state
@@ -103,6 +104,31 @@ module type S = sig
   val project : state -> outcome:Runner.outcome -> result
   val summarize : env -> result -> summary
 end
+
+(* Reconcile the two places a shard count can enter a run: [env.shards]
+   (the CLI's [--shards], historically only meaningful to cogcast_soa) and
+   the shard count carried inside a [Runner.Soa] backend payload. Only the
+   SoA backend can honor intra-trial sharding, so any other backend with
+   [shards > 1] is a user error we must surface, not silently ignore. *)
+let resolve_backend ~protocol (backend : Runner.backend) ~shards =
+  if shards < 1 then invalid_arg (protocol ^ ": shards must be >= 1");
+  if shards = 1 then backend
+  else
+    match backend with
+    | Runner.Soa { shards = 1; dense_channel_limit } ->
+        Runner.Soa { shards; dense_channel_limit }
+    | Runner.Soa { shards = s; _ } when s = shards -> backend
+    | Runner.Soa { shards = s; _ } ->
+        invalid_arg
+          (Printf.sprintf
+             "%s: shards %d conflicts with the soa backend's shard count %d"
+             protocol shards s)
+    | (Runner.Engine | Runner.Emulation _ | Runner.Reference) as b ->
+        invalid_arg
+          (Printf.sprintf
+             "%s: shards %d requested but the %s backend cannot shard a \
+              trial; use the soa backend"
+             protocol shards (Runner.backend_name b))
 
 type t = { p_name : string; p_synopsis : string; p_exec : env -> summary }
 
@@ -138,10 +164,11 @@ let exec_machine (module P : S) env =
   (* A machine that is complete before the first slot runs zero slots. *)
   let max_slots = if P.finished st then 0 else max_slots in
   let stop ~slot:_ = P.finished st in
+  let backend = resolve_backend ~protocol:P.name env.backend ~shards:env.shards in
   let runner =
-    Runner.make ?jammer:env.jammer ?faults:env.faults ?metrics:env.metrics
-      ?trace:env.trace ~backend:env.backend ~availability:env.availability
-      ~rng:env.rng ()
+    Runner.make ~machine_parallel:P.shardable ?jammer:env.jammer
+      ?faults:env.faults ?metrics:env.metrics ?trace:env.trace ~backend
+      ~availability:env.availability ~rng:env.rng ()
   in
   let outcome = runner.Runner.run ~stop ~nodes ~max_slots () in
   let s = P.summarize env (P.project st ~outcome) in

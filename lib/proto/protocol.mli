@@ -45,10 +45,13 @@ type env = {
   trace : Crn_radio.Trace.t option;
   backend : Crn_radio.Runner.backend;
   shards : int;
-      (** Intra-trial shard count for protocols running on the
-          struct-of-arrays engine ({!Crn_radio.Soa}); [1] everywhere else.
-          Results are shard-count invariant by that engine's determinism
-          contract, so this is purely a performance knob. *)
+      (** Intra-trial shard count. Only the {!Crn_radio.Runner.Soa} backend
+          can honor it: with that backend a value [> 1] is folded into the
+          backend payload (see {!resolve_backend}), and results are
+          shard-count invariant by the SoA determinism contract, so this is
+          purely a performance knob. On any other backend a value [> 1]
+          raises [Invalid_argument] naming the backend — it is never
+          silently ignored. *)
   load : load option;
       (** Offered load for the sustained-traffic workload protocols
           ([gossip], [push_sum]); [None] leaves each workload's default
@@ -74,7 +77,24 @@ val env :
 (** Environment constructor; defaults: [source = 0], [k = 1], backend
     {!Crn_radio.Runner.Engine}, [shards = 1], everything else off. Raises
     [Invalid_argument] when [shards < 1] or a supplied load rate is not
-    positive. *)
+    positive. [shards > 1] is validated against the backend at run time
+    ({!resolve_backend}), not here, because [cogcast_soa] resolves it
+    against its own default backend. *)
+
+val resolve_backend :
+  protocol:string ->
+  Crn_radio.Runner.backend ->
+  shards:int ->
+  Crn_radio.Runner.backend
+(** [resolve_backend ~protocol backend ~shards] reconciles [env.shards]
+    with the backend: [shards = 1] leaves the backend untouched; with a
+    {!Crn_radio.Runner.Soa} backend whose own shard count is [1] the
+    requested count is folded into the payload, and an equal explicit
+    count passes through. Raises [Invalid_argument] (prefixed with
+    [protocol]) when [shards > 1] meets a backend that cannot shard a
+    trial — any non-SoA backend — or conflicts with an explicit SoA shard
+    count. The machine driver behind {!of_machine} applies this to every
+    run; [of_run] protocols apply it themselves. *)
 
 type summary = {
   protocol : string;
@@ -110,6 +130,18 @@ val summary_json : summary -> Crn_stats.Json.t
 module type S = sig
   val name : string
   val synopsis : string
+
+  val shardable : bool
+  (** [true] iff the machine's state honors the SoA sharding contract —
+      per-node RNG streams, writes confined to the node's own indices,
+      commutative aggregates behind [Atomic] — so that on a
+      {!Crn_radio.Runner.Soa} backend its decide/feedback callbacks may run
+      domain-parallel per shard. Machines drawing decide-time randomness
+      from a shared stream or mutating shared non-atomic state must say
+      [false]; they still run on the SoA backend (and still benefit from
+      its sharded channel phases), just with sequential callbacks. Either
+      way results are byte-identical to the {!Crn_radio.Runner.Engine}
+      backend at any shard count. *)
 
   type msg
   type state

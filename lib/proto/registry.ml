@@ -41,8 +41,12 @@ let reject_metrics_and_max_slots ~name (env : Protocol.env) =
 let require_plain ~name (env : Protocol.env) =
   (match env.backend with
   | Runner.Engine -> ()
-  | Runner.Emulation _ | Runner.Reference ->
-      invalid_arg (name ^ ": only the engine backend is supported"));
+  | (Runner.Emulation _ | Runner.Reference | Runner.Soa _) as b ->
+      invalid_arg
+        (Printf.sprintf "%s: the %s backend is not supported; only engine"
+           name (Runner.backend_name b)));
+  ignore
+    (Protocol.resolve_backend ~protocol:name env.backend ~shards:env.shards);
   reject_metrics_and_max_slots ~name env
 
 (* ---- the paper's protocols: delegate to the direct APIs so that a
@@ -59,9 +63,13 @@ let cogcast =
         | None ->
             Complexity.cogcast_slots ?factor:env.budget_factor ~n ~c ~k:env.k ()
       in
+      let backend =
+        Protocol.resolve_backend ~protocol:"cogcast" env.backend
+          ~shards:env.shards
+      in
       let r =
         Cogcast.run ?jammer:env.jammer ?faults:env.faults ?metrics:env.metrics
-          ?trace:env.trace ~backend:env.backend ~source:env.source
+          ?trace:env.trace ~backend ~source:env.source
           ~availability:env.availability ~rng:env.rng ~max_slots ()
       in
       {
@@ -76,19 +84,39 @@ let cogcast =
         detail = Json.Obj [ ("informed_count", Json.Int r.Cogcast.informed_count) ];
       })
 
-(* Same protocol, struct-of-arrays engine: the scaling path. Honors
-   [env.shards]; everything observable (result fields, counters, traces)
-   is byte-identical to the [cogcast] entry by Soa's determinism
-   contract, which test/test_soa.ml enforces differentially. *)
+(* Same protocol, struct-of-arrays engine: the scaling path. The default
+   [Runner.Engine] backend is reinterpreted as "the SoA default" so the
+   historic UX ([--protocol cogcast_soa --shards 8], no backend flag)
+   keeps working; an explicit [Soa] backend (carrying a
+   [dense_channel_limit]) passes through, reconciled against [env.shards]
+   by {!Protocol.resolve_backend}. Everything observable (result fields,
+   counters, traces) is byte-identical to the [cogcast] entry by Soa's
+   determinism contract, which test/test_soa.ml enforces differentially. *)
 let cogcast_soa =
   Protocol.of_run ~name:"cogcast_soa"
     ~synopsis:
       "COGCAST on the struct-of-arrays engine: dense node state, intra-trial sharding"
     (fun env ->
-      (match env.backend with
-      | Runner.Engine -> ()
-      | Runner.Emulation _ | Runner.Reference ->
-          invalid_arg "cogcast_soa: only the engine backend is supported");
+      let backend =
+        match env.backend with
+        | Runner.Engine -> Runner.Soa { shards = 1; dense_channel_limit = None }
+        | Runner.Soa _ as b -> b
+        | (Runner.Emulation _ | Runner.Reference) as b ->
+            invalid_arg
+              (Printf.sprintf
+                 "cogcast_soa: the %s backend is not supported; only engine \
+                  (meaning the SoA default) or soa"
+                 (Runner.backend_name b))
+      in
+      let shards, dense_channel_limit =
+        match
+          Protocol.resolve_backend ~protocol:"cogcast_soa" backend
+            ~shards:env.shards
+        with
+        | Runner.Soa { shards; dense_channel_limit } ->
+            (shards, dense_channel_limit)
+        | _ -> assert false
+      in
       let n, c = dims env in
       let max_slots =
         match env.max_slots with
@@ -97,7 +125,7 @@ let cogcast_soa =
             Complexity.cogcast_slots ?factor:env.budget_factor ~n ~c ~k:env.k ()
       in
       let r =
-        Crn_core.Cogcast_soa.run ~shards:env.shards ?jammer:env.jammer
+        Crn_core.Cogcast_soa.run ~shards ?dense_channel_limit ?jammer:env.jammer
           ?faults:env.faults ?metrics:env.metrics ?trace:env.trace
           ~source:env.source ~availability:env.availability ~rng:env.rng
           ~max_slots ()
@@ -119,12 +147,19 @@ let cogcomp =
     ~synopsis:"Four-phase data aggregation in O((c/k) max{1,c/n} lg n + n) slots (S5, Thm 10)"
     (fun env ->
       reject_metrics_and_max_slots ~name:"cogcomp" env;
+      ignore
+        (Protocol.resolve_backend ~protocol:"cogcomp" env.backend
+           ~shards:env.shards);
       let n, _ = dims env in
       let assignment = Dynamic.at env.availability 0 in
       let r, raw_rounds =
         match env.backend with
         | Runner.Reference ->
             invalid_arg "cogcomp: the reference backend is not supported"
+        | Runner.Soa _ ->
+            invalid_arg
+              "cogcomp: the soa backend is not supported (multi-phase \
+               protocol; each phase orchestrates its own engine runs)"
         | Runner.Engine ->
             let r =
               Cogcomp.run ?jammer:env.jammer ?faults:env.faults
@@ -214,6 +249,9 @@ module Broadcast_baseline_p = struct
   let name = "broadcast_baseline"
   let synopsis = "Straw-man broadcast: rendezvous against a transmitting source (S1)"
 
+  (* Per-node RNG streams, own-index writes, atomic informed counter. *)
+  let shardable = true
+
   type msg = B.msg
   type state = B.machine
   type result = B.result
@@ -257,6 +295,10 @@ struct
 
   let name = Variant.name
   let synopsis = Variant.synopsis
+
+  (* Only the source's feedback mutates the shared accumulator, and each
+     non-source node writes its own indices: single-writer, shard-safe. *)
+  let shardable = true
 
   type msg = int A.msg
   type state = int A.machine
@@ -317,6 +359,10 @@ module Random_hop_p = struct
   let name = "random_hop"
   let synopsis = "Uniform random hopping: the source beacons until it has met every node (S1)"
 
+  (* Decide-time draws come from one shared stream whose consumption
+     order is node order — not shardable without changing the law. *)
+  let shardable = false
+
   type msg = R.msg
   type state = R.machine
   type result = R.result
@@ -355,6 +401,9 @@ module Seq_scan_p = struct
 
   let name = "seq_scan"
   let synopsis = "Hop-together sequential scan over the global spectrum, O(C/k) (S6)"
+
+  (* Deterministic schedule; own-index writes, atomic informed counter. *)
+  let shardable = true
 
   type msg = S.msg
   type state = S.machine
@@ -395,6 +444,9 @@ module Deterministic_p = struct
 
   let name = "deterministic"
   let synopsis = "Jump-stay deterministic hopping schedule driving an epidemic broadcast (S3)"
+
+  (* Deterministic schedule; own-index writes, atomic informed counter. *)
+  let shardable = true
 
   type msg = D.msg
   type state = D.machine
@@ -484,6 +536,9 @@ module Gossip_p = struct
   let name = "gossip"
   let synopsis = "Multi-rumor epidemic broadcast under open-loop rumor arrivals"
 
+  (* Shared non-atomic rumor ledgers mutated from feedback. *)
+  let shardable = false
+
   type msg = G.msg
   type state = G.machine
   type result = G.result
@@ -543,6 +598,9 @@ module Push_sum_p = struct
   let name = "push_sum"
   let synopsis = "Streaming push-sum aggregation with exact mass accounting under load"
 
+  (* Shared non-atomic mass/convergence accounting mutated from feedback. *)
+  let shardable = false
+
   type msg = P.msg
   type state = P.machine
   type result = P.result
@@ -596,12 +654,8 @@ module Push_sum_p = struct
     }
 end
 
-let all =
+let machines =
   [
-    cogcast;
-    cogcast_soa;
-    cogcomp;
-    cogcomp_robust;
     Protocol.of_machine (module Broadcast_baseline_p);
     Protocol.of_machine (module Aggregation_ack_p);
     Protocol.of_machine (module Aggregation_honest_p);
@@ -612,7 +666,10 @@ let all =
     Protocol.of_machine (module Push_sum_p);
   ]
 
+let all = [ cogcast; cogcast_soa; cogcomp; cogcomp_robust ] @ machines
+
 let names () = List.map Protocol.name all
+let machine_names () = List.map Protocol.name machines
 
 let normalize s =
   String.map (fun ch -> if ch = '-' then '_' else ch) (String.lowercase_ascii s)

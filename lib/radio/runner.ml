@@ -2,6 +2,14 @@ type backend =
   | Engine
   | Emulation of { strategy : Emulation.strategy; session_cap : int option }
   | Reference
+  | Soa of { shards : int; dense_channel_limit : int option }
+
+let backend_name = function
+  | Engine -> "engine"
+  | Emulation { strategy = Emulation.Decay; _ } -> "emulation"
+  | Emulation { strategy = Emulation.Csma; _ } -> "emulation-csma"
+  | Reference -> "reference"
+  | Soa _ -> "soa"
 
 type outcome = {
   slots_run : int;
@@ -48,7 +56,8 @@ let emulation_outcome o =
     failed_sessions = o.failed_sessions;
   }
 
-let make ?jammer ?faults ?metrics ?trace ?(backend = Engine) ~availability ~rng () =
+let make ?pool ?machine_parallel:(parallel = false) ?jammer ?faults ?metrics
+    ?trace ?(backend = Engine) ~availability ~rng () =
   match backend with
   | Engine ->
       {
@@ -73,4 +82,18 @@ let make ?jammer ?faults ?metrics ?trace ?(backend = Engine) ~availability ~rng 
             of_emulation
               (Emulation.run ~strategy ?session_cap ?jammer ?faults ?metrics
                  ?trace ?stop ~availability ~rng ~nodes ~max_slots ()));
+      }
+  | Soa { shards; dense_channel_limit } ->
+      {
+        run =
+          (fun ?stop ~nodes ~max_slots () ->
+            if Array.length nodes <> Crn_channel.Dynamic.num_nodes availability
+            then
+              invalid_arg
+                "Runner: node array disagrees with availability node count";
+            let protocol = Soa_adapter.protocol ~parallel nodes in
+            of_engine
+              (Soa.run ?pool ~shards ?dense_channel_limit ?jammer ?faults
+                 ?metrics ?trace ?stop ~availability ~rng ~protocol ~max_slots
+                 ()));
       }

@@ -30,6 +30,19 @@ type backend =
   | Reference
       (** {!Reference.engine_run}, the slow specification twin of
           {!Engine}; same feature set. *)
+  | Soa of { shards : int; dense_channel_limit : int option }
+      (** {!Soa.run} behind the generic {!Soa_adapter}: the node array is
+          bridged to range callbacks and one trial shards across [shards]
+          domains. Results and traces are byte-identical to {!Engine} at
+          any shard count by the SoA determinism contract;
+          [dense_channel_limit] ([None] = the {!Soa.run} default) selects
+          the occupancy-counting strategy crossover for the [c >> n]
+          regime. Traced runs use the SoA sequential twin. *)
+
+val backend_name : backend -> string
+(** The CLI vocabulary for a backend — ["engine"], ["emulation"],
+    ["emulation-csma"], ["reference"] or ["soa"] — for error messages and
+    reports. *)
 
 type outcome = {
   slots_run : int;
@@ -56,6 +69,8 @@ type t = {
     than a plain function. *)
 
 val make :
+  ?pool:Crn_exec.Pool.t ->
+  ?machine_parallel:bool ->
   ?jammer:Jammer.t ->
   ?faults:Faults.t ->
   ?metrics:Metrics.t ->
@@ -68,7 +83,17 @@ val make :
 (** [make ~availability ~rng ()] is a runner on the default {!Engine}
     backend. Every backend accepts the full adversary/observability set —
     on {!Emulation} the jammer and fault schedule address abstract slots,
-    exactly as on {!Engine} (see {!Emulation.run}). *)
+    exactly as on {!Engine} (see {!Emulation.run}).
+
+    [pool] and [machine_parallel] apply only to the {!Soa} backend (both
+    ignored elsewhere): [pool] reuses an existing domain pool for the
+    shards instead of spinning one up per run, and [machine_parallel]
+    (default [false]) asserts that the node closures honor the SoA
+    sharding contract — per-node RNG streams, range-confined writes,
+    [Atomic] commutative aggregates — letting decide/feedback run
+    sharded. Leave it [false] for machines with shared mutable state or a
+    shared decide-time RNG; the SoA engine then calls them sequentially
+    and still shards the channel phases (see {!Soa.protocol}). *)
 
 val emulation_outcome : outcome -> Emulation.outcome
 (** Repackage a runner outcome as the {!Emulation.outcome} the footnote-4

@@ -93,6 +93,7 @@ type t = {
 }
 
 type protocol = {
+  parallel : bool;
   decide : t -> slot:int -> lo:int -> hi:int -> unit;
   feedback : t -> slot:int -> lo:int -> hi:int -> unit;
 }
@@ -240,44 +241,63 @@ let run ?pool ?(shards = 1) ?(jammer = Jammer.none) ?(faults = Faults.none)
         t.count.(t.active.(j)) <- 0
       done;
       t.active_len <- 0;
-      (* Phase 1 (parallel): fault marking, protocol decide, label
-         translation, jamming — each shard confined to its node range and
-         its private [subs] row. *)
-      run_shards (fun sh ->
-          let lo = shard_lo ~n ~shards sh and hi = shard_hi ~n ~shards sh in
-          if dense then Array.fill subs (sh * stride) cn 0;
-          for i = lo to hi - 1 do
-            Bytes.unsafe_set t.intent i
-              (if faults_down ~slot:s ~node:i then down else idle)
-          done;
-          protocol.decide t ~slot:s ~lo ~hi;
-          let jams = ref 0 and bcasts = ref 0 in
-          for i = lo to hi - 1 do
-            let code = Bytes.unsafe_get t.intent i in
-            if code = listen || code = broadcast then begin
-              let label = t.label.(i) in
-              if label < 0 || label >= c then bad_label i label c;
-              let channel = Assignment.global_of_local assignment ~node:i ~label in
-              t.tuned.(i) <- channel;
-              bump (fun m -> m.Metrics.awake_slots) i;
-              if jammer_jams ~slot:s ~node:i ~channel then begin
-                Bytes.unsafe_set t.intent i
-                  (if code = broadcast then jammed_broadcast else jammed_listen);
-                incr jams;
-                bump (fun m -> m.Metrics.jammed) i
-              end
-              else if code = broadcast then begin
-                incr bcasts;
-                bump (fun m -> m.Metrics.transmissions) i;
-                if dense then begin
-                  let k = (sh * stride) + channel in
-                  subs.(k) <- subs.(k) + 1
-                end
+      (* Phase 1: fault marking, protocol decide, label translation,
+         jamming. A [parallel] protocol fuses all three into one pass per
+         shard, each confined to its node range and its private [subs]
+         row; a sequential protocol (one whose callbacks do not honor the
+         sharding contract) gets a single full-range [decide] call between
+         two parallel passes — the shared rng, if the protocol draws from
+         it, is then consumed in ascending node order exactly as
+         {!Engine.run} consumes it. *)
+      let mark sh =
+        let lo = shard_lo ~n ~shards sh and hi = shard_hi ~n ~shards sh in
+        if dense then Array.fill subs (sh * stride) cn 0;
+        for i = lo to hi - 1 do
+          Bytes.unsafe_set t.intent i
+            (if faults_down ~slot:s ~node:i then down else idle)
+        done
+      in
+      let translate sh =
+        let lo = shard_lo ~n ~shards sh and hi = shard_hi ~n ~shards sh in
+        let jams = ref 0 and bcasts = ref 0 in
+        for i = lo to hi - 1 do
+          let code = Bytes.unsafe_get t.intent i in
+          if code = listen || code = broadcast then begin
+            let label = t.label.(i) in
+            if label < 0 || label >= c then bad_label i label c;
+            let channel = Assignment.global_of_local assignment ~node:i ~label in
+            t.tuned.(i) <- channel;
+            bump (fun m -> m.Metrics.awake_slots) i;
+            if jammer_jams ~slot:s ~node:i ~channel then begin
+              Bytes.unsafe_set t.intent i
+                (if code = broadcast then jammed_broadcast else jammed_listen);
+              incr jams;
+              bump (fun m -> m.Metrics.jammed) i
+            end
+            else if code = broadcast then begin
+              incr bcasts;
+              bump (fun m -> m.Metrics.transmissions) i;
+              if dense then begin
+                let k = (sh * stride) + channel in
+                subs.(k) <- subs.(k) + 1
               end
             end
-          done;
-          jam_partial.(sh) <- !jams;
-          bcast_partial.(sh) <- !bcasts);
+          end
+        done;
+        jam_partial.(sh) <- !jams;
+        bcast_partial.(sh) <- !bcasts
+      in
+      if protocol.parallel then
+        run_shards (fun sh ->
+            mark sh;
+            protocol.decide t ~slot:s ~lo:(shard_lo ~n ~shards sh)
+              ~hi:(shard_hi ~n ~shards sh);
+            translate sh)
+      else begin
+        run_shards mark;
+        protocol.decide t ~slot:s ~lo:0 ~hi:n;
+        run_shards translate
+      end;
       (* Phase 2 (sequential): merge occupancy into [count] and build the
          active worklist in ascending channel order. *)
       if dense then
@@ -386,10 +406,15 @@ let run ?pool ?(shards = 1) ?(jammer = Jammer.none) ?(faults = Faults.none)
         Array.fill deliver_partial 0 shards 0;
         deliver_partial.(0) <- !deliveries
       end;
-      (* Phase 5 (parallel): protocol feedback over the node ranges. *)
-      run_shards (fun sh ->
-          protocol.feedback t ~slot:s ~lo:(shard_lo ~n ~shards sh)
-            ~hi:(shard_hi ~n ~shards sh));
+      (* Phase 5: protocol feedback — parallel over the node ranges, or
+         one sequential full-range call for a sequential protocol (same
+         ascending node order as {!Engine.run}'s final feedback scans; the
+         machine layer requires order-commutative feedback either way). *)
+      if protocol.parallel then
+        run_shards (fun sh ->
+            protocol.feedback t ~slot:s ~lo:(shard_lo ~n ~shards sh)
+              ~hi:(shard_hi ~n ~shards sh))
+      else protocol.feedback t ~slot:s ~lo:0 ~hi:n;
       let bcasts = ref 0 and jams = ref 0 and deliveries = ref 0 in
       for sh = 0 to shards - 1 do
         bcasts := !bcasts + bcast_partial.(sh);

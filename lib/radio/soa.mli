@@ -15,16 +15,19 @@
 
     - The shared [rng] is consumed {e only} by winner draws — one draw per
       contended channel, in ascending global channel id — executed
-      sequentially between the parallel phases. No per-shard RNG streams
-      exist, so the draw sequence cannot depend on [shards].
+      sequentially between the parallel phases (plus, for a
+      [parallel = false] protocol, its own sequential decide-time draws in
+      ascending node order, as under {!Engine.run}). No per-shard RNG
+      streams exist, so the draw sequence cannot depend on [shards].
     - Every parallel phase writes only shard-private state: contiguous
       node-id ranges of the node arrays, and private per-shard rows of the
       channel-count matrix. Merges into shared channel state happen
       sequentially between phases (a {!Crn_exec.Pool.parallel_for} return
       is the barrier).
-    - Protocol decisions must draw randomness from per-node streams
-      (as [Crn_core.Cogcast] has since PR 1), never from a stream shared
-      across nodes, so decide order is immaterial.
+    - Protocol decisions either draw randomness from per-node streams
+      (as [Crn_core.Cogcast] has since PR 1), making decide order
+      immaterial, or declare [parallel = false] and run their callbacks
+      sequentially over the full node range (see {!protocol}).
 
     {2 Slot pipeline and array ownership}
 
@@ -118,19 +121,34 @@ val down : char
     A protocol is a pair of range callbacks replacing {!Engine.node}'s
     per-node closures. [decide t ~slot ~lo ~hi] must set an intent (via
     {!set_listen} / {!set_broadcast}) for every node in [[lo, hi)] that is
-    not {!down}, reading randomness only from per-node streams. [feedback]
-    reads the slot's outcome through the accessors below (or the arrays
-    directly) for every node in [[lo, hi)] and updates protocol state.
+    not {!down}. [feedback] reads the slot's outcome through the accessors
+    below (or the arrays directly) for every node in [[lo, hi)] and
+    updates protocol state.
 
-    Sharding contract: a callback invoked with range [[lo, hi)] may touch
+    [parallel] declares whether the callbacks honor the {e sharding
+    contract}: a callback invoked with range [[lo, hi)] may touch
     node-indexed state only inside that range — ranges partition [0, n)
-    across domains, and out-of-range writes are data races. Shared
-    aggregates must be [Atomic] and commutative (e.g. a fetch-and-add
-    informed counter), so their final value is shard-count independent.
-    The engine may call a callback with ranges of any granularity: whole
-    shards on the fast path, singletons on the traced path. *)
+    across domains, and out-of-range writes are data races — randomness is
+    drawn only from per-node streams, and shared aggregates are [Atomic]
+    and commutative (e.g. a fetch-and-add informed counter), so their
+    final value is shard-count independent. The engine then calls a
+    [parallel] callback with ranges of any granularity: whole shards on
+    the fast path, singletons on the traced path.
+
+    A protocol with [parallel = false] — one that draws from a stream
+    shared across nodes in [decide], or mutates plain shared counters —
+    instead receives exactly one [decide] and one [feedback] call per
+    slot, covering [[0, n)], executed sequentially between the engine's
+    parallel phases (translation, occupancy, winner materialization still
+    shard). Decide-time draws from the shared [rng] then interleave with
+    the winner draws exactly as under {!Engine.run}, so results stay
+    byte-identical to the classic engine at any shard count. Feedback
+    must still be order-commutative across nodes (the fast path delivers
+    it in ascending node order, {!Engine.run} per channel), which every
+    machine in the registry is. *)
 
 type protocol = {
+  parallel : bool;
   decide : t -> slot:int -> lo:int -> hi:int -> unit;
   feedback : t -> slot:int -> lo:int -> hi:int -> unit;
 }

@@ -26,7 +26,10 @@ let machine ~source ~availability ~rng =
     invalid_arg "Broadcast_baseline.machine: source out of range";
   let informed = Array.make n false in
   informed.(source) <- true;
-  let informed_count = ref 1 in
+  (* [Atomic] so the machine is shard-safe on the SoA backend: the
+     counter is bumped at most once per node, so the total is
+     shard-count independent. *)
+  let informed_count = Atomic.make 1 in
   let node_rngs = Rng.split_n rng n in
   let decide ~node:v ~slot:_ =
     let label = Rng.int node_rngs.(v) c in
@@ -42,18 +45,18 @@ let machine ~source ~availability ~rng =
         (* Only the source transmits, so any reception is the real message. *)
         if sender = source && not informed.(v) then begin
           informed.(v) <- true;
-          incr informed_count
+          ignore (Atomic.fetch_and_add informed_count 1)
         end
     | Action.Won | Action.Lost _ | Action.Silence | Action.Jammed
     | Action.No_winner ->
         ()
   in
-  let finished () = !informed_count = n in
+  let finished () = Atomic.get informed_count = n in
   let snapshot ~slots_run =
     {
-      completed_at = (if !informed_count = n then Some slots_run else None);
+      completed_at = (if Atomic.get informed_count = n then Some slots_run else None);
       slots_run;
-      informed_count = !informed_count;
+      informed_count = Atomic.get informed_count;
       informed;
     }
   in

@@ -122,7 +122,10 @@ let machine ~make_schedule ~source ~assignment =
   let schedules = Array.init n (fun node -> make_schedule assignment ~node) in
   let informed = Array.make n false in
   informed.(source) <- true;
-  let informed_count = ref 1 in
+  (* [Atomic] so the machine is shard-safe on the SoA backend: the
+     counter is bumped at most once per node, so the total is
+     shard-count independent. *)
+  let informed_count = Atomic.make 1 in
   let decide ~node:v ~slot =
     let channel = schedules.(v).channel_at ~slot in
     let label =
@@ -139,18 +142,18 @@ let machine ~make_schedule ~source ~assignment =
     | Action.Heard { msg = Payload; _ } ->
         if not informed.(v) then begin
           informed.(v) <- true;
-          incr informed_count
+          ignore (Atomic.fetch_and_add informed_count 1)
         end
     | Action.Won | Action.Lost _ | Action.Silence | Action.Jammed
     | Action.No_winner ->
         ()
   in
-  let finished () = !informed_count = n in
+  let finished () = Atomic.get informed_count = n in
   let snapshot ~slots_run =
     {
-      completed_at = (if !informed_count = n then Some slots_run else None);
+      completed_at = (if Atomic.get informed_count = n then Some slots_run else None);
       slots_run;
-      informed_count = !informed_count;
+      informed_count = Atomic.get informed_count;
     }
   in
   { decide; feedback; finished; snapshot }

@@ -48,15 +48,19 @@ let machine ?(tolerance = 0.02) ?values ?trace ~arrivals ~availability ~rng () =
   let s = Array.copy values in
   let w = Array.make n 1.0 in
   let expected = ref (Array.fold_left ( +. ) 0.0 values) in
-  (* Per-slot transfer accounting. Debits (the engine's [Won] at a sender)
-     and folds (the matching [Heard] at the target) are two views of the
-     same delivery, so within a slot their totals agree exactly — except
-     when the target missed the slot (down or jammed), in which case the
-     difference is real lost mass, swept into the ledger at slot end rather
-     than silently vanishing. The accounting is order-independent across
-     nodes, so feedback iteration order cannot affect it. *)
-  let debited_s = ref 0.0 and debited_w = ref 0.0 in
-  let folded_s = ref 0.0 and folded_w = ref 0.0 in
+  (* Per-slot transfer accounting. A debit (the engine's [Won] at a
+     sender) and the matching fold (the [Heard]/[Lost] at the target) are
+     two views of the same delivery, carrying bitwise-identical [ds]/[dw];
+     a debit whose fold never arrives (target down, jammed, or absent this
+     slot) is real lost mass, swept into the ledger at slot end rather
+     than silently vanishing. Debits are matched to folds pairwise — never
+     by comparing per-slot float totals, whose rounding would depend on
+     feedback iteration order. The ledger is therefore exact and identical
+     on every backend, whatever order feedback arrives in. *)
+  let debit_ds = Array.make n 0.0 in
+  let debit_dw = Array.make n 0.0 in
+  let debit_live = Array.make n false in
+  let folded_from = Array.make n false in
   let lost_s = ref 0.0 and lost_w = ref 0.0 in
   let max_drift = ref 0.0 in
   let transfers = ref 0 in
@@ -81,11 +85,13 @@ let machine ?(tolerance = 0.02) ?values ?trace ~arrivals ~availability ~rng () =
       let est = s.(v) /. w.(v) in
       Float.abs (est -. mean) /. Float.max (Float.abs mean) 1e-9
   in
-  let fold_transfer ~node ~ds ~dw =
+  (* [from] is the winning sender whose debit this fold matches; the fold
+     can arrive before or after the sender's own [Won], so matching is a
+     flag resolved at slot end, not an eager cancellation. *)
+  let fold_transfer ~node ~from ~ds ~dw =
     s.(node) <- s.(node) +. ds;
     w.(node) <- w.(node) +. dw;
-    folded_s := !folded_s +. ds;
-    folded_w := !folded_w +. dw
+    folded_from.(from) <- true
   in
   let decide ~node:v ~slot:t =
     cur_slot := max !cur_slot t;
@@ -141,15 +147,15 @@ let machine ?(tolerance = 0.02) ?values ?trace ~arrivals ~availability ~rng () =
     match fb with
     | Action.Heard { sender; msg = Beacon } ->
         heard_beacon.(v) <- Some (sender, last_label.(v))
-    | Action.Heard { sender = _; msg = Transfer { target; ds; dw } } ->
-        if target = v then fold_transfer ~node:v ~ds ~dw
+    | Action.Heard { sender; msg = Transfer { target; ds; dw } } ->
+        if target = v then fold_transfer ~node:v ~from:sender ~ds ~dw
     | Action.Lost { winner; msg = Beacon } ->
         (* A losing beaconer still receives the winner's beacon (§2) and
            can court it next slot. *)
         heard_beacon.(v) <- Some (winner, last_label.(v))
-    | Action.Lost { winner = _; msg = Transfer { target; ds; dw } } ->
+    | Action.Lost { winner; msg = Transfer { target; ds; dw } } ->
         pending.(v) <- None;
-        if target = v then fold_transfer ~node:v ~ds ~dw
+        if target = v then fold_transfer ~node:v ~from:winner ~ds ~dw
     | Action.Won -> (
         match pending.(v) with
         | Some (_, ds, dw) ->
@@ -157,8 +163,9 @@ let machine ?(tolerance = 0.02) ?values ?trace ~arrivals ~availability ~rng () =
                debit. The target's fold is driven by the same delivery. *)
             s.(v) <- s.(v) -. ds;
             w.(v) <- w.(v) -. dw;
-            debited_s := !debited_s +. ds;
-            debited_w := !debited_w +. dw;
+            debit_ds.(v) <- ds;
+            debit_dw.(v) <- dw;
+            debit_live.(v) <- true;
             incr transfers;
             pending.(v) <- None
         | None -> ())
@@ -173,12 +180,16 @@ let machine ?(tolerance = 0.02) ?values ?trace ~arrivals ~availability ~rng () =
      unfolded in-flight mass into the ledger, sample the conservation
      drift, and re-evaluate the convergence band. *)
   let finished () =
-    lost_s := !lost_s +. (!debited_s -. !folded_s);
-    lost_w := !lost_w +. (!debited_w -. !folded_w);
-    debited_s := 0.0;
-    debited_w := 0.0;
-    folded_s := 0.0;
-    folded_w := 0.0;
+    for v = 0 to n - 1 do
+      if debit_live.(v) then begin
+        if not folded_from.(v) then begin
+          lost_s := !lost_s +. debit_ds.(v);
+          lost_w := !lost_w +. debit_dw.(v)
+        end;
+        debit_live.(v) <- false
+      end;
+      folded_from.(v) <- false
+    done;
     let mass = ref !lost_s in
     Array.iter (fun x -> mass := !mass +. x) s;
     max_drift := Float.max !max_drift (Float.abs (!mass -. !expected));

@@ -354,6 +354,48 @@ let test_faulty_run_all_protocols () =
         (s.Protocol.coverage >= 0.0 && s.Protocol.coverage <= 1.0))
     (Registry.names ())
 
+let test_soa_backend_sweep () =
+  (* The registry audit on the soa backend: every entry that supports it
+     (the eight machines and cogcast) runs sharded under faults and
+     matches its engine summary byte-for-byte; the of_run multi-phase
+     entries reject it by name. The deeper shard/strategy/trace matrix —
+     cogcast_soa included — lives in test/test_soa.ml. *)
+  let module Runner = Crn_radio.Runner in
+  let module Json = Crn_stats.Json in
+  let n = 24 and c = 6 and k = 2 in
+  let summary name backend shards =
+    let rng = Rng.create 11 in
+    let assignment =
+      Topology.generate Topology.Shared_plus_random rng { Topology.n; c; k }
+    in
+    let faults = Faults.random_naps ~seed:17L ~rate:0.05 in
+    let s =
+      Protocol.run (Registry.find_exn name)
+        (Protocol.env ~faults ~backend ~shards ~k
+           ~availability:(Dynamic.static assignment)
+           ~rng:(Rng.create 12) ())
+    in
+    Json.to_string (Protocol.summary_json s)
+  in
+  let soa = Runner.Soa { shards = 1; dense_channel_limit = None } in
+  List.iter
+    (fun name ->
+      let engine = summary name Runner.Engine 1 in
+      Alcotest.(check string) (name ^ ": soa shards=2 = engine") engine
+        (summary name soa 2))
+    ("cogcast" :: Registry.machine_names ());
+  List.iter
+    (fun name ->
+      match summary name soa 2 with
+      | exception Invalid_argument msg ->
+          Alcotest.(check bool)
+            (name ^ ": rejection names the protocol")
+            true
+            (String.length msg >= String.length name
+            && String.sub msg 0 (String.length name) = name)
+      | _ -> Alcotest.failf "%s accepted the soa backend" name)
+    [ "cogcomp"; "cogcomp_robust" ]
+
 (* ---- registry lookup ---- *)
 
 let test_registry_lookup () =
@@ -401,6 +443,8 @@ let () =
             test_traces_check_clean;
           Alcotest.test_case "every protocol survives faults" `Quick
             test_faulty_run_all_protocols;
+          Alcotest.test_case "registry audit on the soa backend" `Quick
+            test_soa_backend_sweep;
         ] );
       ("registry", [ Alcotest.test_case "lookup" `Quick test_registry_lookup ]);
     ]

@@ -83,7 +83,7 @@ let soa_protocol ~seed ~n ~c ~digests =
       else if Soa.was_jammed t i then digests.(i) <- mix d 5
     done
   in
-  { Soa.decide; feedback }
+  { Soa.parallel = true; decide; feedback }
 
 (* ------------------------------------------------------------------ *)
 (* Randomized scenarios, the test_determinism recipe widened to n <= 256.
@@ -294,6 +294,125 @@ let prop_cogcast_equivalence seed =
             else None)
       None [ 1; 2; 8 ]
 
+(* Claim 4 — the universal-backend audit: every of_machine registry entry
+   produces a byte-equal summary on the soa backend at shards {1, 2, 8},
+   with both occupancy strategies (dense and forced-sparse), and a
+   byte-equal trace through the sequential twin — all against the same
+   entry on the classic engine backend. Scenarios randomize dims,
+   topology and a nap schedule; each run gets a fresh rng from the same
+   seed, so any divergence is the backend's. *)
+
+module Runner = Crn_radio.Runner
+
+let prop_registry_machines seed =
+  let scenario_rng = Rng.create (311_000 + seed) in
+  let n = 2 + Rng.int scenario_rng 62 in
+  let c = 2 + Rng.int scenario_rng 7 in
+  let k = 1 + Rng.int scenario_rng (min 3 c) in
+  let kind =
+    match seed mod 3 with
+    | 0 -> Topology.Shared_core
+    | 1 -> Topology.Shared_plus_random
+    | _ -> Topology.Clustered
+  in
+  let assignment = Topology.generate kind scenario_rng { Topology.n; c; k } in
+  let faults =
+    if seed mod 2 = 0 then
+      Some (Faults.random_naps ~seed:(Int64.of_int (seed * 131)) ~rate:0.1)
+    else None
+  in
+  let run name ~backend ~shards ~traced =
+    let proto = Option.get (Crn_proto.Registry.find name) in
+    let tr = if traced then Some (Trace.create ()) else None in
+    let env =
+      Crn_proto.Protocol.env ?faults ?trace:tr ~backend ~shards ~k
+        ~availability:(Dynamic.static assignment)
+        ~rng:(Rng.create (seed * 17))
+        ()
+    in
+    let s = Crn_proto.Protocol.run proto env in
+    ( Crn_stats.Json.to_string (Crn_proto.Protocol.summary_json s),
+      match tr with Some tr -> Trace.to_jsonl tr | None -> "" )
+  in
+  let soa dense_channel_limit = Runner.Soa { shards = 1; dense_channel_limit } in
+  let variants =
+    [
+      ("shards=1 dense", 1, soa None);
+      ("shards=2 dense", 2, soa None);
+      ("shards=8 dense", 8, soa None);
+      ("shards=2 sparse", 2, soa (Some 0));
+      ("shards=8 sparse", 8, soa (Some 0));
+    ]
+  in
+  List.fold_left
+    (fun acc name ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          let engine_summary, _ =
+            run name ~backend:Runner.Engine ~shards:1 ~traced:false
+          in
+          let fast_mismatch =
+            List.fold_left
+              (fun acc (label, shards, backend) ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                    let s, _ = run name ~backend ~shards ~traced:false in
+                    if s <> engine_summary then
+                      Some (Printf.sprintf "%s: soa %s summary differs" name label)
+                    else None)
+              None variants
+          in
+          match fast_mismatch with
+          | Some _ as m -> m
+          | None ->
+              let es, et =
+                run name ~backend:Runner.Engine ~shards:1 ~traced:true
+              in
+              let ss, st = run name ~backend:(soa None) ~shards:2 ~traced:true in
+              if et <> st then Some (name ^ ": traced soa trace differs")
+              else if es <> ss then Some (name ^ ": traced soa summary differs")
+              else None))
+    None
+    (Crn_proto.Registry.machine_names ())
+
+(* Rejection contract: shards > 1 on a backend that cannot shard must
+   raise, never be silently ignored. *)
+let test_shards_rejected () =
+  let rng = Rng.create 7 in
+  let assignment = Topology.shared_core rng { Topology.n = 16; c = 4; k = 2 } in
+  let availability = Dynamic.static assignment in
+  let raises name backend =
+    let env =
+      Crn_proto.Protocol.env ~backend ~shards:2 ~availability
+        ~rng:(Rng.create 7) ()
+    in
+    match Crn_proto.Protocol.run (Crn_proto.Registry.find_exn name) env with
+    | exception Invalid_argument _ -> ()
+    | _ ->
+        Alcotest.failf "%s accepted shards=2 on the %s backend" name
+          (Runner.backend_name backend)
+  in
+  List.iter
+    (fun name -> raises name Runner.Engine)
+    (Crn_proto.Registry.machine_names ());
+  raises "cogcast" Runner.Engine;
+  raises "cogcomp" Runner.Engine;
+  raises "cogcast_soa"
+    (Runner.Soa { shards = 3; dense_channel_limit = None });
+  (* ...while the soa backend honors the same request. *)
+  let env =
+    Crn_proto.Protocol.env
+      ~backend:(Runner.Soa { shards = 1; dense_channel_limit = None })
+      ~shards:2 ~availability ~rng:(Rng.create 7) ()
+  in
+  let s =
+    Crn_proto.Protocol.run (Crn_proto.Registry.find_exn "seq_scan") env
+  in
+  Alcotest.(check bool) "seq_scan completes on soa shards=2" true
+    (s.Crn_proto.Protocol.completed)
+
 let seed_gen = Prop.int_range 1 100_000
 
 let test_traced () =
@@ -303,6 +422,10 @@ let test_traced () =
 let test_shards () =
   Prop.check ~count:30 ~name:"soa fast path shard/strategy invariant" seed_gen
     prop_shard_invariance
+
+let test_registry_machines () =
+  Prop.check ~count:12 ~name:"registry machines: soa = engine" seed_gen
+    prop_registry_machines
 
 let test_cogcast () =
   Prop.check ~count:25 ~name:"cogcast_soa = cogcast" seed_gen
@@ -338,6 +461,13 @@ let () =
           Alcotest.test_case "traced twin byte-equal to engine" `Quick test_traced;
           Alcotest.test_case "fast path shard & strategy invariant" `Quick
             test_shards;
+        ] );
+      ( "registry audit",
+        [
+          Alcotest.test_case "every of_machine entry: soa = engine" `Quick
+            test_registry_machines;
+          Alcotest.test_case "shards > 1 rejected off the soa backend" `Quick
+            test_shards_rejected;
         ] );
       ( "cogcast",
         [
